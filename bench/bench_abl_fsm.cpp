@@ -1,0 +1,101 @@
+// ABL-4 — ScriptGen FSM learner sensitivity: how the message-clustering
+// similarity threshold and the maturity requirement trade off epsilon
+// classification quality against the proxying load on the sample
+// factory. The SGNET design point (threshold 0.8, maturity 3) should
+// classify nearly all events correctly with a small proxied fraction.
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "proto/incremental.hpp"
+#include "proto/services.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace repro;
+  using namespace repro::proto;
+  std::cout << "### ABL-4: incremental ScriptGen sensitivity\n\n";
+
+  // A stream of attacks: 12 implementations, 60 instances each,
+  // interleaved (as the deployment would see them).
+  struct Attack {
+    int impl;
+    Conversation conversation;
+    Conversation stripped;
+  };
+  Rng rng{99};
+  std::vector<Attack> stream;
+  for (int round = 0; round < 60; ++round) {
+    for (int impl = 0; impl < 12; ++impl) {
+      const auto tmpl = make_exploit_template(
+          ServiceKind::kSmb445, static_cast<std::uint32_t>(impl));
+      const auto location = payload_location(tmpl);
+      auto conversation = synthesize_attack(
+          tmpl, to_bytes("PAYLOAD" + rng.alnum(24)),
+          net::Ipv4{static_cast<std::uint32_t>(rng.next())},
+          net::Ipv4{10, 0, 0, 1}, rng);
+      Attack attack;
+      attack.impl = impl;
+      attack.stripped = strip_payload(conversation, location);
+      attack.conversation = std::move(conversation);
+      stream.push_back(std::move(attack));
+    }
+  }
+
+  TextTable table{{"similarity", "maturity", "proxied %", "distinct paths",
+                   "path purity %"}};
+  for (const double similarity : {0.6, 0.7, 0.8, 0.9, 0.97}) {
+    for (const std::size_t maturity : {std::size_t{1}, std::size_t{3},
+                                       std::size_t{10}}) {
+      IncrementalFsm::Options options;
+      options.fsm.similarity_threshold = similarity;
+      options.maturity = maturity;
+      IncrementalFsm model{445, options};
+
+      std::size_t proxied = 0;
+      std::map<int, std::map<std::string, std::size_t>> impl_paths;
+      for (const Attack& attack : stream) {
+        const auto path = model.match(attack.conversation);
+        if (!path.has_value()) {
+          ++proxied;
+          model.train(attack.stripped);
+          continue;
+        }
+        ++impl_paths[attack.impl][*path];
+      }
+      // Purity: fraction of matched events whose path is the dominant
+      // path of their implementation (path splits/merges lower it).
+      std::size_t matched = 0;
+      std::size_t dominant = 0;
+      std::set<std::string> distinct;
+      for (const auto& [impl, paths] : impl_paths) {
+        std::size_t best = 0;
+        for (const auto& [path, count] : paths) {
+          matched += count;
+          best = std::max(best, count);
+          distinct.insert(path);
+        }
+        dominant += best;
+      }
+      table.add_row(
+          {fixed(similarity, 2), std::to_string(maturity),
+           fixed(100.0 * static_cast<double>(proxied) /
+                     static_cast<double>(stream.size()),
+                 1),
+           std::to_string(distinct.size()),
+           matched > 0 ? fixed(100.0 * static_cast<double>(dominant) /
+                                   static_cast<double>(matched),
+                               1)
+                       : std::string{"-"}});
+    }
+  }
+  std::cout << table.render()
+            << "\n(12 true implementations; at the SGNET design point the "
+               "learner converges to\n~12 distinct paths with high purity "
+               "and a proxied fraction near maturity*impls/total.\nLoose "
+               "similarity merges implementations; strict similarity "
+               "shatters them and\nkeeps proxying; maturity trades early "
+               "coverage against factory load)\n";
+  return 0;
+}

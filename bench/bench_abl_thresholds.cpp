@@ -1,0 +1,53 @@
+// ABL-1 — sensitivity of EPM clustering to the invariant-discovery
+// relevance constraints. The paper fixes (10 instances, 3 attackers,
+// 3 honeypots); this ablation sweeps the grid and shows why: loose
+// thresholds promote attacker-specific values (polymorphic MD5s,
+// random filenames) into invariants and shatter clusters, tight ones
+// merge genuinely distinct variants.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cluster/metrics.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace repro;
+  const scenario::Dataset ds =
+      bench::build_dataset("ABL-1: invariant threshold sensitivity");
+
+  const auto mu_data = cluster::build_mu_data(ds.db);
+  // Ground truth per row, for quality metrics.
+  std::vector<int> truth;
+  for (const auto event_id : mu_data.event_ids) {
+    truth.push_back(static_cast<int>(
+        ds.db.events()[event_id].truth_variant));
+  }
+
+  TextTable table{{"min instances", "min sources", "min dests", "M-clusters",
+                   "precision", "recall", "F-measure"}};
+  const std::size_t instance_grid[] = {1, 3, 10, 30, 100};
+  const std::size_t spread_grid[] = {1, 3, 10};
+  for (const std::size_t instances : instance_grid) {
+    for (const std::size_t spread : spread_grid) {
+      cluster::InvariantThresholds thresholds;
+      thresholds.min_instances = instances;
+      thresholds.min_sources = spread;
+      thresholds.min_destinations = spread;
+      const auto result = cluster::epm_cluster(mu_data, thresholds);
+      const auto metrics =
+          cluster::evaluate_clustering(result.assignment, truth);
+      table.add_row({std::to_string(instances), std::to_string(spread),
+                     std::to_string(spread),
+                     std::to_string(result.cluster_count()),
+                     fixed(metrics.precision, 3), fixed(metrics.recall, 3),
+                     fixed(metrics.f_measure, 3)});
+    }
+  }
+  std::cout << table.render()
+            << "\n(the paper's (10,3,3) row should sit near the F-measure "
+               "optimum: lowering\nmin_instances to 1 makes polymorphic "
+               "MD5s invariant and recall collapses;\nvery high thresholds "
+               "wipe out the invariants and precision collapses)\n";
+  return 0;
+}

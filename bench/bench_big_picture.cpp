@@ -1,0 +1,15 @@
+// EXP-0 — Section 4.1 "the big picture": dataset and cluster counts
+// (paper: 6353 samples, 5165 analyzable, 39 E / 27 P / 260 M / 972 B).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "report/reports.hpp"
+
+int main() {
+  using namespace repro;
+  const scenario::Dataset ds =
+      bench::build_dataset("EXP-0: Section 4.1 headline statistics");
+  std::cout << report::big_picture(ds.db, ds.enrichment, ds.e, ds.p, ds.m,
+                                   ds.b);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Shared setup for the reproduction bench harnesses.
+//
+// Every harness rebuilds the paper-scale dataset (deterministic, seed
+// 2008). Set REPRO_BENCH_SCALE to a value in (0, 1] to run the whole
+// suite faster at reduced event rates (shapes hold from ~0.2 upward;
+// the reported absolute counts are calibrated at 1.0).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "scenario/paper.hpp"
+
+namespace repro::bench {
+
+inline scenario::ScenarioOptions options_from_env() {
+  scenario::ScenarioOptions options;
+  if (const char* scale = std::getenv("REPRO_BENCH_SCALE")) {
+    options.scale = std::stod(scale);
+  }
+  if (const char* seed = std::getenv("REPRO_BENCH_SEED")) {
+    options.seed = std::stoull(seed);
+  }
+  return options;
+}
+
+inline scenario::Dataset build_dataset(const char* banner) {
+  const scenario::ScenarioOptions options = options_from_env();
+  std::cout << "### " << banner << "\n"
+            << "(seed " << options.seed << ", scale " << options.scale
+            << "; building the SGNET-equivalent dataset...)\n\n";
+  return scenario::build_paper_dataset(options);
+}
+
+}  // namespace repro::bench

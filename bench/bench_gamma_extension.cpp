@@ -1,0 +1,69 @@
+// EXT-1 — the gamma dimension (paper footnote 1, implemented as an
+// extension). SGNET could not classify bogus control data for lack of
+// host-side information; our sample factory's taint oracle observes the
+// hijack for every *proxied* event, so gamma clustering runs on that
+// subset. Two results: (a) under the paper's (10,3,3) thresholds the
+// dimension starves — exactly why the paper skipped it — and (b) with
+// relaxed thresholds, trampoline reuse across exploit implementations
+// surfaces (popular jmp-esp gadgets), a code-sharing signal invisible
+// in the other dimensions.
+#include <iostream>
+#include <map>
+
+#include "bench_common.hpp"
+#include "cluster/epm.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace repro;
+  const scenario::Dataset ds =
+      bench::build_dataset("EXT-1: gamma-dimension classification");
+
+  const auto gamma_data = cluster::build_gamma_data(ds.db);
+  std::cout << "events with host-side gamma observations (proxied to the "
+               "sample factory): "
+            << gamma_data.instances.size() << " of "
+            << ds.db.events().size() << " ("
+            << fixed(100.0 * static_cast<double>(gamma_data.instances.size()) /
+                         static_cast<double>(ds.db.events().size()),
+                     1)
+            << "%)\n\n";
+
+  TextTable table{{"thresholds", "technique inv.", "trampoline inv.",
+                   "pad inv.", "gamma clusters"}};
+  for (const auto& [label, thresholds] :
+       std::vector<std::pair<std::string, cluster::InvariantThresholds>>{
+           {"paper (10,3,3)", {10, 3, 3}},
+           {"relaxed (3,2,2)", {3, 2, 2}},
+           {"minimal (2,1,1)", {2, 1, 1}}}) {
+    const auto result = cluster::epm_cluster(gamma_data, thresholds);
+    table.add_row({label, std::to_string(result.invariants.count(0)),
+                   std::to_string(result.invariants.count(1)),
+                   std::to_string(result.invariants.count(2)),
+                   std::to_string(result.cluster_count())});
+  }
+  std::cout << table.render();
+
+  // Gadget reuse: trampolines used by several exploit implementations.
+  std::map<std::string, std::set<std::string>> gadget_paths;
+  for (std::size_t row = 0; row < gamma_data.instances.size(); ++row) {
+    const auto& event = ds.db.events()[gamma_data.event_ids[row]];
+    gadget_paths[gamma_data.instances[row].values[1]].insert(
+        std::to_string(event.epsilon.dst_port));
+  }
+  std::size_t reused = 0;
+  for (const auto& [gadget, ports] : gadget_paths) {
+    reused += ports.size() >= 2 ? 1 : 0;
+  }
+  std::cout << "\ndistinct trampoline addresses observed: "
+            << gadget_paths.size() << "\n"
+            << "trampolines reused across service ports (popular gadgets): "
+            << reused << "\n"
+            << "\n(reading: with the paper's relevance constraints the "
+               "proxied subset is too thin\nfor most gamma values to "
+               "qualify -- the quantitative form of footnote 1. Relaxed\n"
+               "thresholds expose the hijack-code reuse hiding in the "
+               "dimension.)\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// EXP-4 — Section 4.2's "M-cluster 13": a per-source polymorphic
+// downloader whose static pattern keeps every PE invariant except the
+// MD5, and whose behavioral profiles split by environmental conditions
+// (the iliketay.cn DNS life-cycle).
+#include <iostream>
+#include <set>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace repro;
+  const scenario::Dataset ds =
+      bench::build_dataset("EXP-4: the per-source polymorphic M-cluster");
+
+  // Locate the cluster by its signature size (59904, as in the paper).
+  int m13 = -1;
+  for (std::size_t p = 0; p < ds.m.patterns.size(); ++p) {
+    const auto& fields = ds.m.patterns[p].fields();
+    if (fields[1].has_value() && *fields[1] == "59904") {
+      m13 = static_cast<int>(p);
+      break;
+    }
+  }
+  if (m13 < 0) {
+    std::cout << "M-cluster with size 59904 not found (unexpected)\n";
+    return 1;
+  }
+  std::cout << "-- invariant pattern (paper prints the same dump: size "
+               "59904, machine 332,\n   3 sections, 1 DLL, osversion 64, "
+               "linkerversion 92, MD5 = do-not-care) --\n"
+            << ds.m.patterns[static_cast<std::size_t>(m13)].describe(
+                   ds.m.schema)
+            << "\n\n";
+
+  // Per-source mutation evidence: each attacking source reuses one MD5
+  // across its events, while different sources use different MD5s.
+  std::map<std::string, std::set<std::uint32_t>> md5_sources;
+  std::map<std::string, std::size_t> md5_events;
+  std::set<int> b_clusters;
+  for (const auto& event : ds.db.events()) {
+    if (!event.sample.has_value()) continue;
+    if (ds.m.cluster_of_event(event.id) != m13) continue;
+    const auto& sample = ds.db.sample(*event.sample);
+    md5_sources[sample.md5].insert(event.attacker.value());
+    ++md5_events[sample.md5];
+    const int b = ds.b.cluster_of_sample(sample.id);
+    if (b >= 0) b_clusters.insert(b);
+  }
+  std::size_t repeated_md5 = 0;
+  std::size_t multi_source_md5 = 0;
+  for (const auto& [md5, sources] : md5_sources) {
+    repeated_md5 += md5_events[md5] > 1 ? 1 : 0;
+    multi_source_md5 += sources.size() > 1 ? 1 : 0;
+  }
+  std::cout << "distinct MD5s in the cluster: " << md5_sources.size() << "\n"
+            << "MD5s seen in multiple attack instances: " << repeated_md5
+            << " (paper: same hash repeats per attacking source)\n"
+            << "MD5s used by more than one source: " << multi_source_md5
+            << " (paper: 0 -- mutation is keyed on the source)\n"
+            << "associated B-clusters: " << b_clusters.size()
+            << " (paper: several, split by environmental conditions such "
+               "as the\n iliketay.cn DNS entry being alive, degraded or "
+               "removed)\n";
+  return 0;
+}

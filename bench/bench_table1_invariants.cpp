@@ -1,0 +1,19 @@
+// EXP-1 — Table 1: selected features and the number of invariant
+// values discovered per feature under the paper's (10, 3, 3)
+// relevance constraints.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "report/reports.hpp"
+
+int main() {
+  using namespace repro;
+  const scenario::Dataset ds =
+      bench::build_dataset("EXP-1: Table 1 invariant counts");
+  std::cout << report::table1(ds.e, ds.p, ds.m);
+  std::cout << "\nNote: the paper reports 50 invariant FSM paths next to 39 "
+               "E-clusters.\nIn this implementation every invariant "
+               "(path, port) pair necessarily forms\nits own pattern, so "
+               "the two counts track each other; see EXPERIMENTS.md.\n";
+  return 0;
+}

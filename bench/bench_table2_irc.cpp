@@ -1,0 +1,22 @@
+// EXP-8 — Table 2: IRC C&C servers associated to M-clusters, plus the
+// two "single organization" signals the paper derives from it: servers
+// co-located in one /24 and room names recurring across servers.
+#include <iostream>
+
+#include "analysis/c2.hpp"
+#include "bench_common.hpp"
+#include "report/reports.hpp"
+
+int main() {
+  using namespace repro;
+  const scenario::Dataset ds =
+      bench::build_dataset("EXP-8: Table 2 IRC C&C correlation");
+  const auto report = analysis::correlate_irc(ds.db, ds.m, ds.b);
+  std::cout << report::table2(report);
+  std::cout << "\n(paper's Table 2 lists 10 channels on 7 servers; "
+               "channels commanding two\nM-clusters are 'patches applied "
+               "to the very same botnet', servers sharing a /24\nand "
+               "recurring room names suggest one bot-herder operating "
+               "several botnets)\n";
+  return 0;
+}

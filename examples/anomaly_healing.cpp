@@ -1,0 +1,48 @@
+// The paper's Section 4.2 workflow as a program: detect behavioral-
+// clustering anomalies by combining the B and M perspectives, then heal
+// them by re-executing only the suspect samples.
+//
+//   $ ./anomaly_healing
+#include <iostream>
+
+#include "analysis/anomaly.hpp"
+#include "analysis/healing.hpp"
+#include "report/reports.hpp"
+#include "scenario/paper.hpp"
+
+int main() {
+  using namespace repro;
+  scenario::ScenarioOptions options;
+  options.scale = 0.15;
+  options.seed = 11;
+  std::cout << "building a reduced-scale dataset (seed " << options.seed
+            << ", scale " << options.scale << ")...\n\n";
+  scenario::Dataset ds = scenario::build_paper_dataset(options);
+
+  std::cout << "B-clusters: " << ds.b.cluster_count() << " ("
+            << ds.b.singleton_count() << " singletons)\n";
+
+  // Cross the behavioral view with the static M-clusters: a singleton
+  // B-cluster whose M-cluster is full of well-behaved samples is a
+  // misclassification, not a new threat.
+  const auto report =
+      analysis::detect_singleton_anomalies(ds.db, ds.e, ds.p, ds.m, ds.b);
+  std::cout << report::figure4(report) << "\n";
+
+  std::cout << "re-executing the " << report.anomalous_samples.size()
+            << " suspect samples three times each and intersecting their "
+               "profiles...\n";
+  const auto outcome = analysis::heal_by_reexecution(
+      ds.db, ds.landscape, ds.environment, report.anomalous_samples, ds.b,
+      /*reruns=*/3);
+  std::cout << report::healing(outcome.report) << "\n";
+
+  const auto remaining = analysis::detect_singleton_anomalies(
+      ds.db, ds.e, ds.p, ds.m, outcome.after);
+  std::cout << "anomalies before healing: " << report.anomalies
+            << ", after: " << remaining.anomalies << "\n"
+            << "(the survivors are genuinely rare samples in 1-1 "
+               "correspondence with their\n M-cluster -- the paper's "
+               "'infrequent malware' case, not artifacts)\n";
+  return 0;
+}

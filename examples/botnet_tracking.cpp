@@ -1,0 +1,56 @@
+// Tracking bot-herders with propagation context: the paper's Section
+// 4.3 workflow. Picks the B-clusters split across the most M-clusters,
+// prints their Figure-5 context (population, IP spread, activity), and
+// correlates IRC C&C coordinates across M-clusters (Table 2).
+//
+//   $ ./botnet_tracking
+#include <iostream>
+
+#include "analysis/c2.hpp"
+#include "analysis/context.hpp"
+#include "report/landscape_report.hpp"
+#include "report/reports.hpp"
+#include "scenario/paper.hpp"
+
+int main() {
+  using namespace repro;
+  scenario::ScenarioOptions options;
+  options.scale = 0.2;
+  options.seed = 23;
+  std::cout << "building a reduced-scale dataset (seed " << options.seed
+            << ", scale " << options.scale << ")...\n\n";
+  const scenario::Dataset ds = scenario::build_paper_dataset(options);
+
+  const auto split = analysis::most_split_b_clusters(ds.db, ds.m, ds.b, 3);
+  for (const int b_cluster : split) {
+    const auto context = analysis::propagation_context(
+        ds.db, ds.m, ds.b, b_cluster, ds.landscape.start_time,
+        ds.landscape.weeks);
+    std::cout << report::figure5(context);
+    if (!context.per_m_cluster.empty()) {
+      const auto& lead = context.per_m_cluster.front();
+      std::cout << "reading: "
+                << (lead.ip_entropy > 0.5
+                        ? "widespread population, long-lived activity -> "
+                          "self-propagating worm;\nthe M-cluster split "
+                          "reflects patches/recompilations coexisting in "
+                          "the wild\n"
+                        : "small population in specific networks, bursty "
+                          "coordinated activity ->\nbotnet under C&C "
+                          "control\n")
+                << "\n";
+    }
+  }
+
+  std::cout << report::table2(analysis::correlate_irc(ds.db, ds.m, ds.b));
+
+  // Finally, the analyst-facing synthesis of all four perspectives.
+  report::LandscapeReportOptions report_options;
+  report_options.top = 3;
+  report_options.origin = ds.landscape.start_time;
+  report_options.weeks = ds.landscape.weeks;
+  std::cout << "\n"
+            << report::landscape_report(ds.db, ds.e, ds.p, ds.m, ds.b,
+                                        report_options);
+  return 0;
+}

@@ -1,0 +1,153 @@
+// A single attack, end to end, with every pipeline stage made visible:
+// exploit dialog synthesis, ScriptGen FSM life-cycle (proxy -> refine
+// -> autonomous), taint-guided payload stripping, Nepenthes-style
+// shellcode analysis, download emulation, PE feature extraction.
+//
+// This mirrors the SGNET architecture of the paper's Figure 1.
+//
+//   $ ./honeypot_walkthrough
+#include <iostream>
+
+#include "honeypot/gateway.hpp"
+#include "proto/incremental.hpp"
+#include "malware/binary.hpp"
+#include "malware/landscape.hpp"
+#include "malware/payload_spec.hpp"
+#include "pe/filetype.hpp"
+#include "pe/parser.hpp"
+#include "proto/services.hpp"
+#include "shellcode/analyzer.hpp"
+#include "shellcode/builder.hpp"
+#include "util/hex.hpp"
+#include "util/md5.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace repro;
+  Rng rng{7};
+
+  // --- The attacker side (ground truth the honeypot must rediscover).
+  const auto exploit =
+      proto::make_exploit_template(proto::ServiceKind::kSmb445, 3);
+  malware::PayloadSpec payload_spec;  // PUSH-based download on tcp/9988
+  malware::MalwareVariant worm;
+  worm.name = "demo-worm";
+  worm.seed = 99;
+  worm.polymorphism = malware::PolymorphismMode::kPerInstance;
+  malware::PeShape shape;
+  shape.target_file_size = 59904;
+  worm.pe_template = malware::make_pe_template(shape, worm.seed);
+  worm.mutable_sections = malware::mutable_section_indices(worm.pe_template);
+
+  const net::Ipv4 attacker{81, 57, 112, 9};
+  const net::Ipv4 honeypot_ip{140, 20, 31, 10};
+
+  std::cout << "== 1. attacker builds the injection ==\n";
+  const auto intent = malware::realize_intent(payload_spec, attacker, rng);
+  const auto shellcode_bytes =
+      shellcode::build_shellcode(intent, payload_spec.encoder, rng);
+  const auto conversation = proto::synthesize_attack(
+      exploit, shellcode_bytes, attacker, honeypot_ip, rng);
+  std::cout << "exploit '" << exploit.id << "' -> "
+            << conversation.messages.size() << " messages on port "
+            << conversation.dst_port << "; payload of "
+            << shellcode_bytes.size() << " bytes\n";
+  const auto& first = conversation.messages.front().bytes;
+  std::cout << "first client bytes: "
+            << escape_bytes(std::string{first.begin(),
+                                        first.begin() + 40})
+            << "...\n\n";
+
+  std::cout << "== 2. sensor/gateway: ScriptGen FSM life-cycle ==\n";
+  honeypot::Gateway gateway;
+  const auto location = proto::payload_location(exploit);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const auto fresh = proto::synthesize_attack(
+        exploit, shellcode::build_shellcode(intent, payload_spec.encoder, rng),
+        attacker, honeypot_ip, rng);
+    const auto outcome = gateway.handle(fresh, location);
+    std::cout << "attack " << attempt + 1 << ": "
+              << (outcome.proxied
+                      ? "proxied to sample factory (model immature), "
+                        "ScriptGen refined"
+                      : "handled autonomously, FSM path = " +
+                            outcome.fsm_path)
+              << "\n";
+  }
+  // Once mature, the sensor can also *answer* the attacker using the
+  // learned model (ScriptGen's original purpose): play the dialog one
+  // client message at a time and let the model supply the replies.
+  {
+    const auto probe = proto::synthesize_attack(
+        exploit, shellcode::build_shellcode(intent, payload_spec.encoder, rng),
+        attacker, honeypot_ip, rng);
+    proto::Conversation dialog;
+    dialog.dst_port = probe.dst_port;
+    std::cout << "emulating the service from the learned model:\n";
+    // Rebuild the per-port model the gateway trained (the gateway owns
+    // its models; here we retrain a local one for display).
+    proto::IncrementalFsm sensor_model{probe.dst_port};
+    for (int i = 0; i < 4; ++i) {
+      sensor_model.train(proto::strip_payload(
+          proto::synthesize_attack(
+              exploit,
+              shellcode::build_shellcode(intent, payload_spec.encoder, rng),
+              attacker, honeypot_ip, rng),
+          location));
+    }
+    for (const proto::Bytes* client : probe.client_messages()) {
+      proto::Message message;
+      message.direction = proto::Message::Direction::kClientToServer;
+      message.bytes = *client;
+      dialog.messages.push_back(message);
+      const auto reply = sensor_model.respond(dialog);
+      std::cout << "  client " << client->size() << " bytes -> sensor "
+                << (reply ? "replies '" +
+                                escape_bytes(std::string{reply->begin(),
+                                                         reply->end()}) +
+                                "'"
+                          : "would proxy")
+                << "\n";
+      if (reply) {
+        proto::Message server;
+        server.direction = proto::Message::Direction::kServerToClient;
+        server.bytes = *reply;
+        dialog.messages.push_back(server);
+      }
+    }
+  }
+
+  std::cout << "\n== 3. Nepenthes-style shellcode analysis ==\n";
+  // The analyzer sees only raw bytes: locate the decoder, recover the
+  // intent.
+  std::vector<std::uint8_t> stream;
+  for (const proto::Bytes* message : conversation.client_messages()) {
+    stream.insert(stream.end(), message->begin(), message->end());
+  }
+  const auto analyzed = shellcode::analyze_shellcode(stream);
+  if (!analyzed) {
+    std::cout << "analysis failed (unexpected)\n";
+    return 1;
+  }
+  std::cout << "protocol: " << shellcode::protocol_name(analyzed->protocol)
+            << ", port: " << analyzed->port << ", interaction: "
+            << shellcode::interaction_name(
+                   shellcode::classify_interaction(*analyzed, attacker))
+            << "\n\n";
+
+  std::cout << "== 4. download emulation + mu feature extraction ==\n";
+  for (int instance = 0; instance < 2; ++instance) {
+    const auto binary = malware::realize_binary(
+        worm, attacker, static_cast<std::uint64_t>(instance));
+    const auto info = pe::parse_pe(binary);
+    std::cout << "instance " << instance + 1 << ": md5 "
+              << Md5::hex_digest(binary) << ", " << binary.size()
+              << " bytes, " << info.sections.size() << " sections, linker "
+              << info.linker_version() << ", type '"
+              << pe::detect_file_type(binary) << "'\n";
+  }
+  std::cout << "(per-instance polymorphism: fresh MD5 every attack, PE "
+               "header structure and\n file size invariant -- exactly what "
+               "the mu-dimension EPM features key on)\n";
+  return 0;
+}

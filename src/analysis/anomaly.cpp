@@ -1,0 +1,63 @@
+#include "analysis/anomaly.hpp"
+
+#include <unordered_map>
+
+namespace repro::analysis {
+
+SingletonReport detect_singleton_anomalies(const honeypot::EventDatabase& db,
+                                           const cluster::EpmResult& e,
+                                           const cluster::EpmResult& p,
+                                           const cluster::EpmResult& m,
+                                           const BehavioralView& b) {
+  SingletonReport report;
+  report.b_cluster_count = b.cluster_count();
+
+  // Sample -> M-cluster (all events of a sample share mu features, so
+  // any event of the sample resolves it), and one representative event
+  // for E/P coordinates.
+  std::unordered_map<honeypot::SampleId, int> sample_m;
+  std::unordered_map<honeypot::SampleId, honeypot::EventId> sample_event;
+  for (const honeypot::AttackEvent& event : db.events()) {
+    if (!event.sample.has_value()) continue;
+    const int m_cluster = m.cluster_of_event(event.id);
+    if (m_cluster < 0) continue;
+    sample_m.emplace(*event.sample, m_cluster);
+    sample_event.emplace(*event.sample, event.id);
+  }
+
+  // Analyzable samples per M-cluster.
+  std::unordered_map<int, std::size_t> m_analyzable;
+  for (const honeypot::MalwareSample& sample : db.samples()) {
+    if (!sample.profile.has_value()) continue;
+    const auto it = sample_m.find(sample.id);
+    if (it != sample_m.end()) ++m_analyzable[it->second];
+  }
+
+  for (std::size_t cluster = 0; cluster < b.cluster_count(); ++cluster) {
+    const auto members = b.samples_of_cluster(static_cast<int>(cluster));
+    if (members.size() != 1) continue;
+    ++report.singleton_b_clusters;
+    const honeypot::SampleId sample = members.front();
+    const auto m_it = sample_m.find(sample);
+    if (m_it == sample_m.end()) {
+      ++report.one_to_one;  // no static context at all: treat as rare
+      continue;
+    }
+    if (m_analyzable[m_it->second] <= 1) {
+      ++report.one_to_one;
+      continue;
+    }
+    ++report.anomalies;
+    report.anomalous_samples.push_back(sample);
+    ++report.av_names[db.sample(sample).av_label];
+    const auto event_it = sample_event.find(sample);
+    if (event_it != sample_event.end()) {
+      const int e_cluster = e.cluster_of_event(event_it->second);
+      const int p_cluster = p.cluster_of_event(event_it->second);
+      ++report.ep_coordinates[{e_cluster, p_cluster}];
+    }
+  }
+  return report;
+}
+
+}  // namespace repro::analysis

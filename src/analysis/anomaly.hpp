@@ -1,0 +1,48 @@
+// Singleton B-cluster anomaly detection (Section 4.2 / Figure 4).
+//
+// Behavioral clustering can misclassify: profile noise pushes a sample
+// below the similarity threshold and it lands in a size-1 B-cluster
+// even though its codebase has a big, healthy B-cluster elsewhere. The
+// paper's key observation is that the *static* M-cluster of such a
+// sample exposes the problem: a singleton B-cluster whose M-cluster is
+// large (and mostly mapped to another, larger B-cluster) is an anomaly;
+// a singleton B-cluster in 1-1 correspondence with a tiny M-cluster is
+// just a genuinely rare sample.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/bview.hpp"
+#include "cluster/epm.hpp"
+#include "honeypot/database.hpp"
+
+namespace repro::analysis {
+
+struct SingletonReport {
+  std::size_t b_cluster_count = 0;
+  std::size_t singleton_b_clusters = 0;
+  /// Singletons whose M-cluster contains no other analyzable sample —
+  /// genuinely rare malware, not an anomaly.
+  std::size_t one_to_one = 0;
+  /// Singletons whose M-cluster is shared with samples in larger
+  /// B-clusters — the misclassification anomaly.
+  std::size_t anomalies = 0;
+  std::vector<honeypot::SampleId> anomalous_samples;
+
+  /// Figure 4 (top): AV names of the anomalous samples.
+  std::map<std::string, std::size_t> av_names;
+  /// Figure 4 (bottom): propagation strategy of the anomalous samples in
+  /// (E-cluster, P-cluster) coordinates.
+  std::map<std::pair<int, int>, std::size_t> ep_coordinates;
+};
+
+/// Scans all size-1 B-clusters and classifies each as 1-1 or anomalous.
+[[nodiscard]] SingletonReport detect_singleton_anomalies(
+    const honeypot::EventDatabase& db, const cluster::EpmResult& e,
+    const cluster::EpmResult& p, const cluster::EpmResult& m,
+    const BehavioralView& b);
+
+}  // namespace repro::analysis

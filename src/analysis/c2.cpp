@@ -1,0 +1,111 @@
+#include "analysis/c2.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace repro::analysis {
+
+namespace {
+
+/// Extracts the IRC endpoint of a profile: the server contacted via a
+/// "network|connect|a.b.c.d:port" feature, when the profile also joins
+/// an IRC room. Connects to non-literal hosts (second-stage IRC of
+/// downloaders) are ignored.
+struct IrcEndpoint {
+  net::Ipv4 server;
+  std::string room;
+};
+
+std::optional<IrcEndpoint> irc_endpoint(
+    const sandbox::BehavioralProfile& profile) {
+  std::optional<net::Ipv4> server;
+  std::optional<std::string> room;
+  for (const std::string& feature : profile.features()) {
+    const std::vector<std::string> parts = split(feature, '|');
+    if (parts.size() != 3) continue;
+    if (parts[0] == "network" && parts[1] == "connect") {
+      const std::size_t colon = parts[2].rfind(':');
+      if (colon == std::string::npos) continue;
+      try {
+        server = net::Ipv4::parse(parts[2].substr(0, colon));
+      } catch (const ParseError&) {
+        continue;  // hostname, not a literal address
+      }
+    } else if (parts[0] == "irc" && parts[1] == "join") {
+      room = parts[2];
+    }
+  }
+  if (!server.has_value() || !room.has_value()) return std::nullopt;
+  return IrcEndpoint{*server, *room};
+}
+
+}  // namespace
+
+std::size_t C2Report::multi_cluster_rows() const noexcept {
+  std::size_t count = 0;
+  for (const IrcAssociation& row : associations) {
+    count += row.m_clusters.size() >= 2 ? 1 : 0;
+  }
+  return count;
+}
+
+std::size_t C2Report::colocated_groups() const noexcept {
+  std::size_t count = 0;
+  for (const auto& [subnet, servers] : slash24_groups) {
+    count += servers.size() >= 2 ? 1 : 0;
+  }
+  return count;
+}
+
+C2Report correlate_irc(const honeypot::EventDatabase& db,
+                       const cluster::EpmResult& m, const BehavioralView& b) {
+  (void)b;  // reserved: future versions will scope the scan to bot B-clusters
+  // Sample -> M-cluster via any of its events.
+  std::unordered_map<honeypot::SampleId, int> sample_m;
+  for (const honeypot::AttackEvent& event : db.events()) {
+    if (!event.sample.has_value()) continue;
+    const int m_cluster = m.cluster_of_event(event.id);
+    if (m_cluster >= 0) sample_m.emplace(*event.sample, m_cluster);
+  }
+
+  std::map<std::pair<std::uint32_t, std::string>, std::set<int>> channels;
+  for (const honeypot::MalwareSample& sample : db.samples()) {
+    if (!sample.profile.has_value()) continue;
+    const auto endpoint = irc_endpoint(*sample.profile);
+    if (!endpoint.has_value()) continue;
+    const auto m_it = sample_m.find(sample.id);
+    if (m_it == sample_m.end()) continue;
+    channels[{endpoint->server.value(), endpoint->room}].insert(m_it->second);
+  }
+
+  C2Report report;
+  std::set<std::uint32_t> servers;
+  for (const auto& [channel, m_set] : channels) {
+    IrcAssociation row;
+    row.server = net::Ipv4{channel.first};
+    row.room = channel.second;
+    row.m_clusters.assign(m_set.begin(), m_set.end());
+    servers.insert(channel.first);
+    report.associations.push_back(std::move(row));
+  }
+  std::map<std::string, std::set<std::uint32_t>> room_servers;
+  for (const IrcAssociation& row : report.associations) {
+    room_servers[row.room].insert(row.server.value());
+  }
+  for (const auto& [room, server_set] : room_servers) {
+    report.room_reuse[room] = server_set.size();
+  }
+  for (const std::uint32_t server : servers) {
+    const net::Ipv4 address{server};
+    report.slash24_groups[address.slash24().to_string() + "/24"].push_back(
+        address.to_string());
+  }
+  return report;
+}
+
+}  // namespace repro::analysis

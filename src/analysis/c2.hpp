@@ -1,0 +1,50 @@
+// IRC C&C correlation (Table 2 and the surrounding discussion).
+//
+// Behavioral profiles of bot samples record the IRC server they contact
+// and the room they join. Correlating those features with the static
+// M-clusters yields the paper's Table 2: per (server, room), the list
+// of M-clusters commanded there. Two follow-up signals reproduce the
+// paper's "single bot-herder" argument: several servers co-located in
+// one /24, and room names recurring across distinct servers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/bview.hpp"
+#include "cluster/epm.hpp"
+#include "honeypot/database.hpp"
+#include "net/ipv4.hpp"
+
+namespace repro::analysis {
+
+struct IrcAssociation {
+  net::Ipv4 server;
+  std::string room;
+  /// M-clusters whose samples receive commands on this channel,
+  /// ascending. Two entries here = the paper's "patches applied to the
+  /// very same botnet".
+  std::vector<int> m_clusters;
+};
+
+struct C2Report {
+  /// Table 2 rows, ordered by (server, room).
+  std::vector<IrcAssociation> associations;
+  /// /24 network -> servers inside it (co-location signal).
+  std::map<std::string, std::vector<std::string>> slash24_groups;
+  /// Room name -> number of distinct servers using it (recurring-name
+  /// signal).
+  std::map<std::string, std::size_t> room_reuse;
+
+  [[nodiscard]] std::size_t multi_cluster_rows() const noexcept;
+  [[nodiscard]] std::size_t colocated_groups() const noexcept;
+};
+
+/// Correlates IRC connect/join features with M-clusters.
+[[nodiscard]] C2Report correlate_irc(const honeypot::EventDatabase& db,
+                                     const cluster::EpmResult& m,
+                                     const BehavioralView& b);
+
+}  // namespace repro::analysis

@@ -1,0 +1,81 @@
+#include "analysis/codeshare.hpp"
+
+#include <algorithm>
+
+namespace repro::analysis {
+
+std::size_t CodeSharingReport::m_clusters_sharing_vector() const {
+  // M-cluster -> vectors it uses; an M shares when one of its vectors
+  // is used by another M as well.
+  std::map<int, std::set<std::pair<int, int>>> m_vectors;
+  for (const auto& [vector, m_set] : vector_to_m) {
+    for (const int m : m_set) m_vectors[m].insert(vector);
+  }
+  std::size_t sharing = 0;
+  for (const auto& [m, vectors] : m_vectors) {
+    bool shares = false;
+    for (const auto& vector : vectors) {
+      if (vector_to_m.at(vector).size() >= 2) shares = true;
+    }
+    sharing += shares ? 1 : 0;
+  }
+  return sharing;
+}
+
+std::size_t CodeSharingReport::shared_vectors() const {
+  std::size_t count = 0;
+  for (const auto& [vector, m_set] : vector_to_m) {
+    count += m_set.size() >= 2 ? 1 : 0;
+  }
+  return count;
+}
+
+CodeSharingReport analyze_code_sharing(const honeypot::EventDatabase& db,
+                                       const cluster::EpmResult& e,
+                                       const cluster::EpmResult& p,
+                                       const cluster::EpmResult& m,
+                                       std::size_t min_events) {
+  // Count events per (P, E) and per (E, P, M).
+  std::map<std::pair<int, int>, std::size_t> pe_counts;
+  std::map<std::tuple<int, int, int>, std::size_t> epm_counts;
+  for (const honeypot::AttackEvent& event : db.events()) {
+    const int e_cluster = e.cluster_of_event(event.id);
+    const int p_cluster = p.cluster_of_event(event.id);
+    if (e_cluster < 0 || p_cluster < 0) continue;
+    ++pe_counts[{p_cluster, e_cluster}];
+    const int m_cluster = m.cluster_of_event(event.id);
+    if (m_cluster >= 0) {
+      ++epm_counts[{e_cluster, p_cluster, m_cluster}];
+    }
+  }
+
+  CodeSharingReport report;
+
+  // Payloads reused across exploits.
+  std::map<int, std::vector<std::pair<int, std::size_t>>> per_payload;
+  for (const auto& [pe, count] : pe_counts) {
+    if (count < min_events) continue;
+    per_payload[pe.first].push_back({pe.second, count});
+  }
+  for (auto& [p_cluster, e_list] : per_payload) {
+    if (e_list.size() < 2) continue;
+    std::sort(e_list.begin(), e_list.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    report.shared_payloads.push_back(
+        CodeSharingReport::SharedPayload{p_cluster, std::move(e_list)});
+  }
+  std::sort(report.shared_payloads.begin(), report.shared_payloads.end(),
+            [](const auto& a, const auto& b) {
+              return a.e_clusters.size() > b.e_clusters.size();
+            });
+
+  // Propagation vectors shared across M-clusters.
+  for (const auto& [epm, count] : epm_counts) {
+    if (count < min_events) continue;
+    const auto& [e_cluster, p_cluster, m_cluster] = epm;
+    report.vector_to_m[{e_cluster, p_cluster}].insert(m_cluster);
+  }
+  return report;
+}
+
+}  // namespace repro::analysis

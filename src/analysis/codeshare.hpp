@@ -1,0 +1,52 @@
+// Code-sharing analysis.
+//
+// The paper's concluding claim: "the propagation vector information can
+// be used to study code-sharing taking place among malware writers".
+// Two signals carry it: payload patterns (P-clusters) reused across
+// several exploits (E-clusters) — the same injection code grafted onto
+// different vulnerabilities — and distinct malware families (M-clusters)
+// propagating with an identical (E, P) vector — shared or copied
+// propagation code, the paper's Allaple / M-cluster-13 case.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cluster/epm.hpp"
+#include "honeypot/database.hpp"
+
+namespace repro::analysis {
+
+struct CodeSharingReport {
+  /// One payload used by several exploits.
+  struct SharedPayload {
+    int p_cluster = -1;
+    /// (E-cluster, linking event count), descending by count.
+    std::vector<std::pair<int, std::size_t>> e_clusters;
+  };
+  std::vector<SharedPayload> shared_payloads;
+
+  /// (E, P) propagation vector -> M-clusters using it.
+  std::map<std::pair<int, int>, std::set<int>> vector_to_m;
+
+  /// Number of distinct (E, P) propagation vectors observed.
+  [[nodiscard]] std::size_t distinct_vectors() const noexcept {
+    return vector_to_m.size();
+  }
+  /// M-clusters whose propagation vector is shared with at least one
+  /// other M-cluster.
+  [[nodiscard]] std::size_t m_clusters_sharing_vector() const;
+  /// Propagation vectors used by 2+ M-clusters.
+  [[nodiscard]] std::size_t shared_vectors() const;
+};
+
+/// Minimum linking events for an (E, P) or (P, E) association to count
+/// (filters one-off noise).
+[[nodiscard]] CodeSharingReport analyze_code_sharing(
+    const honeypot::EventDatabase& db, const cluster::EpmResult& e,
+    const cluster::EpmResult& p, const cluster::EpmResult& m,
+    std::size_t min_events = 3);
+
+}  // namespace repro::analysis

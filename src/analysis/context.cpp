@@ -1,0 +1,113 @@
+#include "analysis/context.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace repro::analysis {
+
+std::size_t MClusterContext::distinct_locations() const {
+  std::set<int> locations;
+  for (const auto& [time, location] : location_sequence) {
+    locations.insert(location);
+  }
+  return locations.size();
+}
+
+BClusterContext propagation_context(const honeypot::EventDatabase& db,
+                                    const cluster::EpmResult& m,
+                                    const BehavioralView& b, int b_cluster,
+                                    SimTime origin, int weeks) {
+  BClusterContext context;
+  context.b_cluster = b_cluster;
+
+  // Samples of this B-cluster, then their events grouped by M-cluster.
+  const std::vector<honeypot::SampleId> samples =
+      b.samples_of_cluster(b_cluster);
+  context.sample_count = samples.size();
+  const std::unordered_set<honeypot::SampleId> sample_set{samples.begin(),
+                                                          samples.end()};
+
+  std::map<int, std::vector<const honeypot::AttackEvent*>> by_m;
+  for (const honeypot::AttackEvent& event : db.events()) {
+    if (!event.sample.has_value() || !sample_set.count(*event.sample)) {
+      continue;
+    }
+    const int m_cluster = m.cluster_of_event(event.id);
+    if (m_cluster < 0) continue;
+    by_m[m_cluster].push_back(&event);
+  }
+
+  for (auto& [m_cluster, events] : by_m) {
+    MClusterContext mc;
+    mc.m_cluster = m_cluster;
+    mc.event_count = events.size();
+    mc.weekly_events.assign(static_cast<std::size_t>(weeks), 0);
+
+    std::unordered_set<std::uint32_t> attackers;
+    std::set<std::pair<std::int64_t, int>> day_locations;  // dedup per day
+    std::sort(events.begin(), events.end(),
+              [](const auto* a, const auto* b_ev) { return a->time < b_ev->time; });
+    for (const honeypot::AttackEvent* event : events) {
+      attackers.insert(event->attacker.value());
+      mc.ip_histogram.add(event->attacker);
+      const std::int64_t week = week_index(event->time, origin);
+      if (week >= 0 && week < weeks) {
+        ++mc.weekly_events[static_cast<std::size_t>(week)];
+      }
+      const std::int64_t day = event->time.seconds / kSecondsPerDay;
+      if (day_locations.emplace(day, event->location).second) {
+        mc.location_sequence.emplace_back(event->time, event->location);
+      }
+    }
+    mc.distinct_attackers = attackers.size();
+    mc.occupied_slash8 = mc.ip_histogram.occupied_blocks();
+    mc.ip_entropy = mc.ip_histogram.normalized_entropy();
+    for (const std::size_t count : mc.weekly_events) {
+      mc.weeks_active += count > 0 ? 1 : 0;
+    }
+    context.per_m_cluster.push_back(std::move(mc));
+  }
+  // Largest populations first, mirroring the figure's X-axis ordering.
+  std::sort(context.per_m_cluster.begin(), context.per_m_cluster.end(),
+            [](const MClusterContext& a, const MClusterContext& b_mc) {
+              if (a.event_count != b_mc.event_count) {
+                return a.event_count > b_mc.event_count;
+              }
+              return a.m_cluster < b_mc.m_cluster;
+            });
+  return context;
+}
+
+std::vector<int> most_split_b_clusters(const honeypot::EventDatabase& db,
+                                       const cluster::EpmResult& m,
+                                       const BehavioralView& b,
+                                       std::size_t limit) {
+  // B-cluster -> set of M-clusters among its samples' events.
+  std::unordered_map<int, std::set<int>> splits;
+  std::unordered_map<int, std::size_t> sizes;
+  for (const honeypot::AttackEvent& event : db.events()) {
+    if (!event.sample.has_value()) continue;
+    const int b_cluster = b.cluster_of_sample(*event.sample);
+    const int m_cluster = m.cluster_of_event(event.id);
+    if (b_cluster < 0 || m_cluster < 0) continue;
+    splits[b_cluster].insert(m_cluster);
+    ++sizes[b_cluster];
+  }
+  std::vector<int> order;
+  order.reserve(splits.size());
+  for (const auto& [b_cluster, m_set] : splits) order.push_back(b_cluster);
+  std::sort(order.begin(), order.end(), [&](int a, int b_id) {
+    const std::size_t sa = splits[a].size();
+    const std::size_t sb = splits[b_id].size();
+    if (sa != sb) return sa > sb;
+    if (sizes[a] != sizes[b_id]) return sizes[a] > sizes[b_id];
+    return a < b_id;
+  });
+  if (order.size() > limit) order.resize(limit);
+  return order;
+}
+
+}  // namespace repro::analysis

@@ -1,0 +1,59 @@
+// Propagation context (Figure 5).
+//
+// For a B-cluster split across several M-clusters, computes per
+// M-cluster: the infected population observed (distinct attackers), its
+// spread over the IP space (/8 histogram, occupied blocks, entropy),
+// the weeks of activity, and the weekly event timeline — the three
+// panels of Figure 5. Also extracts the network-location hopping
+// sequence the paper uses as evidence of coordinated, C&C-driven
+// behavior.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/bview.hpp"
+#include "cluster/epm.hpp"
+#include "honeypot/database.hpp"
+#include "net/address_space.hpp"
+#include "util/simtime.hpp"
+
+namespace repro::analysis {
+
+struct MClusterContext {
+  int m_cluster = -1;
+  std::size_t event_count = 0;
+  std::size_t distinct_attackers = 0;
+  net::Slash8Histogram ip_histogram;
+  std::size_t occupied_slash8 = 0;
+  double ip_entropy = 0.0;
+  int weeks_active = 0;
+  std::vector<std::size_t> weekly_events;  // index = week since origin
+  /// Chronological (time, location) hits, deduplicated per day —
+  /// the paper's "15/7-16/7 location A, 18/7 location B, ..." sequence.
+  std::vector<std::pair<SimTime, int>> location_sequence;
+
+  /// True if consecutive activity alternates between few locations
+  /// while the population is concentrated — the bot-like signature.
+  [[nodiscard]] std::size_t distinct_locations() const;
+};
+
+struct BClusterContext {
+  int b_cluster = -1;
+  std::size_t sample_count = 0;
+  std::vector<MClusterContext> per_m_cluster;
+};
+
+/// Computes the context of one B-cluster, split by M-cluster.
+[[nodiscard]] BClusterContext propagation_context(
+    const honeypot::EventDatabase& db, const cluster::EpmResult& m,
+    const BehavioralView& b, int b_cluster, SimTime origin, int weeks);
+
+/// B-cluster ids ordered by how many distinct M-clusters they span
+/// (descending), then by size — used to pick Figure 5's subjects.
+[[nodiscard]] std::vector<int> most_split_b_clusters(
+    const honeypot::EventDatabase& db, const cluster::EpmResult& m,
+    const BehavioralView& b, std::size_t limit);
+
+}  // namespace repro::analysis

@@ -1,0 +1,110 @@
+#include "analysis/evolution.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace repro::analysis {
+
+std::vector<std::int64_t> PatchChain::release_gaps_weeks(
+    SimTime origin) const {
+  std::vector<std::int64_t> gaps;
+  for (std::size_t i = 1; i < releases.size(); ++i) {
+    gaps.push_back(week_index(releases[i].first_seen, origin) -
+                   week_index(releases[i - 1].first_seen, origin));
+  }
+  return gaps;
+}
+
+std::vector<int> EvolutionReport::burst_weeks(std::size_t threshold) const {
+  std::vector<int> weeks;
+  for (std::size_t week = 0; week < births_per_week.size(); ++week) {
+    if (births_per_week[week] >= threshold) {
+      weeks.push_back(static_cast<int>(week));
+    }
+  }
+  return weeks;
+}
+
+EvolutionReport analyze_evolution(const honeypot::EventDatabase& db,
+                                  const cluster::EpmResult& m,
+                                  const BehavioralView& b, SimTime origin,
+                                  int weeks) {
+  EvolutionReport report;
+
+  // Lifetimes per M-cluster.
+  std::unordered_map<int, ClusterLifetime> lifetimes;
+  std::unordered_map<honeypot::SampleId, int> sample_m;
+  for (const honeypot::AttackEvent& event : db.events()) {
+    const int m_cluster = m.cluster_of_event(event.id);
+    if (m_cluster < 0) continue;
+    auto [it, inserted] = lifetimes.try_emplace(m_cluster);
+    ClusterLifetime& lifetime = it->second;
+    if (inserted) {
+      lifetime.m_cluster = m_cluster;
+      lifetime.first_seen = event.time;
+      lifetime.last_seen = event.time;
+    } else {
+      lifetime.first_seen = std::min(lifetime.first_seen, event.time);
+      lifetime.last_seen = std::max(lifetime.last_seen, event.time);
+    }
+    ++lifetime.event_count;
+    if (event.sample.has_value()) {
+      sample_m.emplace(*event.sample, m_cluster);
+    }
+  }
+  report.lifetimes.reserve(lifetimes.size());
+  for (const auto& [m_cluster, lifetime] : lifetimes) {
+    report.lifetimes.push_back(lifetime);
+  }
+  std::sort(report.lifetimes.begin(), report.lifetimes.end(),
+            [](const ClusterLifetime& a, const ClusterLifetime& b_lt) {
+              if (a.first_seen != b_lt.first_seen) {
+                return a.first_seen < b_lt.first_seen;
+              }
+              return a.m_cluster < b_lt.m_cluster;
+            });
+
+  // Births per week.
+  report.births_per_week.assign(static_cast<std::size_t>(weeks), 0);
+  for (const ClusterLifetime& lifetime : report.lifetimes) {
+    const std::int64_t week = week_index(lifetime.first_seen, origin);
+    if (week >= 0 && week < weeks) {
+      ++report.births_per_week[static_cast<std::size_t>(week)];
+    }
+  }
+
+  // Patch chains: group M-clusters by B-cluster via their samples.
+  std::map<int, std::set<int>> b_to_m;
+  for (const auto& [sample, m_cluster] : sample_m) {
+    const int b_cluster = b.cluster_of_sample(sample);
+    if (b_cluster >= 0) b_to_m[b_cluster].insert(m_cluster);
+  }
+  for (const auto& [b_cluster, m_set] : b_to_m) {
+    if (m_set.size() < 2) continue;
+    PatchChain chain;
+    chain.b_cluster = b_cluster;
+    for (const int m_cluster : m_set) {
+      chain.releases.push_back(lifetimes.at(m_cluster));
+    }
+    std::sort(chain.releases.begin(), chain.releases.end(),
+              [](const ClusterLifetime& a, const ClusterLifetime& b_lt) {
+                if (a.first_seen != b_lt.first_seen) {
+                  return a.first_seen < b_lt.first_seen;
+                }
+                return a.m_cluster < b_lt.m_cluster;
+              });
+    report.chains.push_back(std::move(chain));
+  }
+  std::sort(report.chains.begin(), report.chains.end(),
+            [](const PatchChain& a, const PatchChain& b_chain) {
+              if (a.releases.size() != b_chain.releases.size()) {
+                return a.releases.size() > b_chain.releases.size();
+              }
+              return a.b_cluster < b_chain.b_cluster;
+            });
+  return report;
+}
+
+}  // namespace repro::analysis

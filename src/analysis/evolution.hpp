@@ -1,0 +1,63 @@
+// Temporal evolution of the threat landscape.
+//
+// The paper's contextual records cover "the evolution of the attack in
+// time" and motivate studying how codebases are patched over their
+// life. This module derives three time-structured views from the
+// dataset: per-M-cluster lifetimes, the birth rate of new M-clusters
+// over the observation window (how fast new static variants appear),
+// and *patch chains* — the M-clusters of one B-cluster ordered by first
+// appearance, i.e. the observable release history of one codebase
+// (Allaple's patches, a botnet's rebuilds).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/bview.hpp"
+#include "cluster/epm.hpp"
+#include "honeypot/database.hpp"
+#include "util/simtime.hpp"
+
+namespace repro::analysis {
+
+struct ClusterLifetime {
+  int m_cluster = -1;
+  SimTime first_seen{};
+  SimTime last_seen{};
+  std::size_t event_count = 0;
+
+  [[nodiscard]] std::int64_t lifetime_weeks(SimTime origin) const {
+    return week_index(last_seen, origin) - week_index(first_seen, origin) + 1;
+  }
+};
+
+struct PatchChain {
+  int b_cluster = -1;
+  /// M-clusters ordered by first appearance — the codebase's release
+  /// history as the honeypots saw it.
+  std::vector<ClusterLifetime> releases;
+
+  /// Weeks between consecutive first-appearances (release cadence).
+  [[nodiscard]] std::vector<std::int64_t> release_gaps_weeks(
+      SimTime origin) const;
+};
+
+struct EvolutionReport {
+  /// Lifetime of every M-cluster, ordered by first appearance.
+  std::vector<ClusterLifetime> lifetimes;
+  /// New M-clusters first seen in each week of the window.
+  std::vector<std::size_t> births_per_week;
+  /// Patch chains of every B-cluster spanning 2+ M-clusters, longest
+  /// first.
+  std::vector<PatchChain> chains;
+
+  /// Weeks (since origin) in which at least `threshold` new M-clusters
+  /// appeared — variant-burst weeks.
+  [[nodiscard]] std::vector<int> burst_weeks(std::size_t threshold) const;
+};
+
+[[nodiscard]] EvolutionReport analyze_evolution(
+    const honeypot::EventDatabase& db, const cluster::EpmResult& m,
+    const BehavioralView& b, SimTime origin, int weeks);
+
+}  // namespace repro::analysis

@@ -1,0 +1,172 @@
+#include "analysis/graph.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace repro::analysis {
+
+namespace {
+
+std::string layer_prefix(RelationshipGraph::Layer layer) {
+  switch (layer) {
+    case RelationshipGraph::Layer::kE: return "E";
+    case RelationshipGraph::Layer::kP: return "P";
+    case RelationshipGraph::Layer::kM: return "M";
+    case RelationshipGraph::Layer::kB: return "B";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::size_t RelationshipGraph::layer_size(Layer layer) const noexcept {
+  std::size_t count = 0;
+  for (const Node& node : nodes) count += node.layer == layer ? 1 : 0;
+  return count;
+}
+
+std::size_t RelationshipGraph::ep_combination_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& [edge, weight] : edges) {
+    if (nodes[edge.first].layer == Layer::kE &&
+        nodes[edge.second].layer == Layer::kP) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t RelationshipGraph::shared_p_count() const noexcept {
+  std::unordered_map<std::size_t, std::size_t> e_neighbours;
+  for (const auto& [edge, weight] : edges) {
+    if (nodes[edge.first].layer == Layer::kE &&
+        nodes[edge.second].layer == Layer::kP) {
+      ++e_neighbours[edge.second];
+    }
+  }
+  std::size_t shared = 0;
+  for (const auto& [p_node, degree] : e_neighbours) {
+    shared += degree >= 2 ? 1 : 0;
+  }
+  return shared;
+}
+
+std::size_t RelationshipGraph::split_b_count() const noexcept {
+  std::unordered_map<std::size_t, std::size_t> m_neighbours;
+  for (const auto& [edge, weight] : edges) {
+    if (nodes[edge.first].layer == Layer::kM &&
+        nodes[edge.second].layer == Layer::kB) {
+      ++m_neighbours[edge.second];
+    }
+  }
+  std::size_t split = 0;
+  for (const auto& [b_node, degree] : m_neighbours) {
+    split += degree >= 2 ? 1 : 0;
+  }
+  return split;
+}
+
+std::string RelationshipGraph::to_dot() const {
+  std::string out = "digraph epmb {\n  rankdir=TB;\n";
+  for (const Layer layer :
+       {Layer::kE, Layer::kP, Layer::kM, Layer::kB}) {
+    out += "  { rank=same;";
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i].layer == layer) out += " n" + std::to_string(i) + ";";
+    }
+    out += " }\n";
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    out += "  n" + std::to_string(i) + " [label=\"" + nodes[i].label + " (" +
+           std::to_string(nodes[i].event_count) + ")\"];\n";
+  }
+  for (const auto& [edge, weight] : edges) {
+    out += "  n" + std::to_string(edge.first) + " -> n" +
+           std::to_string(edge.second) + " [label=\"" +
+           std::to_string(weight) + "\"];\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+RelationshipGraph build_relationship_graph(const honeypot::EventDatabase& db,
+                                           const cluster::EpmResult& e,
+                                           const cluster::EpmResult& p,
+                                           const cluster::EpmResult& m,
+                                           const BehavioralView& b,
+                                           std::size_t min_events) {
+  // Per-event cluster tuple; -1 when a dimension lacks the observation.
+  struct Tuple {
+    int e = -1;
+    int p = -1;
+    int m = -1;
+    int b = -1;
+  };
+  std::vector<Tuple> tuples;
+  tuples.reserve(db.events().size());
+  for (const honeypot::AttackEvent& event : db.events()) {
+    Tuple tuple;
+    tuple.e = e.cluster_of_event(event.id);
+    tuple.p = p.cluster_of_event(event.id);
+    tuple.m = m.cluster_of_event(event.id);
+    if (event.sample.has_value()) {
+      tuple.b = b.cluster_of_sample(*event.sample);
+    }
+    tuples.push_back(tuple);
+  }
+
+  // Per-layer event counts (samples for B).
+  std::unordered_map<int, std::size_t> e_count;
+  std::unordered_map<int, std::size_t> p_count;
+  std::unordered_map<int, std::size_t> m_count;
+  std::unordered_map<int, std::size_t> b_count;
+  for (const Tuple& tuple : tuples) {
+    if (tuple.e >= 0) ++e_count[tuple.e];
+    if (tuple.p >= 0) ++p_count[tuple.p];
+    if (tuple.m >= 0) ++m_count[tuple.m];
+    if (tuple.b >= 0) ++b_count[tuple.b];
+  }
+
+  RelationshipGraph graph;
+  std::unordered_map<int, std::size_t> e_node;
+  std::unordered_map<int, std::size_t> p_node;
+  std::unordered_map<int, std::size_t> m_node;
+  std::unordered_map<int, std::size_t> b_node;
+  const auto add_layer = [&](RelationshipGraph::Layer layer,
+                             const std::unordered_map<int, std::size_t>& counts,
+                             std::unordered_map<int, std::size_t>& index) {
+    // Deterministic order: ascending cluster id.
+    std::vector<std::pair<int, std::size_t>> sorted{counts.begin(),
+                                                    counts.end()};
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [cluster, count] : sorted) {
+      if (count < min_events) continue;
+      index[cluster] = graph.nodes.size();
+      graph.nodes.push_back(RelationshipGraph::Node{
+          layer, cluster,
+          layer_prefix(layer) + std::to_string(cluster), count});
+    }
+  };
+  add_layer(RelationshipGraph::Layer::kE, e_count, e_node);
+  add_layer(RelationshipGraph::Layer::kP, p_count, p_node);
+  add_layer(RelationshipGraph::Layer::kM, m_count, m_node);
+  add_layer(RelationshipGraph::Layer::kB, b_count, b_node);
+
+  for (const Tuple& tuple : tuples) {
+    const auto link = [&](const std::unordered_map<int, std::size_t>& from,
+                          int from_id,
+                          const std::unordered_map<int, std::size_t>& to,
+                          int to_id) {
+      const auto from_it = from.find(from_id);
+      const auto to_it = to.find(to_id);
+      if (from_it == from.end() || to_it == to.end()) return;
+      ++graph.edges[{from_it->second, to_it->second}];
+    };
+    if (tuple.e >= 0 && tuple.p >= 0) link(e_node, tuple.e, p_node, tuple.p);
+    if (tuple.p >= 0 && tuple.m >= 0) link(p_node, tuple.p, m_node, tuple.m);
+    if (tuple.m >= 0 && tuple.b >= 0) link(m_node, tuple.m, b_node, tuple.b);
+  }
+  return graph;
+}
+
+}  // namespace repro::analysis

@@ -1,0 +1,57 @@
+// The E-P-M-B relationship graph (Figure 3).
+//
+// Four layers of clusters — exploits, payloads, malware (static) and
+// malware (behavioral) — with weighted edges counting the attack events
+// (or samples, for the M-B layer) linking adjacent layers. As in the
+// paper's figure, layers can be filtered to clusters grouping at least
+// 30 events.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/bview.hpp"
+#include "cluster/epm.hpp"
+#include "honeypot/database.hpp"
+
+namespace repro::analysis {
+
+struct RelationshipGraph {
+  enum class Layer : std::uint8_t { kE, kP, kM, kB };
+
+  struct Node {
+    Layer layer;
+    int cluster_id = 0;       // id within its own clustering
+    std::string label;        // "E12", "P45", "M13", "B7"
+    std::size_t event_count = 0;
+  };
+
+  std::vector<Node> nodes;
+  /// (layer-adjacent) node-index pairs -> linking event/sample count.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> edges;
+
+  [[nodiscard]] std::size_t layer_size(Layer layer) const noexcept;
+  /// Distinct E-P combinations present among the edges.
+  [[nodiscard]] std::size_t ep_combination_count() const noexcept;
+  /// Number of P nodes connected to 2+ E nodes (payload shared across
+  /// exploits — the code-sharing signal).
+  [[nodiscard]] std::size_t shared_p_count() const noexcept;
+  /// Number of B nodes connected to 2+ M nodes (one behavior, several
+  /// static variants).
+  [[nodiscard]] std::size_t split_b_count() const noexcept;
+
+  /// Graphviz rendering (one rank per layer).
+  [[nodiscard]] std::string to_dot() const;
+};
+
+/// Builds the graph. Clusters with fewer than `min_events` linked
+/// events (samples for B) are dropped, as in the paper's figure;
+/// pass 1 to keep everything.
+[[nodiscard]] RelationshipGraph build_relationship_graph(
+    const honeypot::EventDatabase& db, const cluster::EpmResult& e,
+    const cluster::EpmResult& p, const cluster::EpmResult& m,
+    const BehavioralView& b, std::size_t min_events = 30);
+
+}  // namespace repro::analysis

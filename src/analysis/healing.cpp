@@ -1,0 +1,39 @@
+#include "analysis/healing.hpp"
+
+#include "sandbox/anubis.hpp"
+#include "util/rng.hpp"
+
+namespace repro::analysis {
+
+HealingOutcome heal_by_reexecution(
+    honeypot::EventDatabase& db, const malware::Landscape& landscape,
+    const sandbox::Environment& environment,
+    const std::vector<honeypot::SampleId>& suspects,
+    const BehavioralView& before, int reruns,
+    const cluster::BehavioralOptions& options) {
+  HealingOutcome outcome;
+  outcome.report.suspects = suspects.size();
+  outcome.report.b_clusters_before = before.cluster_count();
+  outcome.report.singletons_before = before.singleton_count();
+
+  const sandbox::Sandbox sandbox{environment};
+  for (const honeypot::SampleId id : suspects) {
+    honeypot::MalwareSample& sample = db.sample_mutable(id);
+    if (!sample.profile.has_value()) continue;
+    const malware::MalwareVariant& variant =
+        landscape.variant(sample.truth_variant);
+    // Fresh executions use a seed stream distinct from the original
+    // submission so the noise draw is independent.
+    sample.profile = sandbox.run_repeated(
+        variant.behavior, sample.first_seen,
+        mix64(fnv1a64(sample.md5) ^ 0x4ea1'0000'0000'0000ULL), reruns);
+    ++outcome.report.reexecuted;
+  }
+
+  outcome.after = BehavioralView::build(db, options);
+  outcome.report.b_clusters_after = outcome.after.cluster_count();
+  outcome.report.singletons_after = outcome.after.singleton_count();
+  return outcome;
+}
+
+}  // namespace repro::analysis

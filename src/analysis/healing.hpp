@@ -1,0 +1,46 @@
+// Healing clustering anomalies by re-execution (Section 4.2).
+//
+// The paper notes that re-running misclassified samples is "indeed very
+// effective in eliminating these anomalies", and that static clustering
+// makes the procedure affordable by pinpointing the small set of
+// suspect samples instead of re-running everything. heal_by_reexecution
+// re-executes exactly the suspect set, replaces their profiles with the
+// intersection of several runs (stripping execution-unique noise), and
+// re-clusters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/bview.hpp"
+#include "honeypot/database.hpp"
+#include "malware/landscape.hpp"
+#include "sandbox/environment.hpp"
+
+namespace repro::analysis {
+
+struct HealingReport {
+  std::size_t suspects = 0;
+  std::size_t reexecuted = 0;
+  std::size_t b_clusters_before = 0;
+  std::size_t b_clusters_after = 0;
+  std::size_t singletons_before = 0;
+  std::size_t singletons_after = 0;
+};
+
+/// Re-executes the suspect samples `reruns` times each and re-clusters
+/// all profiles. Mutates the database profiles in place and returns the
+/// before/after comparison together with the new view.
+struct HealingOutcome {
+  HealingReport report;
+  BehavioralView after;
+};
+
+[[nodiscard]] HealingOutcome heal_by_reexecution(
+    honeypot::EventDatabase& db, const malware::Landscape& landscape,
+    const sandbox::Environment& environment,
+    const std::vector<honeypot::SampleId>& suspects,
+    const BehavioralView& before, int reruns = 3,
+    const cluster::BehavioralOptions& options = {});
+
+}  // namespace repro::analysis

@@ -1,0 +1,153 @@
+#include "cluster/behavioral.hpp"
+
+#include <numeric>
+
+#include "cluster/minhash.hpp"
+#include "util/error.hpp"
+
+namespace repro::cluster {
+
+namespace {
+
+/// Jaccard over sorted unique id vectors.
+double jaccard_ids(const std::vector<std::uint64_t>& a,
+                   const std::vector<std::uint64_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t intersection = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++intersection;
+      ++i;
+      ++j;
+    }
+  }
+  const std::size_t unions = a.size() + b.size() - intersection;
+  return unions == 0 ? 1.0
+                     : static_cast<double>(intersection) /
+                           static_cast<double>(unions);
+}
+
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+std::vector<std::vector<std::uint64_t>> id_sets(
+    const std::vector<const sandbox::BehavioralProfile*>& profiles) {
+  std::vector<std::vector<std::uint64_t>> ids;
+  ids.reserve(profiles.size());
+  for (const sandbox::BehavioralProfile* profile : profiles) {
+    if (profile == nullptr) {
+      throw ConfigError("cluster_profiles: null profile pointer");
+    }
+    ids.push_back(profile->feature_ids());
+  }
+  return ids;
+}
+
+}  // namespace
+
+std::size_t BehavioralClusters::singleton_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& cluster : members) count += cluster.size() == 1 ? 1 : 0;
+  return count;
+}
+
+BehavioralClusters cluster_profiles(
+    const std::vector<const sandbox::BehavioralProfile*>& profiles,
+    const BehavioralOptions& options) {
+  const std::size_t n = profiles.size();
+  BehavioralClusters result;
+  if (n == 0) return result;
+
+  const auto ids = id_sets(profiles);
+  UnionFind groups{n};
+
+  if (options.use_lsh) {
+    const MinHasher hasher{options.lsh_bands * options.lsh_rows, options.seed};
+    LshIndex index{options.lsh_bands, options.lsh_rows};
+    std::vector<std::vector<std::uint64_t>> signatures;
+    signatures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      signatures.push_back(hasher.signature(ids[i]));
+      index.insert(i, signatures.back());
+    }
+    // Process buckets directly: within a bucket most items are near
+    // duplicates, so after the first successful unite the union-find
+    // short-circuits the remaining pairs in O(alpha) each — this is
+    // what keeps LSH clustering below the O(n^2) distance matrix.
+    for (const auto& bucket : index.multi_item_buckets()) {
+      for (std::size_t i = 1; i < bucket.size(); ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+          const std::size_t a = bucket[j];
+          const std::size_t b = bucket[i];
+          if (groups.find(a) == groups.find(b)) continue;
+          if (jaccard_ids(ids[a], ids[b]) >= options.threshold) {
+            groups.unite(a, b);
+          }
+        }
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (groups.find(i) == groups.find(j)) continue;
+        if (jaccard_ids(ids[i], ids[j]) >= options.threshold) {
+          groups.unite(i, j);
+        }
+      }
+    }
+  }
+
+  // Densify cluster ids in first-member order.
+  result.assignment.assign(n, -1);
+  std::vector<int> root_to_cluster(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = groups.find(i);
+    if (root_to_cluster[root] < 0) {
+      root_to_cluster[root] = static_cast<int>(result.members.size());
+      result.members.emplace_back();
+    }
+    const int cluster = root_to_cluster[root];
+    result.assignment[i] = cluster;
+    result.members[static_cast<std::size_t>(cluster)].push_back(i);
+  }
+  return result;
+}
+
+PairStats pair_stats(
+    const std::vector<const sandbox::BehavioralProfile*>& profiles,
+    const BehavioralOptions& options) {
+  PairStats stats;
+  const std::size_t n = profiles.size();
+  stats.exact_pairs = n * (n - 1) / 2;
+  const auto ids = id_sets(profiles);
+  const MinHasher hasher{options.lsh_bands * options.lsh_rows, options.seed};
+  LshIndex index{options.lsh_bands, options.lsh_rows};
+  for (std::size_t i = 0; i < n; ++i) {
+    index.insert(i, hasher.signature(ids[i]));
+  }
+  stats.lsh_candidate_pairs = index.candidate_pairs().size();
+  return stats;
+}
+
+}  // namespace repro::cluster

@@ -1,0 +1,58 @@
+// Behavior-based clustering (Anubis / Bayer et al. NDSS'09 substitute).
+//
+// Groups behavioral profiles by Jaccard similarity under single
+// linkage: with a threshold cut, single-linkage clusters are exactly
+// the connected components of the "similarity >= t" graph, so the
+// implementation unions every qualifying pair. Pair enumeration is
+// either exact (all O(n^2) pairs — the baseline the paper's related
+// work criticizes) or LSH-accelerated (the scalable variant Anubis
+// uses); both yield the same clusters whenever LSH proposes every
+// qualifying pair.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sandbox/profile.hpp"
+
+namespace repro::cluster {
+
+struct BehavioralOptions {
+  /// Jaccard similarity threshold for merging.
+  double threshold = 0.70;
+  /// Pair-enumeration strategy.
+  bool use_lsh = true;
+  std::size_t lsh_bands = 20;
+  std::size_t lsh_rows = 5;
+  std::uint64_t seed = 0x6c5b'0001;
+};
+
+struct BehavioralClusters {
+  /// Profile index -> cluster id (0-based, dense, ordered by first
+  /// member).
+  std::vector<int> assignment;
+  /// Cluster id -> member profile indices (ascending).
+  std::vector<std::vector<std::size_t>> members;
+
+  [[nodiscard]] std::size_t cluster_count() const noexcept {
+    return members.size();
+  }
+  [[nodiscard]] std::size_t singleton_count() const noexcept;
+};
+
+/// Clusters the given profiles. Profile order defines index identity.
+[[nodiscard]] BehavioralClusters cluster_profiles(
+    const std::vector<const sandbox::BehavioralProfile*>& profiles,
+    const BehavioralOptions& options = {});
+
+/// Number of similarity evaluations the last call would perform under
+/// each strategy — exposed for the scalability ablation bench.
+struct PairStats {
+  std::size_t exact_pairs = 0;
+  std::size_t lsh_candidate_pairs = 0;
+};
+[[nodiscard]] PairStats pair_stats(
+    const std::vector<const sandbox::BehavioralProfile*>& profiles,
+    const BehavioralOptions& options = {});
+
+}  // namespace repro::cluster

@@ -1,0 +1,71 @@
+#include "cluster/epm.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace repro::cluster {
+
+int EpmResult::cluster_of_event(honeypot::EventId event) const {
+  const auto it = event_index_.find(event);
+  return it == event_index_.end() ? -1 : it->second;
+}
+
+std::optional<int> EpmResult::classify(const FeatureVector& instance) const {
+  int best = -1;
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    if (!patterns[p].matches(instance)) continue;
+    if (best < 0) {
+      best = static_cast<int>(p);
+      continue;
+    }
+    const Pattern& current = patterns[static_cast<std::size_t>(best)];
+    const Pattern& candidate = patterns[p];
+    if (candidate.specificity() > current.specificity() ||
+        (candidate.specificity() == current.specificity() &&
+         candidate.key() < current.key())) {
+      best = static_cast<int>(p);
+    }
+  }
+  if (best < 0) return std::nullopt;
+  return best;
+}
+
+EpmResult epm_cluster(const DimensionData& data,
+                      const InvariantThresholds& thresholds) {
+  EpmResult result;
+  result.schema = data.schema;
+  result.event_ids = data.event_ids;
+
+  // Phase 2: invariant discovery.
+  result.invariants = discover_invariants(data, thresholds);
+
+  // Phase 3: pattern discovery — the distinct generalizations of the
+  // observed instances, in first-seen order (stable cluster ids).
+  // Phase 4: classification. An instance's own generalization keeps
+  // every invariant field it has, so it is by construction the most
+  // specific pattern in the discovered set that matches the instance;
+  // assignment therefore coincides with generalization, and the general
+  // subsumption-based classifier (EpmResult::classify) is exercised for
+  // unseen instances.
+  std::unordered_map<std::string, int> pattern_index;
+  result.assignment.reserve(data.instances.size());
+  for (std::size_t row = 0; row < data.instances.size(); ++row) {
+    Pattern pattern = Pattern::generalize(data.instances[row],
+                                          result.invariants);
+    const std::string key = pattern.key();
+    const auto [it, inserted] = pattern_index.emplace(
+        key, static_cast<int>(result.patterns.size()));
+    if (inserted) {
+      result.patterns.push_back(std::move(pattern));
+      result.members.emplace_back();
+    }
+    const int cluster = it->second;
+    result.assignment.push_back(cluster);
+    result.members[static_cast<std::size_t>(cluster)].push_back(row);
+    result.event_index_.emplace(data.event_ids[row], cluster);
+  }
+  return result;
+}
+
+}  // namespace repro::cluster

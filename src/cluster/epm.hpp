@@ -1,0 +1,58 @@
+// EPM clustering — the paper's core contribution.
+//
+// Runs the four phases end to end for one dimension: the schema defines
+// the features (Phase 1), invariant discovery applies the relevance
+// constraints (Phase 2), each instance is generalized into a pattern of
+// invariants and wildcards and the distinct patterns are collected
+// (Phase 3), and every instance is assigned to the most specific
+// matching pattern (Phase 4). Instances sharing a pattern form one
+// E-/P-/M-cluster.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/feature.hpp"
+#include "cluster/invariants.hpp"
+#include "cluster/pattern.hpp"
+
+namespace repro::cluster {
+
+struct EpmResult {
+  FeatureSchema schema;
+  InvariantTable invariants{0};
+  /// Discovered patterns; index = cluster id.
+  std::vector<Pattern> patterns;
+  /// Row -> cluster id (index into patterns).
+  std::vector<int> assignment;
+  /// Cluster id -> member rows.
+  std::vector<std::vector<std::size_t>> members;
+  /// Event ids per row (copied from the input data).
+  std::vector<honeypot::EventId> event_ids;
+
+  [[nodiscard]] std::size_t cluster_count() const noexcept {
+    return patterns.size();
+  }
+  /// Cluster id for an event id, or -1 when the event has no row in
+  /// this dimension.
+  [[nodiscard]] int cluster_of_event(honeypot::EventId event) const;
+
+  /// Classifies a new, unseen instance against the frozen pattern set:
+  /// most specific matching pattern, ties broken by lexicographic key.
+  /// Returns nullopt when no pattern matches.
+  [[nodiscard]] std::optional<int> classify(const FeatureVector& instance) const;
+
+ private:
+  friend EpmResult epm_cluster(const DimensionData&,
+                               const InvariantThresholds&);
+  std::unordered_map<honeypot::EventId, int> event_index_;
+};
+
+/// Runs phases 2-4 on one dimension.
+[[nodiscard]] EpmResult epm_cluster(const DimensionData& data,
+                                    const InvariantThresholds& thresholds = {});
+
+}  // namespace repro::cluster

@@ -1,0 +1,78 @@
+#include "cluster/invariants.hpp"
+
+#include "util/error.hpp"
+
+namespace repro::cluster {
+
+void InvariantTable::add(std::size_t feature, std::string value) {
+  if (feature >= per_feature_.size()) {
+    throw ConfigError("InvariantTable::add: feature index out of range");
+  }
+  per_feature_[feature].insert(std::move(value));
+}
+
+bool InvariantTable::is_invariant(std::size_t feature,
+                                  const std::string& value) const {
+  if (feature >= per_feature_.size()) return false;
+  return per_feature_[feature].count(value) > 0;
+}
+
+std::size_t InvariantTable::count(std::size_t feature) const {
+  if (feature >= per_feature_.size()) {
+    throw ConfigError("InvariantTable::count: feature index out of range");
+  }
+  return per_feature_[feature].size();
+}
+
+const std::unordered_set<std::string>& InvariantTable::values(
+    std::size_t feature) const {
+  if (feature >= per_feature_.size()) {
+    throw ConfigError("InvariantTable::values: feature index out of range");
+  }
+  return per_feature_[feature];
+}
+
+InvariantTable discover_invariants(const DimensionData& data,
+                                   const InvariantThresholds& thresholds) {
+  struct ValueStats {
+    std::size_t instances = 0;
+    std::unordered_set<std::uint32_t> sources;
+    std::unordered_set<std::uint32_t> destinations;
+  };
+
+  const std::size_t feature_count = data.schema.size();
+  std::vector<std::unordered_map<std::string, ValueStats>> stats(feature_count);
+
+  for (std::size_t row = 0; row < data.instances.size(); ++row) {
+    const FeatureVector& instance = data.instances[row];
+    const InstanceContext& context = data.contexts[row];
+    if (instance.values.size() != feature_count) {
+      throw ConfigError(
+          "discover_invariants: instance arity mismatch with schema");
+    }
+    for (std::size_t f = 0; f < feature_count; ++f) {
+      ValueStats& value_stats = stats[f][instance.values[f]];
+      ++value_stats.instances;
+      value_stats.sources.insert(context.source.value());
+      value_stats.destinations.insert(context.destination.value());
+    }
+  }
+
+  InvariantTable table{feature_count};
+  for (std::size_t f = 0; f < feature_count; ++f) {
+    for (const auto& [value, value_stats] : stats[f]) {
+      // A missing observation is not a value: it must never become an
+      // invariant (truncated samples would otherwise cluster on their
+      // unobservable PE fields).
+      if (value == kNotAvailable) continue;
+      if (value_stats.instances >= thresholds.min_instances &&
+          value_stats.sources.size() >= thresholds.min_sources &&
+          value_stats.destinations.size() >= thresholds.min_destinations) {
+        table.add(f, value);
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace repro::cluster

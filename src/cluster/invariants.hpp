@@ -1,0 +1,55 @@
+// Invariant discovery (Phase 2 of EPM clustering).
+//
+// An invariant value is one that is not specific to an attack instance,
+// an attacker, or a destination: per the paper it must be seen in at
+// least 10 attack instances, used by at least 3 distinct attackers and
+// witnessed by at least 3 distinct honeypot IPs. Values failing the
+// test (polymorphic MD5s, random filenames) become "do not care" fields
+// in pattern discovery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/feature.hpp"
+
+namespace repro::cluster {
+
+/// The paper's (10, 3, 3) relevance constraints.
+struct InvariantThresholds {
+  std::size_t min_instances = 10;
+  std::size_t min_sources = 3;
+  std::size_t min_destinations = 3;
+};
+
+/// Invariant values per feature of one dimension.
+class InvariantTable {
+ public:
+  explicit InvariantTable(std::size_t feature_count)
+      : per_feature_(feature_count) {}
+
+  void add(std::size_t feature, std::string value);
+
+  [[nodiscard]] bool is_invariant(std::size_t feature,
+                                  const std::string& value) const;
+  /// Number of invariant values discovered for one feature — the
+  /// "# invariants" column of Table 1.
+  [[nodiscard]] std::size_t count(std::size_t feature) const;
+  [[nodiscard]] std::size_t feature_count() const noexcept {
+    return per_feature_.size();
+  }
+  [[nodiscard]] const std::unordered_set<std::string>& values(
+      std::size_t feature) const;
+
+ private:
+  std::vector<std::unordered_set<std::string>> per_feature_;
+};
+
+/// Runs invariant discovery over a dimension's instances.
+[[nodiscard]] InvariantTable discover_invariants(
+    const DimensionData& data, const InvariantThresholds& thresholds = {});
+
+}  // namespace repro::cluster

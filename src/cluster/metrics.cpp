@@ -1,0 +1,78 @@
+#include "cluster/metrics.hpp"
+
+#include <map>
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace repro::cluster {
+
+QualityMetrics evaluate_clustering(const std::vector<int>& assignment,
+                                   const std::vector<int>& truth) {
+  if (assignment.size() != truth.size()) {
+    throw ConfigError("evaluate_clustering: size mismatch");
+  }
+  if (assignment.empty()) {
+    throw ConfigError("evaluate_clustering: empty input");
+  }
+  const double n = static_cast<double>(assignment.size());
+
+  // Contingency: (cluster, truth) -> count, plus marginals.
+  std::map<std::pair<int, int>, std::size_t> joint;
+  std::unordered_map<int, std::size_t> cluster_size;
+  std::unordered_map<int, std::size_t> truth_size;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    ++joint[{assignment[i], truth[i]}];
+    ++cluster_size[assignment[i]];
+    ++truth_size[truth[i]];
+  }
+
+  // Bayer-style precision: sum over clusters of their dominant-label
+  // count, normalized by n. Recall: symmetric over reference classes.
+  std::unordered_map<int, std::size_t> best_in_cluster;
+  std::unordered_map<int, std::size_t> best_in_truth;
+  for (const auto& [key, count] : joint) {
+    const auto& [cluster, label] = key;
+    best_in_cluster[cluster] = std::max(best_in_cluster[cluster], count);
+    best_in_truth[label] = std::max(best_in_truth[label], count);
+  }
+  QualityMetrics metrics;
+  std::size_t precision_sum = 0;
+  for (const auto& [cluster, best] : best_in_cluster) precision_sum += best;
+  std::size_t recall_sum = 0;
+  for (const auto& [label, best] : best_in_truth) recall_sum += best;
+  metrics.precision = static_cast<double>(precision_sum) / n;
+  metrics.recall = static_cast<double>(recall_sum) / n;
+  metrics.f_measure =
+      metrics.precision + metrics.recall > 0.0
+          ? 2.0 * metrics.precision * metrics.recall /
+                (metrics.precision + metrics.recall)
+          : 0.0;
+  metrics.cluster_count = cluster_size.size();
+  metrics.reference_count = truth_size.size();
+
+  // Pairwise: same-cluster pairs vs same-truth pairs.
+  const auto pairs = [](std::size_t k) -> double {
+    return static_cast<double>(k) * static_cast<double>(k - 1) / 2.0;
+  };
+  double together_both = 0.0;
+  for (const auto& [key, count] : joint) together_both += pairs(count);
+  double together_cluster = 0.0;
+  for (const auto& [cluster, size] : cluster_size) {
+    together_cluster += pairs(size);
+  }
+  double together_truth = 0.0;
+  for (const auto& [label, size] : truth_size) together_truth += pairs(size);
+  metrics.pairwise_precision =
+      together_cluster > 0.0 ? together_both / together_cluster : 1.0;
+  metrics.pairwise_recall =
+      together_truth > 0.0 ? together_both / together_truth : 1.0;
+  metrics.pairwise_f1 =
+      metrics.pairwise_precision + metrics.pairwise_recall > 0.0
+          ? 2.0 * metrics.pairwise_precision * metrics.pairwise_recall /
+                (metrics.pairwise_precision + metrics.pairwise_recall)
+          : 0.0;
+  return metrics;
+}
+
+}  // namespace repro::cluster

@@ -1,0 +1,32 @@
+// Cluster-quality metrics.
+//
+// The synthetic landscape gives us what the paper lacked: ground truth.
+// Precision/recall follow Bayer et al. (NDSS'09): precision rewards
+// clusters whose members share a reference label, recall rewards
+// reference classes kept together. Pairwise F1 is reported as a
+// second, order-free index.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace repro::cluster {
+
+struct QualityMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_measure = 0.0;
+  double pairwise_precision = 0.0;
+  double pairwise_recall = 0.0;
+  double pairwise_f1 = 0.0;
+  std::size_t cluster_count = 0;
+  std::size_t reference_count = 0;
+};
+
+/// `assignment[i]` is the produced cluster of item i; `truth[i]` its
+/// reference class. Both must have the same length; ids need not be
+/// dense. Throws ConfigError on size mismatch or empty input.
+[[nodiscard]] QualityMetrics evaluate_clustering(
+    const std::vector<int>& assignment, const std::vector<int>& truth);
+
+}  // namespace repro::cluster

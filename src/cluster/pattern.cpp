@@ -1,0 +1,70 @@
+#include "cluster/pattern.hpp"
+
+#include "util/error.hpp"
+
+namespace repro::cluster {
+
+Pattern Pattern::generalize(const FeatureVector& instance,
+                            const InvariantTable& invariants) {
+  std::vector<std::optional<std::string>> fields;
+  fields.reserve(instance.values.size());
+  for (std::size_t f = 0; f < instance.values.size(); ++f) {
+    if (invariants.is_invariant(f, instance.values[f])) {
+      fields.emplace_back(instance.values[f]);
+    } else {
+      fields.emplace_back(std::nullopt);
+    }
+  }
+  return Pattern{std::move(fields)};
+}
+
+bool Pattern::matches(const FeatureVector& instance) const {
+  if (instance.values.size() != fields_.size()) return false;
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    if (fields_[f].has_value() && *fields_[f] != instance.values[f]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t Pattern::specificity() const noexcept {
+  std::size_t count = 0;
+  for (const auto& field : fields_) count += field.has_value() ? 1 : 0;
+  return count;
+}
+
+bool Pattern::subsumes(const Pattern& other) const {
+  if (other.fields_.size() != fields_.size()) return false;
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    if (!fields_[f].has_value()) continue;  // wildcard subsumes anything
+    if (!other.fields_[f].has_value() || *other.fields_[f] != *fields_[f]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Pattern::key() const {
+  std::string out;
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    if (f > 0) out += "|";
+    out += fields_[f].has_value() ? *fields_[f] : "*";
+  }
+  return out;
+}
+
+std::string Pattern::describe(const FeatureSchema& schema) const {
+  if (schema.size() != fields_.size()) {
+    throw ConfigError("Pattern::describe: schema arity mismatch");
+  }
+  std::string out = "{\n";
+  for (std::size_t f = 0; f < fields_.size(); ++f) {
+    out += "  " + schema.names[f] + " = " +
+           (fields_[f].has_value() ? "'" + *fields_[f] + "'" : "*") + "\n";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace repro::cluster

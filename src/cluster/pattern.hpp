@@ -1,0 +1,58 @@
+// Patterns (Phases 3-4 of EPM clustering).
+//
+// A pattern is a tuple over a dimension's features where each field is
+// either an invariant value or a "do not care" wildcard (Figure 2 of
+// the paper). Instances are classified to the most specific matching
+// pattern; all instances sharing a pattern form one EPM cluster.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/feature.hpp"
+#include "cluster/invariants.hpp"
+
+namespace repro::cluster {
+
+class Pattern {
+ public:
+  Pattern() = default;
+  explicit Pattern(std::vector<std::optional<std::string>> fields)
+      : fields_(std::move(fields)) {}
+
+  /// Generalizes an instance against the invariant table: invariant
+  /// values are kept, everything else becomes a wildcard.
+  [[nodiscard]] static Pattern generalize(const FeatureVector& instance,
+                                          const InvariantTable& invariants);
+
+  [[nodiscard]] bool matches(const FeatureVector& instance) const;
+
+  /// Number of non-wildcard fields.
+  [[nodiscard]] std::size_t specificity() const noexcept;
+
+  /// True if every instance matching `other` also matches this pattern
+  /// (this is equal or more general).
+  [[nodiscard]] bool subsumes(const Pattern& other) const;
+
+  /// Canonical key, e.g. "*|445" — stable across runs, usable for
+  /// deduplication and as a cluster label.
+  [[nodiscard]] std::string key() const;
+
+  /// Pretty multi-field rendering with feature names, in the style of
+  /// the paper's Section 4.2 pattern dump.
+  [[nodiscard]] std::string describe(const FeatureSchema& schema) const;
+
+  [[nodiscard]] const std::vector<std::optional<std::string>>& fields()
+      const noexcept {
+    return fields_;
+  }
+
+  friend bool operator==(const Pattern&, const Pattern&) = default;
+
+ private:
+  std::vector<std::optional<std::string>> fields_;
+};
+
+}  // namespace repro::cluster

@@ -1,0 +1,65 @@
+#include "cluster/pehash.hpp"
+
+#include <bit>
+#include <unordered_map>
+
+#include "pe/parser.hpp"
+#include "util/error.hpp"
+#include "util/md5.hpp"
+#include "util/strings.hpp"
+
+namespace repro::cluster {
+
+std::optional<std::string> pehash(std::span<const std::uint8_t> image) {
+  pe::PeInfo info;
+  try {
+    info = pe::parse_pe(image);
+  } catch (const ParseError&) {
+    return std::nullopt;
+  }
+  // Concatenate the packer-stable structural signals, then digest.
+  std::string material;
+  material += "m" + std::to_string(info.machine);
+  material += "s" + std::to_string(info.subsystem);
+  material += "n" + std::to_string(info.sections.size());
+  for (const pe::SectionInfo& section : info.sections) {
+    material += "|" + escape_bytes(section.raw_name);
+    material += "c" + std::to_string(section.characteristics);
+    // log2 compression of sizes, as peHash does, so padding-level
+    // variation does not split buckets.
+    material += "v" + std::to_string(std::bit_width(
+                          static_cast<std::uint64_t>(section.virtual_size)));
+    material += "r" + std::to_string(std::bit_width(
+                          static_cast<std::uint64_t>(section.raw_size)));
+  }
+  for (const pe::ImportInfo& import : info.imports) {
+    material += "+" + import.dll + ":" + std::to_string(import.symbols.size());
+  }
+  const std::vector<std::uint8_t> bytes{material.begin(), material.end()};
+  return Md5::hex_digest(bytes);
+}
+
+PehashClusters pehash_cluster(
+    const std::vector<std::span<const std::uint8_t>>& images) {
+  PehashClusters result;
+  result.assignment.assign(images.size(), -1);
+  std::unordered_map<std::string, int> hash_to_cluster;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    const auto hash = pehash(images[i]);
+    int cluster = -1;
+    if (hash.has_value()) {
+      const auto [it, inserted] = hash_to_cluster.emplace(
+          *hash, static_cast<int>(result.members.size()));
+      if (inserted) result.members.emplace_back();
+      cluster = it->second;
+    } else {
+      cluster = static_cast<int>(result.members.size());
+      result.members.emplace_back();
+    }
+    result.assignment[i] = cluster;
+    result.members[static_cast<std::size_t>(cluster)].push_back(i);
+  }
+  return result;
+}
+
+}  // namespace repro::cluster

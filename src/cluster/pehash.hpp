@@ -1,0 +1,37 @@
+// peHash-style structural hashing (Wicherski, LEET'09) — the related-
+// work baseline.
+//
+// peHash buckets PE binaries by hashing the header portions polymorphic
+// packers do not mutate: two samples with equal hashes form one
+// cluster. This reimplementation hashes the same structural signals
+// (machine, subsystem, section count, per-section name /
+// characteristics / log2-compressed sizes, import shape) and serves as
+// the comparison baseline for the EPM mu-dimension clustering (ABL-3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace repro::cluster {
+
+/// Structural hash of a PE image; nullopt for unparsable inputs.
+[[nodiscard]] std::optional<std::string> pehash(
+    std::span<const std::uint8_t> image);
+
+/// Clusters items by equal hash; unparsable items become singletons.
+struct PehashClusters {
+  std::vector<int> assignment;                    // item -> cluster id
+  std::vector<std::vector<std::size_t>> members;  // cluster id -> items
+
+  [[nodiscard]] std::size_t cluster_count() const noexcept {
+    return members.size();
+  }
+};
+
+[[nodiscard]] PehashClusters pehash_cluster(
+    const std::vector<std::span<const std::uint8_t>>& images);
+
+}  // namespace repro::cluster

@@ -1,0 +1,18 @@
+#include "honeypot/avlabels.hpp"
+
+#include "util/rng.hpp"
+
+namespace repro::honeypot {
+
+std::string assign_av_label(const malware::MalwareVariant& variant,
+                            const std::string& md5, bool truncated) {
+  if (truncated) return "(corrupted)";
+  Rng rng{mix64(fnv1a64(md5) ^ 0xa11a'be1e'd000'0000ULL)};
+  const double draw = rng.real();
+  if (draw < 0.85) return variant.av_name;
+  if (draw < 0.93) return "W32.Packed.Gen";
+  if (draw < 0.97) return "Trojan Horse";
+  return "Suspicious.MH690";
+}
+
+}  // namespace repro::honeypot

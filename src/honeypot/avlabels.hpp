@@ -1,0 +1,22 @@
+// Simulated AV labeling (VirusTotal substitute).
+//
+// Figure 4 of the paper histograms the AV detection names of the
+// misclassified singleton samples. We reproduce the mechanism with a
+// deterministic labeler that mostly reports the variant's ground-truth
+// detection name but exhibits the inconsistencies real AV labels are
+// known for ([3,7]): occasional generic names and packed-heuristic
+// names.
+#pragma once
+
+#include <string>
+
+#include "malware/family.hpp"
+
+namespace repro::honeypot {
+
+/// Label for one sample; deterministic in (variant, md5).
+[[nodiscard]] std::string assign_av_label(const malware::MalwareVariant& variant,
+                                          const std::string& md5,
+                                          bool truncated);
+
+}  // namespace repro::honeypot

@@ -1,0 +1,80 @@
+#include "honeypot/database.hpp"
+
+#include "util/error.hpp"
+#include "util/md5.hpp"
+
+namespace repro::honeypot {
+
+EventId EventDatabase::add_event(AttackEvent event) {
+  event.id = static_cast<EventId>(events_.size());
+  const EventId id = event.id;
+  events_.push_back(std::move(event));
+  return id;
+}
+
+SampleId EventDatabase::add_sample(std::vector<std::uint8_t> content,
+                                   SimTime seen, bool truncated,
+                                   malware::VariantId truth_variant) {
+  const std::string md5 = Md5::hex_digest(content);
+  const auto it = md5_index_.find(md5);
+  if (it != md5_index_.end()) {
+    MalwareSample& existing = samples_[it->second];
+    ++existing.event_count;
+    if (seen < existing.first_seen) existing.first_seen = seen;
+    return it->second;
+  }
+  MalwareSample sample;
+  sample.id = static_cast<SampleId>(samples_.size());
+  sample.md5 = md5;
+  sample.content = std::move(content);
+  sample.first_seen = seen;
+  sample.truncated = truncated;
+  sample.event_count = 1;
+  sample.truth_variant = truth_variant;
+  md5_index_.emplace(md5, sample.id);
+  samples_.push_back(std::move(sample));
+  return samples_.back().id;
+}
+
+const MalwareSample& EventDatabase::sample(SampleId id) const {
+  if (id >= samples_.size()) {
+    throw ConfigError("EventDatabase::sample: unknown id " +
+                      std::to_string(id));
+  }
+  return samples_[id];
+}
+
+MalwareSample& EventDatabase::sample_mutable(SampleId id) {
+  if (id >= samples_.size()) {
+    throw ConfigError("EventDatabase::sample_mutable: unknown id " +
+                      std::to_string(id));
+  }
+  return samples_[id];
+}
+
+std::optional<SampleId> EventDatabase::find_by_md5(
+    const std::string& md5) const {
+  const auto it = md5_index_.find(md5);
+  if (it == md5_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<EventId> EventDatabase::events_of_sample(SampleId id) const {
+  std::vector<EventId> out;
+  for (const AttackEvent& event : events_) {
+    if (event.sample.has_value() && *event.sample == id) {
+      out.push_back(event.id);
+    }
+  }
+  return out;
+}
+
+std::size_t EventDatabase::analyzable_sample_count() const noexcept {
+  std::size_t count = 0;
+  for (const MalwareSample& sample : samples_) {
+    count += sample.profile.has_value() ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace repro::honeypot

@@ -1,0 +1,53 @@
+// The SGNET dataset: events plus the deduplicated sample store.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "honeypot/event.hpp"
+
+namespace repro::honeypot {
+
+class EventDatabase {
+ public:
+  /// Stores one event, assigning its id. Returns the id.
+  EventId add_event(AttackEvent event);
+
+  /// Stores a collected binary, deduplicating by MD5. Returns the
+  /// sample id and bumps its event count; first_seen keeps the earliest
+  /// time.
+  SampleId add_sample(std::vector<std::uint8_t> content, SimTime seen,
+                      bool truncated, malware::VariantId truth_variant);
+
+  [[nodiscard]] const std::vector<AttackEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] const std::vector<MalwareSample>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] const MalwareSample& sample(SampleId id) const;
+  [[nodiscard]] MalwareSample& sample_mutable(SampleId id);
+  /// Mutable view for the enrichment pipeline.
+  [[nodiscard]] std::vector<MalwareSample>& samples_mutable() noexcept {
+    return samples_;
+  }
+
+  [[nodiscard]] std::optional<SampleId> find_by_md5(
+      const std::string& md5) const;
+
+  /// Events referencing the given sample.
+  [[nodiscard]] std::vector<EventId> events_of_sample(SampleId id) const;
+
+  /// Samples with a behavioral profile (executed successfully).
+  [[nodiscard]] std::size_t analyzable_sample_count() const noexcept;
+
+ private:
+  std::vector<AttackEvent> events_;
+  std::vector<MalwareSample> samples_;
+  std::unordered_map<std::string, SampleId> md5_index_;
+};
+
+}  // namespace repro::honeypot

@@ -1,0 +1,22 @@
+#include "honeypot/download.hpp"
+
+#include <algorithm>
+
+namespace repro::honeypot {
+
+DownloadResult emulate_download(std::vector<std::uint8_t> binary,
+                                const DownloadOptions& options, Rng& rng) {
+  DownloadResult result;
+  if (!binary.empty() && rng.chance(options.truncation_probability)) {
+    const std::size_t min_keep =
+        std::min(options.min_kept_bytes, binary.size() - 1);
+    const std::size_t keep =
+        min_keep + rng.index(binary.size() - min_keep);
+    binary.resize(std::max<std::size_t>(keep, 1));
+    result.truncated = true;
+  }
+  result.content = std::move(binary);
+  return result;
+}
+
+}  // namespace repro::honeypot

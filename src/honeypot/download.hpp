@@ -1,0 +1,36 @@
+// Download emulation and the Nepenthes failure model.
+//
+// Once the shellcode's intent is known, SGNET's Nepenthes modules
+// emulate the network action and fetch the binary. The paper notes that
+// "due to failures in Nepenthes download modules, some of the collected
+// samples are truncated or corrupted" and consequently cannot be
+// analyzed dynamically (6353 collected vs 5165 executable). The
+// truncation model reproduces that: with a configurable probability the
+// transfer stops early and only a prefix of the binary is stored.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace repro::honeypot {
+
+struct DownloadResult {
+  std::vector<std::uint8_t> content;
+  bool truncated = false;
+};
+
+struct DownloadOptions {
+  /// Probability that a transfer fails mid-way.
+  double truncation_probability = 0.18;
+  /// A truncated transfer keeps at least this many bytes.
+  std::size_t min_kept_bytes = 256;
+};
+
+/// Emulates fetching `binary`; may truncate it per the failure model.
+[[nodiscard]] DownloadResult emulate_download(
+    std::vector<std::uint8_t> binary, const DownloadOptions& options,
+    Rng& rng);
+
+}  // namespace repro::honeypot

@@ -1,0 +1,33 @@
+#include "honeypot/enrichment.hpp"
+
+#include "honeypot/avlabels.hpp"
+#include "pe/parser.hpp"
+#include "sandbox/anubis.hpp"
+#include "util/rng.hpp"
+
+namespace repro::honeypot {
+
+EnrichmentStats enrich_database(EventDatabase& db,
+                                const malware::Landscape& landscape,
+                                const sandbox::Environment& environment) {
+  EnrichmentStats stats;
+  const sandbox::Sandbox sandbox{environment};
+  for (MalwareSample& sample : db.samples_mutable()) {
+    ++stats.submitted;
+    const malware::MalwareVariant& variant =
+        landscape.variant(sample.truth_variant);
+    sample.av_label = assign_av_label(variant, sample.md5, sample.truncated);
+    const bool executable =
+        !sample.truncated && pe::looks_like_pe(sample.content);
+    if (!executable) {
+      ++stats.failed;
+      continue;
+    }
+    sample.profile = sandbox.run(variant.behavior, sample.first_seen,
+                                 fnv1a64(sample.md5));
+    ++stats.executed;
+  }
+  return stats;
+}
+
+}  // namespace repro::honeypot

@@ -1,0 +1,88 @@
+// The EGPM attack-event schema.
+//
+// SGNET structures every observed code-injection attack along the
+// epsilon-gamma-pi-mu model: the exploit dialog (epsilon), the control
+// flow hijack (gamma, not observed host-side in SGNET and therefore not
+// modeled), the injected payload (pi) and the uploaded malware binary
+// (mu). An AttackEvent records what the deployment observed for one
+// attack; a MalwareSample is one distinct collected binary enriched
+// with sandbox and AV metadata.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "malware/family.hpp"
+#include "net/ipv4.hpp"
+#include "proto/gamma.hpp"
+#include "sandbox/profile.hpp"
+#include "util/simtime.hpp"
+
+namespace repro::honeypot {
+
+using EventId = std::uint64_t;
+using SampleId = std::uint32_t;
+
+/// Epsilon: what the sensor saw of the exploit dialog.
+struct EpsilonObservation {
+  /// FSM path identifier, or an event-unique "unknown/..." marker when
+  /// the dialog could not be matched by a mature model (early
+  /// observations of a new activity, proxied to the sample factory).
+  std::string fsm_path;
+  std::uint16_t dst_port = 0;
+};
+
+/// Pi: what the Nepenthes-style analyzer recovered from the shellcode.
+struct PiObservation {
+  std::string protocol;     // ftp/http/tftp/creceive/csend/blink
+  std::string filename;     // empty when the protocol carries none
+  std::uint16_t port = 0;   // server port involved in the interaction
+  std::string interaction;  // PUSH/PULL/central flavour
+};
+
+/// One observed code-injection attack.
+struct AttackEvent {
+  EventId id = 0;
+  SimTime time{};
+  net::Ipv4 attacker;
+  net::Ipv4 honeypot;
+  /// Index of the network location (0..29) hosting the honeypot.
+  int location = 0;
+
+  EpsilonObservation epsilon;
+  /// Present only for proxied events: the sample factory's taint oracle
+  /// observed the control-flow hijack (the gamma extension; sensors
+  /// handling matured activity autonomously have no host-side view).
+  std::optional<proto::GammaObservation> gamma;
+  /// Present when shellcode analysis succeeded.
+  std::optional<PiObservation> pi;
+  /// Present when a binary was collected (possibly truncated).
+  std::optional<SampleId> sample;
+
+  /// Ground truth, for validation metrics only — never an input to
+  /// clustering.
+  malware::VariantId truth_variant = 0;
+};
+
+/// One distinct collected binary (deduplicated by MD5) plus enrichment.
+struct MalwareSample {
+  SampleId id = 0;
+  std::string md5;
+  std::vector<std::uint8_t> content;
+  SimTime first_seen{};
+  /// True when the Nepenthes-style download was cut short and the
+  /// binary is incomplete — such samples cannot run in the sandbox.
+  bool truncated = false;
+  std::size_t event_count = 0;
+
+  /// Enrichment results (information-enrichment pipeline of [18]).
+  std::optional<sandbox::BehavioralProfile> profile;  // Anubis substitute
+  std::string av_label;                               // VirusTotal substitute
+
+  /// Ground truth, for validation only.
+  malware::VariantId truth_variant = 0;
+};
+
+}  // namespace repro::honeypot

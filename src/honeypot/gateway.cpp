@@ -1,0 +1,37 @@
+#include "honeypot/gateway.hpp"
+
+namespace repro::honeypot {
+
+proto::IncrementalFsm& Gateway::model_for(std::uint16_t port) {
+  const auto it = models_.find(port);
+  if (it != models_.end()) return it->second;
+  return models_.emplace(port, proto::IncrementalFsm{port, options_})
+      .first->second;
+}
+
+Gateway::Outcome Gateway::handle(
+    const proto::Conversation& raw,
+    const proto::PayloadLocation& payload_location) {
+  proto::IncrementalFsm& model = model_for(raw.dst_port);
+  if (const auto path = model.match(raw)) {
+    ++matched_count_;
+    return Outcome{*path, false};
+  }
+  // Proxy to the sample factory: the taint oracle isolates the payload
+  // and the stripped dialog refines the model.
+  model.train(proto::strip_payload(raw, payload_location));
+  ++proxied_count_;
+  return Outcome{"unknown/p" + std::to_string(raw.dst_port) + "/" +
+                     std::to_string(proxied_count_),
+                 true};
+}
+
+std::size_t Gateway::mature_transitions() const noexcept {
+  std::size_t count = 0;
+  for (const auto& [port, model] : models_) {
+    count += model.mature_transition_count();
+  }
+  return count;
+}
+
+}  // namespace repro::honeypot

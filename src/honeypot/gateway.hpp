@@ -1,0 +1,57 @@
+// Gateway + sample factory: the Figure-1 control plane.
+//
+// Sensors forward every conversation here. The gateway first tries the
+// mature FSM knowledge for the port; on success the sensor "handles the
+// activity autonomously" and the FSM path id is recorded. Otherwise the
+// conversation is proxied to a sample factory whose Argos-style taint
+// oracle pinpoints the injected payload; the payload-stripped dialog
+// then refines the FSM knowledge (ScriptGen), and the event is recorded
+// with an unknown-path marker.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "proto/incremental.hpp"
+#include "proto/services.hpp"
+
+namespace repro::honeypot {
+
+class Gateway {
+ public:
+  explicit Gateway(proto::IncrementalFsm::Options options = {})
+      : options_(options) {}
+
+  /// Result of handling one conversation.
+  struct Outcome {
+    /// FSM path id (matched) or "unknown/p<port>/<serial>" (proxied).
+    std::string fsm_path;
+    bool proxied = false;
+  };
+
+  /// `raw` is the conversation as seen on the wire; `payload_location`
+  /// is what the taint oracle reports when the conversation is proxied
+  /// (ground truth stands in for Argos memory tainting).
+  Outcome handle(const proto::Conversation& raw,
+                 const proto::PayloadLocation& payload_location);
+
+  [[nodiscard]] std::size_t proxied_count() const noexcept {
+    return proxied_count_;
+  }
+  [[nodiscard]] std::size_t matched_count() const noexcept {
+    return matched_count_;
+  }
+  /// Mature transitions across all per-port models.
+  [[nodiscard]] std::size_t mature_transitions() const noexcept;
+
+ private:
+  proto::IncrementalFsm& model_for(std::uint16_t port);
+
+  proto::IncrementalFsm::Options options_;
+  std::map<std::uint16_t, proto::IncrementalFsm> models_;
+  std::size_t proxied_count_ = 0;
+  std::size_t matched_count_ = 0;
+};
+
+}  // namespace repro::honeypot

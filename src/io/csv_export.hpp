@@ -1,0 +1,44 @@
+// Dataset export.
+//
+// A downstream user of the library will want the observed events,
+// sample metadata and clustering results outside the process — to plot
+// Figure-5 style panels, join against other feeds, or diff two runs.
+// This module renders the dataset as CSV (one table per entity) and as
+// JSON Lines, and can reload the event/sample tables it wrote.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/bview.hpp"
+#include "cluster/epm.hpp"
+#include "honeypot/database.hpp"
+
+namespace repro::io {
+
+/// events.csv: one row per attack event with epsilon/pi observations,
+/// the sample reference, and the per-perspective cluster assignments
+/// (empty when a dimension lacks the observation).
+void write_events_csv(std::ostream& os, const honeypot::EventDatabase& db,
+                      const cluster::EpmResult& e, const cluster::EpmResult& p,
+                      const cluster::EpmResult& m,
+                      const analysis::BehavioralView& b);
+
+/// samples.csv: one row per collected binary (md5, size, first seen,
+/// truncated flag, event count, AV label, B-cluster, profile size).
+void write_samples_csv(std::ostream& os, const honeypot::EventDatabase& db,
+                       const analysis::BehavioralView& b);
+
+/// clusters.csv: one row per EPM cluster of one dimension (id, pattern
+/// key, member count).
+void write_clusters_csv(std::ostream& os, const cluster::EpmResult& result);
+
+/// profiles.jsonl: one JSON object per analyzable sample with its
+/// behavioral feature list. Strings are JSON-escaped.
+void write_profiles_jsonl(std::ostream& os,
+                          const honeypot::EventDatabase& db);
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+[[nodiscard]] std::string json_escape(const std::string& raw);
+
+}  // namespace repro::io

@@ -1,0 +1,92 @@
+#include "io/csv_import.hpp"
+
+#include <istream>
+
+#include "util/error.hpp"
+
+namespace repro::io {
+
+std::vector<std::string> parse_csv_row(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+    ++i;
+  }
+  if (quoted) {
+    throw ParseError("parse_csv_row: unterminated quote");
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+namespace {
+
+int to_int_or(const std::string& field, int fallback) {
+  if (field.empty()) return fallback;
+  return std::stoi(field);
+}
+
+}  // namespace
+
+std::vector<EventRecord> read_events_csv(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw ParseError("read_events_csv: empty input");
+  }
+  const auto header = parse_csv_row(line);
+  if (header.size() != 16 || header.front() != "event_id") {
+    throw ParseError("read_events_csv: unexpected header");
+  }
+  std::vector<EventRecord> records;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto fields = parse_csv_row(line);
+    if (fields.size() != header.size()) {
+      throw ParseError("read_events_csv: row arity mismatch at row " +
+                       std::to_string(records.size() + 1));
+    }
+    EventRecord record;
+    record.event_id = static_cast<std::uint64_t>(std::stoull(fields[0]));
+    record.time = fields[1];
+    record.attacker = fields[2];
+    record.honeypot = fields[3];
+    record.location = to_int_or(fields[4], 0);
+    record.dst_port = to_int_or(fields[5], 0);
+    record.fsm_path = fields[6];
+    record.protocol = fields[7];
+    record.filename = fields[8];
+    record.pi_port = to_int_or(fields[9], -1);
+    record.interaction = fields[10];
+    record.sample_id = to_int_or(fields[11], -1);
+    record.e_cluster = to_int_or(fields[12], -1);
+    record.p_cluster = to_int_or(fields[13], -1);
+    record.m_cluster = to_int_or(fields[14], -1);
+    record.b_cluster = to_int_or(fields[15], -1);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace repro::io

@@ -1,0 +1,46 @@
+// CSV re-import.
+//
+// Parses RFC-4180-style rows (quoted fields, embedded separators and
+// doubled quotes) and reloads the events table written by
+// write_events_csv into plain records — enough to post-process a run
+// without the originating process.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::io {
+
+/// Splits one CSV line into fields, honouring quoting. Throws
+/// ParseError on an unterminated quote.
+[[nodiscard]] std::vector<std::string> parse_csv_row(std::string_view line);
+
+/// One reloaded event row (all optional analytics as -1 when absent).
+struct EventRecord {
+  std::uint64_t event_id = 0;
+  std::string time;
+  std::string attacker;
+  std::string honeypot;
+  int location = 0;
+  int dst_port = 0;
+  std::string fsm_path;
+  std::string protocol;
+  std::string filename;
+  int pi_port = -1;
+  std::string interaction;
+  int sample_id = -1;
+  int e_cluster = -1;
+  int p_cluster = -1;
+  int m_cluster = -1;
+  int b_cluster = -1;
+};
+
+/// Reads an events.csv stream (header required, column order as
+/// written by write_events_csv). Throws ParseError on a malformed
+/// header or row arity mismatch.
+[[nodiscard]] std::vector<EventRecord> read_events_csv(std::istream& is);
+
+}  // namespace repro::io

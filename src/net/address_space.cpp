@@ -1,0 +1,72 @@
+#include "net/address_space.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace repro::net {
+
+bool WidespreadSampler::routable_slash8(std::uint8_t first_octet) noexcept {
+  if (first_octet == 0 || first_octet == 10 || first_octet == 127) return false;
+  if (first_octet >= 224) return false;  // multicast + reserved
+  return true;
+}
+
+Ipv4 WidespreadSampler::sample(Rng& rng) const noexcept {
+  while (true) {
+    const Ipv4 candidate{static_cast<std::uint32_t>(rng.next())};
+    if (!routable_slash8(candidate.slash8())) continue;
+    // Skip RFC1918 172.16/12 and 192.168/16 as well.
+    if (candidate.octet(0) == 172 && candidate.octet(1) >= 16 &&
+        candidate.octet(1) < 32) {
+      continue;
+    }
+    if (candidate.octet(0) == 192 && candidate.octet(1) == 168) continue;
+    return candidate;
+  }
+}
+
+ConcentratedSampler::ConcentratedSampler(std::vector<Subnet> subnets,
+                                         std::vector<double> weights)
+    : subnets_(std::move(subnets)), weights_(std::move(weights)) {
+  if (subnets_.empty()) {
+    throw ConfigError("ConcentratedSampler: needs at least one subnet");
+  }
+  if (weights_.empty()) {
+    weights_.assign(subnets_.size(), 1.0);
+  }
+  if (weights_.size() != subnets_.size()) {
+    throw ConfigError("ConcentratedSampler: weights/subnets size mismatch");
+  }
+}
+
+Ipv4 ConcentratedSampler::sample(Rng& rng) const noexcept {
+  const std::size_t choice = rng.weighted(weights_);
+  return subnets_[choice].random_address(rng);
+}
+
+std::uint64_t Slash8Histogram::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : counts_) sum += c;
+  return sum;
+}
+
+std::size_t Slash8Histogram::occupied_blocks() const noexcept {
+  std::size_t occupied = 0;
+  for (const std::uint64_t c : counts_) occupied += c > 0 ? 1 : 0;
+  return occupied;
+}
+
+double Slash8Histogram::normalized_entropy() const noexcept {
+  const double total_count = static_cast<double>(total());
+  if (total_count <= 0.0) return 0.0;
+  double entropy = 0.0;
+  for (const std::uint64_t c : counts_) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / total_count;
+    entropy -= p * std::log2(p);
+  }
+  return entropy / 8.0;  // log2(256) == 8
+}
+
+}  // namespace repro::net

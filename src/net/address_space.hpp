@@ -1,0 +1,76 @@
+// Address-space population sampling and /8 occupancy histograms.
+//
+// Figure 5 of the paper contrasts two propagation styles: worm
+// populations spread widely over the routable IPv4 space versus bot
+// populations concentrated in a handful of specific networks. This
+// module provides both samplers and the /8 histogram used to render the
+// "distribution of the infected hosts over the IP space" panels.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "net/subnet.hpp"
+#include "util/rng.hpp"
+
+namespace repro::net {
+
+/// Draws addresses spread over the historically routable unicast space,
+/// skipping reserved/multicast prefixes — models a scanning worm's
+/// victim/infectee population.
+class WidespreadSampler {
+ public:
+  [[nodiscard]] Ipv4 sample(Rng& rng) const noexcept;
+
+  /// True if the first octet is in the routable unicast space this
+  /// sampler draws from.
+  [[nodiscard]] static bool routable_slash8(std::uint8_t first_octet) noexcept;
+};
+
+/// Draws addresses from a fixed set of subnets with given weights —
+/// models a botnet recruited from specific provider networks.
+class ConcentratedSampler {
+ public:
+  ConcentratedSampler(std::vector<Subnet> subnets, std::vector<double> weights);
+
+  [[nodiscard]] Ipv4 sample(Rng& rng) const noexcept;
+
+  [[nodiscard]] const std::vector<Subnet>& subnets() const noexcept {
+    return subnets_;
+  }
+
+ private:
+  std::vector<Subnet> subnets_;
+  std::vector<double> weights_;
+};
+
+/// Occupancy counts over the 256 /8 blocks.
+class Slash8Histogram {
+ public:
+  void add(Ipv4 ip) noexcept { ++counts_[ip.slash8()]; }
+
+  [[nodiscard]] std::uint64_t count(std::uint8_t block) const noexcept {
+    return counts_[block];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+  /// Number of distinct /8 blocks with at least one hit — the spread
+  /// statistic used to discriminate widespread vs concentrated
+  /// populations.
+  [[nodiscard]] std::size_t occupied_blocks() const noexcept;
+
+  /// Normalized entropy of the /8 distribution in [0, 1]; near 1 for
+  /// widespread populations, near 0 for single-network ones.
+  [[nodiscard]] double normalized_entropy() const noexcept;
+
+  [[nodiscard]] const std::array<std::uint64_t, 256>& counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::array<std::uint64_t, 256> counts_{};
+};
+
+}  // namespace repro::net

@@ -1,0 +1,32 @@
+#include "net/ipv4.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace repro::net {
+
+std::string Ipv4::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", octet(0), octet(1), octet(2),
+                octet(3));
+  return buf;
+}
+
+Ipv4 Ipv4::parse(std::string_view text) {
+  unsigned a = 0;
+  unsigned b = 0;
+  unsigned c = 0;
+  unsigned d = 0;
+  char tail = 0;
+  const std::string owned{text};
+  const int matched =
+      std::sscanf(owned.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
+  if (matched != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    throw ParseError("Ipv4::parse: malformed address '" + owned + "'");
+  }
+  return Ipv4{static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+              static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d)};
+}
+
+}  // namespace repro::net

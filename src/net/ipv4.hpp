@@ -1,0 +1,58 @@
+// IPv4 address value type.
+//
+// Attack sources and honeypot sensors are identified by IPv4 addresses;
+// the propagation-context analysis (Figure 5) buckets populations by /8
+// and the C&C analysis (Table 2) groups servers by /24.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace repro::net {
+
+/// An IPv4 address stored in host byte order.
+class Ipv4 {
+ public:
+  constexpr Ipv4() noexcept = default;
+  constexpr explicit Ipv4(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d) noexcept
+      : value_(static_cast<std::uint32_t>(a) << 24 |
+               static_cast<std::uint32_t>(b) << 16 |
+               static_cast<std::uint32_t>(c) << 8 | d) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// First octet; index of the /8 bucket used by IP-space histograms.
+  [[nodiscard]] constexpr std::uint8_t slash8() const noexcept {
+    return octet(0);
+  }
+
+  /// Network part for /24 grouping (low octet zeroed).
+  [[nodiscard]] constexpr Ipv4 slash24() const noexcept {
+    return Ipv4{value_ & 0xffffff00u};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse dotted-quad notation. Throws ParseError on malformed input.
+  [[nodiscard]] static Ipv4 parse(std::string_view text);
+
+  friend constexpr auto operator<=>(const Ipv4&, const Ipv4&) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace repro::net
+
+template <>
+struct std::hash<repro::net::Ipv4> {
+  std::size_t operator()(const repro::net::Ipv4& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value());
+  }
+};

@@ -1,0 +1,45 @@
+#include "net/subnet.hpp"
+
+#include "util/error.hpp"
+
+namespace repro::net {
+
+Subnet::Subnet(Ipv4 base, int prefix_length) : prefix_(prefix_length) {
+  if (prefix_length < 0 || prefix_length > 32) {
+    throw ConfigError("Subnet: prefix length must be in [0, 32], got " +
+                      std::to_string(prefix_length));
+  }
+  network_ = Ipv4{base.value() & mask()};
+}
+
+Subnet Subnet::parse(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    throw ParseError("Subnet::parse: missing '/' in '" + std::string{text} + "'");
+  }
+  const Ipv4 base = Ipv4::parse(text.substr(0, slash));
+  int prefix = 0;
+  try {
+    prefix = std::stoi(std::string{text.substr(slash + 1)});
+  } catch (const std::exception&) {
+    throw ParseError("Subnet::parse: malformed prefix in '" +
+                     std::string{text} + "'");
+  }
+  if (prefix < 0 || prefix > 32) {
+    throw ParseError("Subnet::parse: prefix out of range in '" +
+                     std::string{text} + "'");
+  }
+  return Subnet{base, prefix};
+}
+
+Ipv4 Subnet::random_address(Rng& rng) const noexcept {
+  const std::uint32_t host_bits = ~mask();
+  return Ipv4{network_.value() |
+              (static_cast<std::uint32_t>(rng.next()) & host_bits)};
+}
+
+std::string Subnet::to_string() const {
+  return network_.to_string() + "/" + std::to_string(prefix_);
+}
+
+}  // namespace repro::net

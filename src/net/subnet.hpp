@@ -1,0 +1,54 @@
+// CIDR subnets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.hpp"
+#include "util/rng.hpp"
+
+namespace repro::net {
+
+/// A CIDR block, e.g. 67.43.232.0/24.
+class Subnet {
+ public:
+  constexpr Subnet() noexcept = default;
+
+  /// Builds the subnet containing `base` with the given prefix length
+  /// (host bits of `base` are cleared). Prefix must be in [0, 32].
+  Subnet(Ipv4 base, int prefix_length);
+
+  /// Parse "a.b.c.d/len". Throws ParseError on malformed input.
+  [[nodiscard]] static Subnet parse(std::string_view text);
+
+  [[nodiscard]] constexpr Ipv4 network() const noexcept { return network_; }
+  [[nodiscard]] constexpr int prefix_length() const noexcept { return prefix_; }
+
+  [[nodiscard]] constexpr std::uint32_t mask() const noexcept {
+    return prefix_ == 0 ? 0u : ~std::uint32_t{0} << (32 - prefix_);
+  }
+
+  [[nodiscard]] constexpr bool contains(Ipv4 ip) const noexcept {
+    return (ip.value() & mask()) == network_.value();
+  }
+
+  /// Number of addresses in the block (2^(32-prefix)).
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - prefix_);
+  }
+
+  /// Uniformly random address inside the block.
+  [[nodiscard]] Ipv4 random_address(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Subnet&, const Subnet&) noexcept =
+      default;
+
+ private:
+  Ipv4 network_{};
+  int prefix_ = 32;
+};
+
+}  // namespace repro::net

@@ -1,0 +1,45 @@
+#include "pe/filetype.hpp"
+
+#include "pe/image.hpp"
+#include "pe/parser.hpp"
+#include "util/error.hpp"
+
+namespace repro::pe {
+
+namespace {
+
+bool starts_with(std::span<const std::uint8_t> data, std::string_view magic) {
+  if (data.size() < magic.size()) return false;
+  for (std::size_t i = 0; i < magic.size(); ++i) {
+    if (data[i] != static_cast<std::uint8_t>(magic[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string detect_file_type(std::span<const std::uint8_t> data) {
+  if (data.empty()) return "empty";
+  if (looks_like_pe(data)) {
+    try {
+      const PeInfo info = parse_pe(data);
+      std::string out = "MS-DOS executable PE for MS Windows";
+      out += info.subsystem == kSubsystemGui ? " (GUI)" : " (console)";
+      if (info.machine == kMachineI386) out += " Intel 80386 32-bit";
+      return out;
+    } catch (const ParseError&) {
+      // Headers look like PE but the body is truncated/corrupt; fall
+      // through to the weaker MZ signature.
+    }
+  }
+  if (starts_with(data, "MZ")) return "MS-DOS executable";
+  if (starts_with(data, "\x7f""ELF")) return "ELF 32-bit LSB executable";
+  if (starts_with(data, "<html") || starts_with(data, "<HTML")) {
+    return "HTML document text";
+  }
+  if (starts_with(data, "PK\x03\x04")) return "Zip archive data";
+  if (starts_with(data, "#!")) return "script text executable";
+  return "data";
+}
+
+}  // namespace repro::pe

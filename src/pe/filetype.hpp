@@ -1,0 +1,21 @@
+// libmagic-style file type detection.
+//
+// Table 1 lists "File type according to libmagic signatures" as a
+// mu-dimension feature (7 invariants in the paper's dataset). This is a
+// small signature-based detector producing libmagic-like description
+// strings for the file classes that show up in a honeypot malware
+// collection: PE executables, plain MZ executables, HTML (Allaple
+// infects local HTML files), archives, and corrupted downloads.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace repro::pe {
+
+/// Human-readable type string, e.g.
+/// "MS-DOS executable PE for MS Windows (GUI) Intel 80386 32-bit".
+[[nodiscard]] std::string detect_file_type(std::span<const std::uint8_t> data);
+
+}  // namespace repro::pe

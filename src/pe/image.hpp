@@ -1,0 +1,122 @@
+// Portable Executable (PE32) structures shared by the builder and parser.
+//
+// The mu-dimension of EPM clustering keys on PE header characteristics
+// (Table 1 of the paper): machine type, number of sections, number of
+// imported DLLs, OS version, linker version, section names, imported
+// DLLs and referenced Kernel32.dll symbols. The library builds real PE
+// byte images for synthetic malware samples and re-extracts all those
+// features by parsing the bytes, exactly as the paper does with pefile.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace repro::pe {
+
+/// IMAGE_FILE_MACHINE_I386 — rendered as decimal 332 in the paper's
+/// pattern dumps.
+constexpr std::uint16_t kMachineI386 = 0x014c;
+
+constexpr std::uint32_t kFileAlignment = 0x200;
+constexpr std::uint32_t kSectionAlignment = 0x1000;
+constexpr std::uint32_t kImageBase = 0x0040'0000;
+
+/// Section characteristic flags (subset).
+constexpr std::uint32_t kSectionCode = 0x0000'0020;
+constexpr std::uint32_t kSectionInitializedData = 0x0000'0040;
+constexpr std::uint32_t kSectionExecute = 0x2000'0000;
+constexpr std::uint32_t kSectionRead = 0x4000'0000;
+constexpr std::uint32_t kSectionWrite = 0x8000'0000;
+
+/// Windows subsystems (subset).
+constexpr std::uint16_t kSubsystemGui = 2;
+constexpr std::uint16_t kSubsystemConsole = 3;
+
+/// One import descriptor: a DLL and the symbols imported from it.
+struct ImportSpec {
+  std::string dll;
+  std::vector<std::string> symbols;
+};
+
+/// Input description of one section for the builder.
+struct SectionSpec {
+  /// Raw 8-byte section name; shorter names are NUL-padded on build.
+  std::string name;
+  std::uint32_t characteristics = kSectionRead;
+  std::vector<std::uint8_t> content;
+  /// If set, the builder appends the import tables after `content`
+  /// inside this section. Exactly one section must hold imports when
+  /// the template declares any.
+  bool holds_imports = false;
+};
+
+/// Full input description of a PE image.
+struct PeTemplate {
+  std::uint16_t machine = kMachineI386;
+  /// Rendered by the feature extractor as major*10+minor, matching the
+  /// paper's "linkerversion=92" style (linker 9.2).
+  std::uint8_t linker_major = 9;
+  std::uint8_t linker_minor = 2;
+  std::uint16_t os_major = 6;
+  std::uint16_t os_minor = 4;
+  std::uint16_t subsystem = kSubsystemGui;
+  std::uint32_t timestamp = 0;
+  std::vector<SectionSpec> sections;
+  std::vector<ImportSpec> imports;
+  /// If set, the last section is zero-padded so the final image has
+  /// exactly this size. Must be >= the unpadded size and a multiple of
+  /// kFileAlignment. Polymorphic families in the landscape use this to
+  /// realize the paper's size-stable mutation behaviour.
+  std::optional<std::uint32_t> target_file_size;
+};
+
+/// One parsed section.
+struct SectionInfo {
+  /// Raw 8 bytes of the name field including NUL padding — the paper
+  /// prints these verbatim (".text\x00\x00\x00").
+  std::string raw_name;
+  std::uint32_t virtual_size = 0;
+  std::uint32_t virtual_address = 0;
+  std::uint32_t raw_size = 0;
+  std::uint32_t raw_offset = 0;
+  std::uint32_t characteristics = 0;
+};
+
+/// One parsed import descriptor.
+struct ImportInfo {
+  std::string dll;
+  std::vector<std::string> symbols;
+};
+
+/// Everything the parser extracts from a PE image.
+struct PeInfo {
+  std::uint16_t machine = 0;
+  std::uint16_t subsystem = 0;
+  std::uint8_t linker_major = 0;
+  std::uint8_t linker_minor = 0;
+  std::uint16_t os_major = 0;
+  std::uint16_t os_minor = 0;
+  std::uint32_t timestamp = 0;
+  std::uint32_t entry_point = 0;
+  std::uint32_t size_of_image = 0;
+  std::vector<SectionInfo> sections;
+  std::vector<ImportInfo> imports;
+
+  /// Table-1 derived features.
+  [[nodiscard]] int linker_version() const noexcept {
+    return linker_major * 10 + linker_minor;
+  }
+  [[nodiscard]] int os_version() const noexcept {
+    return os_major * 10 + os_minor;
+  }
+  [[nodiscard]] std::size_t dll_count() const noexcept {
+    return imports.size();
+  }
+  /// Symbols imported from KERNEL32.dll (case-insensitive DLL match),
+  /// sorted; empty when the DLL is not imported.
+  [[nodiscard]] std::vector<std::string> kernel32_symbols() const;
+};
+
+}  // namespace repro::pe

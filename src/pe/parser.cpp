@@ -1,0 +1,160 @@
+#include "pe/parser.hpp"
+
+#include <algorithm>
+
+#include "util/byteio.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace repro::pe {
+
+namespace {
+
+/// Translate an RVA to a file offset using the section table.
+std::size_t rva_to_offset(const std::vector<SectionInfo>& sections,
+                          std::uint32_t rva) {
+  for (const SectionInfo& s : sections) {
+    if (rva >= s.virtual_address && rva < s.virtual_address + s.raw_size) {
+      return s.raw_offset + (rva - s.virtual_address);
+    }
+  }
+  throw ParseError("parse_pe: RVA " + std::to_string(rva) +
+                   " maps to no section");
+}
+
+std::vector<ImportInfo> parse_imports(ByteReader& r,
+                                      const std::vector<SectionInfo>& sections,
+                                      std::uint32_t import_dir_rva) {
+  std::vector<ImportInfo> imports;
+  if (import_dir_rva == 0) return imports;
+  std::size_t descriptor_offset = rva_to_offset(sections, import_dir_rva);
+  while (true) {
+    r.seek(descriptor_offset);
+    const std::uint32_t original_first_thunk = r.u32();
+    r.skip(8);  // TimeDateStamp, ForwarderChain
+    const std::uint32_t name_rva = r.u32();
+    const std::uint32_t first_thunk = r.u32();
+    if (original_first_thunk == 0 && name_rva == 0 && first_thunk == 0) break;
+
+    ImportInfo info;
+    info.dll = r.cstring_at(rva_to_offset(sections, name_rva));
+    const std::uint32_t thunk_rva =
+        original_first_thunk != 0 ? original_first_thunk : first_thunk;
+    std::size_t thunk_offset = rva_to_offset(sections, thunk_rva);
+    while (true) {
+      r.seek(thunk_offset);
+      const std::uint32_t entry = r.u32();
+      if (entry == 0) break;
+      if ((entry & 0x8000'0000u) == 0) {  // import by name
+        // Skip the 2-byte hint before the symbol name.
+        info.symbols.push_back(
+            r.cstring_at(rva_to_offset(sections, entry) + 2));
+      } else {  // import by ordinal
+        info.symbols.push_back("#" + std::to_string(entry & 0xffff));
+      }
+      thunk_offset += 4;
+    }
+    imports.push_back(std::move(info));
+    descriptor_offset += 20;
+  }
+  return imports;
+}
+
+}  // namespace
+
+bool looks_like_pe(std::span<const std::uint8_t> image) noexcept {
+  if (image.size() < 0x40) return false;
+  if (image[0] != 'M' || image[1] != 'Z') return false;
+  const std::uint32_t pe_offset = static_cast<std::uint32_t>(image[0x3c]) |
+                                  static_cast<std::uint32_t>(image[0x3d]) << 8 |
+                                  static_cast<std::uint32_t>(image[0x3e]) << 16 |
+                                  static_cast<std::uint32_t>(image[0x3f]) << 24;
+  if (pe_offset + 4 > image.size()) return false;
+  return image[pe_offset] == 'P' && image[pe_offset + 1] == 'E' &&
+         image[pe_offset + 2] == 0 && image[pe_offset + 3] == 0;
+}
+
+PeInfo parse_pe(std::span<const std::uint8_t> image) {
+  ByteReader r{image};
+  if (r.fixed_text(2) != "MZ") {
+    throw ParseError("parse_pe: missing MZ signature");
+  }
+  r.seek(0x3c);
+  const std::uint32_t pe_offset = r.u32();
+  r.seek(pe_offset);
+  if (r.fixed_text(4) != std::string{"PE\0\0", 4}) {
+    throw ParseError("parse_pe: missing PE signature");
+  }
+
+  PeInfo info;
+  info.machine = r.u16();
+  const std::uint16_t nsections = r.u16();
+  info.timestamp = r.u32();
+  r.skip(8);  // symbol table pointer + count
+  const std::uint16_t optional_size = r.u16();
+  r.skip(2);  // characteristics
+  const std::size_t optional_start = r.offset();
+
+  if (r.u16() != 0x010b) {
+    throw ParseError("parse_pe: not a PE32 optional header");
+  }
+  info.linker_major = r.u8();
+  info.linker_minor = r.u8();
+  r.skip(12);  // code/data sizes
+  info.entry_point = r.u32();
+  r.skip(8);   // BaseOfCode, BaseOfData
+  r.skip(12);  // ImageBase, SectionAlignment, FileAlignment
+  info.os_major = r.u16();
+  info.os_minor = r.u16();
+  r.skip(8);  // image + subsystem versions
+  r.skip(4);  // Win32VersionValue
+  info.size_of_image = r.u32();
+  r.skip(4);  // SizeOfHeaders
+  r.skip(4);  // CheckSum
+  info.subsystem = r.u16();
+  r.skip(2);   // DllCharacteristics
+  r.skip(16);  // stack/heap sizes
+  r.skip(4);   // LoaderFlags
+  const std::uint32_t directory_count = r.u32();
+  std::uint32_t import_dir_rva = 0;
+  for (std::uint32_t dir = 0; dir < directory_count; ++dir) {
+    const std::uint32_t rva = r.u32();
+    r.skip(4);  // size
+    if (dir == 1) import_dir_rva = rva;
+  }
+
+  r.seek(optional_start + optional_size);
+  info.sections.reserve(nsections);
+  for (std::uint16_t i = 0; i < nsections; ++i) {
+    SectionInfo section;
+    section.raw_name = r.fixed_text(8);
+    section.virtual_size = r.u32();
+    section.virtual_address = r.u32();
+    section.raw_size = r.u32();
+    section.raw_offset = r.u32();
+    r.skip(12);  // relocations/line numbers
+    section.characteristics = r.u32();
+    if (static_cast<std::size_t>(section.raw_offset) + section.raw_size >
+        image.size()) {
+      throw ParseError("parse_pe: section '" + trim(section.raw_name) +
+                       "' raw data extends past end of image");
+    }
+    info.sections.push_back(std::move(section));
+  }
+
+  info.imports = parse_imports(r, info.sections, import_dir_rva);
+  return info;
+}
+
+std::vector<std::string> PeInfo::kernel32_symbols() const {
+  std::vector<std::string> out;
+  for (const ImportInfo& import : imports) {
+    if (to_lower(import.dll) == "kernel32.dll") {
+      out.insert(out.end(), import.symbols.begin(), import.symbols.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace repro::pe

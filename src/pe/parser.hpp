@@ -1,0 +1,24 @@
+// PE32 parser (pefile substitute).
+//
+// Re-extracts from raw bytes every PE feature EPM clustering uses.
+// Truncated or corrupted images (the paper reports Nepenthes download
+// failures producing such samples) throw ParseError, which the
+// enrichment pipeline records as "not analyzable".
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "pe/image.hpp"
+
+namespace repro::pe {
+
+/// True if the buffer starts with an MZ header that points at a valid
+/// "PE\0\0" signature inside the buffer.
+[[nodiscard]] bool looks_like_pe(std::span<const std::uint8_t> image) noexcept;
+
+/// Parses the PE headers, section table and import tables.
+/// Throws ParseError on any truncation or structural inconsistency.
+[[nodiscard]] PeInfo parse_pe(std::span<const std::uint8_t> image);
+
+}  // namespace repro::pe

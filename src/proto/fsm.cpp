@@ -1,0 +1,178 @@
+#include "proto/fsm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace repro::proto {
+
+namespace {
+
+/// Union-find over message indices for single-linkage micro-clustering.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+Fsm Fsm::learn(const std::vector<Conversation>& training,
+               const FsmOptions& options) {
+  if (training.empty()) {
+    throw ConfigError("Fsm::learn: empty training set");
+  }
+  Fsm fsm;
+  fsm.port_ = training.front().dst_port;
+  for (const Conversation& conversation : training) {
+    if (conversation.dst_port != fsm.port_) {
+      throw ConfigError("Fsm::learn: mixed destination ports in training set");
+    }
+  }
+  fsm.states_.emplace_back();
+  std::vector<const Conversation*> group;
+  group.reserve(training.size());
+  for (const Conversation& conversation : training) {
+    group.push_back(&conversation);
+  }
+  fsm.learn_node(0, group, 0, options);
+  return fsm;
+}
+
+void Fsm::learn_node(int state, const std::vector<const Conversation*>& group,
+                     std::size_t depth, const FsmOptions& options) {
+  // Conversations that still have a client message at this depth.
+  std::vector<const Conversation*> active;
+  std::vector<const Bytes*> messages;
+  for (const Conversation* conversation : group) {
+    const auto client = conversation->client_messages();
+    if (depth < client.size()) {
+      active.push_back(conversation);
+      messages.push_back(client[depth]);
+    }
+  }
+  if (active.empty()) return;
+
+  // Micro-cluster the messages at this dialog position: single linkage
+  // over pairwise LCS similarity.
+  UnionFind groups(messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    for (std::size_t j = i + 1; j < messages.size(); ++j) {
+      if (groups.find(i) == groups.find(j)) continue;
+      if (message_similarity(*messages[i], *messages[j]) >=
+          options.similarity_threshold) {
+        groups.unite(i, j);
+      }
+    }
+  }
+
+  // Materialize clusters in first-seen order so learning is
+  // deterministic for a given training order.
+  std::vector<std::size_t> roots;
+  std::vector<std::vector<std::size_t>> members;
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    const std::size_t root = groups.find(i);
+    const auto it = std::find(roots.begin(), roots.end(), root);
+    if (it == roots.end()) {
+      roots.push_back(root);
+      members.push_back({i});
+    } else {
+      members[static_cast<std::size_t>(it - roots.begin())].push_back(i);
+    }
+  }
+
+  for (const auto& cluster : members) {
+    std::vector<const Bytes*> cluster_messages;
+    std::vector<const Conversation*> cluster_conversations;
+    for (const std::size_t index : cluster) {
+      cluster_messages.push_back(messages[index]);
+      cluster_conversations.push_back(active[index]);
+    }
+    Transition transition;
+    transition.regions =
+        region_analysis(cluster_messages, options.min_region_length);
+    transition.target = static_cast<int>(states_.size());
+    states_.emplace_back();
+    states_[static_cast<std::size_t>(state)].transitions.push_back(
+        std::move(transition));
+    const int target =
+        states_[static_cast<std::size_t>(state)].transitions.back().target;
+    learn_node(target, cluster_conversations, depth + 1, options);
+  }
+}
+
+std::optional<std::string> Fsm::match(const Conversation& conversation) const {
+  if (conversation.dst_port != port_) return std::nullopt;
+  std::string path = "p" + std::to_string(port_) + "/";
+  int state = 0;
+  bool first = true;
+  for (const Bytes* message : conversation.client_messages()) {
+    const State& node = states_[static_cast<std::size_t>(state)];
+    int best = -1;
+    std::size_t best_bytes = 0;
+    for (std::size_t t = 0; t < node.transitions.size(); ++t) {
+      const Transition& transition = node.transitions[t];
+      if (!regions_match(transition.regions, *message)) continue;
+      const std::size_t fixed_bytes = total_region_bytes(transition.regions);
+      if (best < 0 || fixed_bytes > best_bytes) {
+        best = static_cast<int>(t);
+        best_bytes = fixed_bytes;
+      }
+    }
+    if (best < 0) return std::nullopt;  // unknown activity -> proxy
+    if (!first) path += ".";
+    path += std::to_string(best);
+    first = false;
+    state = node.transitions[static_cast<std::size_t>(best)].target;
+  }
+  return path;
+}
+
+std::size_t Fsm::transition_count() const noexcept {
+  std::size_t count = 0;
+  for (const State& state : states_) count += state.transitions.size();
+  return count;
+}
+
+std::vector<std::string> Fsm::all_paths() const {
+  std::vector<std::string> paths;
+  std::string prefix = "p" + std::to_string(port_) + "/";
+  // Depth-first enumeration of root-to-leaf transition index sequences.
+  struct Frame {
+    int state;
+    std::string path;
+  };
+  std::vector<Frame> stack{{0, prefix}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const State& node = states_[static_cast<std::size_t>(frame.state)];
+    if (node.transitions.empty()) {
+      paths.push_back(frame.path);
+      continue;
+    }
+    for (std::size_t t = 0; t < node.transitions.size(); ++t) {
+      std::string next = frame.path;
+      if (next.back() != '/') next += ".";
+      next += std::to_string(t);
+      stack.push_back({node.transitions[t].target, std::move(next)});
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace repro::proto

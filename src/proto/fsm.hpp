@@ -1,0 +1,76 @@
+// ScriptGen Finite State Machine models.
+//
+// An Fsm models the client side of a service dialog on one port. Each
+// state's outgoing transitions are labeled with the fixed regions of a
+// cluster of similar client messages; traversing the machine with an
+// observed conversation yields an FSM *path identifier* — the feature
+// the paper uses to classify exploits (Table 1: 50 invariant FSM paths).
+//
+// Because FSM models are learned from concrete conversations, a path
+// captures protocol structure *and* implementation specificities (fixed
+// usernames, connection identifiers), exactly as [20] describes — two
+// implementations of the same exploit yield different paths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "proto/message.hpp"
+#include "proto/region.hpp"
+
+namespace repro::proto {
+
+/// Tuning knobs for FSM learning.
+struct FsmOptions {
+  /// Two client messages at the same dialog position belong to the same
+  /// transition when their LCS similarity reaches this threshold.
+  double similarity_threshold = 0.8;
+  /// Fixed regions shorter than this are discarded as alignment noise.
+  std::size_t min_region_length = 3;
+};
+
+/// A learned per-port FSM.
+class Fsm {
+ public:
+  /// Learns a machine from training conversations, which must all share
+  /// the same destination port. Throws ConfigError on mixed ports or an
+  /// empty training set.
+  [[nodiscard]] static Fsm learn(const std::vector<Conversation>& training,
+                                 const FsmOptions& options = {});
+
+  /// Walks the machine along the conversation's client messages.
+  /// Returns the path identifier ("p445/2.0.1": port plus the transition
+  /// index taken at each step) or nullopt as soon as a message matches
+  /// no transition — the SGNET sensor would proxy such a conversation to
+  /// the sample factory as a new activity.
+  [[nodiscard]] std::optional<std::string> match(
+      const Conversation& conversation) const;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return states_.size();
+  }
+  [[nodiscard]] std::size_t transition_count() const noexcept;
+
+  /// Distinct complete root-to-leaf path identifiers in the machine.
+  [[nodiscard]] std::vector<std::string> all_paths() const;
+
+ private:
+  struct Transition {
+    std::vector<Region> regions;
+    int target = -1;
+  };
+  struct State {
+    std::vector<Transition> transitions;
+  };
+
+  void learn_node(int state, const std::vector<const Conversation*>& group,
+                  std::size_t depth, const FsmOptions& options);
+
+  std::vector<State> states_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace repro::proto

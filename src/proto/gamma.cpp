@@ -1,0 +1,87 @@
+#include "proto/gamma.hpp"
+
+namespace repro::proto {
+
+namespace {
+
+/// Marker separating the pad from the control value; stands in for the
+/// structural knowledge (frame layout) the taint oracle has.
+constexpr std::uint8_t kGammaMarker[2] = {0xeb, 0x06};
+
+}  // namespace
+
+std::string hijack_technique_name(HijackTechnique technique) {
+  switch (technique) {
+    case HijackTechnique::kStackReturn: return "stack-return";
+    case HijackTechnique::kSehFrame: return "seh-frame";
+    case HijackTechnique::kFuncPointer: return "func-pointer";
+  }
+  return "unknown";
+}
+
+GammaSpec make_gamma_spec(std::uint64_t exploit_seed) {
+  Rng rng{mix64(exploit_seed ^ 0x6a11'a000'0000'0000ULL)};
+  GammaSpec spec;
+  const double draw = rng.real();
+  spec.technique = draw < 0.6   ? HijackTechnique::kStackReturn
+                   : draw < 0.85 ? HijackTechnique::kSehFrame
+                                 : HijackTechnique::kFuncPointer;
+  // Trampolines live in system DLL ranges; a handful of addresses are
+  // reused across implementations (popular jmp-esp gadgets).
+  static constexpr std::uint32_t kPopularGadgets[] = {
+      0x7c80'1234, 0x7c83'5a41, 0x71ab'7bfb, 0x7e42'9353};
+  if (rng.chance(0.5)) {
+    spec.trampoline = kPopularGadgets[rng.index(4)];
+  } else {
+    spec.trampoline =
+        0x7c80'0000 + static_cast<std::uint32_t>(rng.index(0x0008'0000));
+  }
+  spec.pad_length = static_cast<std::uint16_t>(32 + 4 * rng.index(64));
+  return spec;
+}
+
+std::vector<std::uint8_t> build_gamma(const GammaSpec& spec, Rng& rng) {
+  std::vector<std::uint8_t> out;
+  out.reserve(spec.pad_length + 8);
+  for (std::uint16_t i = 0; i < spec.pad_length; ++i) {
+    // Per-instance pad filler; avoid the marker's first byte.
+    std::uint8_t filler = static_cast<std::uint8_t>(rng.uniform(0x41, 0x5a));
+    out.push_back(filler);
+  }
+  out.push_back(kGammaMarker[0]);
+  out.push_back(kGammaMarker[1]);
+  out.push_back(static_cast<std::uint8_t>(spec.technique));
+  out.push_back(static_cast<std::uint8_t>(spec.trampoline & 0xff));
+  out.push_back(static_cast<std::uint8_t>((spec.trampoline >> 8) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((spec.trampoline >> 16) & 0xff));
+  out.push_back(static_cast<std::uint8_t>((spec.trampoline >> 24) & 0xff));
+  return out;
+}
+
+std::optional<GammaObservation> observe_gamma(
+    const std::vector<std::uint8_t>& bytes) {
+  // Scan for the marker; the pad length is the offset where it sits.
+  for (std::size_t i = 0; i + 7 <= bytes.size(); ++i) {
+    if (bytes[i] != kGammaMarker[0] || bytes[i + 1] != kGammaMarker[1]) {
+      continue;
+    }
+    const std::uint8_t technique_raw = bytes[i + 2];
+    if (technique_raw > static_cast<std::uint8_t>(
+                            HijackTechnique::kFuncPointer)) {
+      continue;
+    }
+    GammaObservation observation;
+    observation.technique = hijack_technique_name(
+        static_cast<HijackTechnique>(technique_raw));
+    observation.trampoline =
+        static_cast<std::uint32_t>(bytes[i + 3]) |
+        static_cast<std::uint32_t>(bytes[i + 4]) << 8 |
+        static_cast<std::uint32_t>(bytes[i + 5]) << 16 |
+        static_cast<std::uint32_t>(bytes[i + 6]) << 24;
+    observation.pad_length = static_cast<std::uint16_t>(i);
+    return observation;
+  }
+  return std::nullopt;
+}
+
+}  // namespace repro::proto

@@ -1,0 +1,70 @@
+// Bogus control data (gamma) — synthesis and taint-side observation.
+//
+// In the EGPM model, gamma is the network data that overwrites control
+// structures and redirects execution into the payload: the return
+// address (typically a jmp-reg trampoline inside a loaded DLL), the
+// register-context spray, and the stack padding in front of it. The
+// paper does not classify gamma "due to lack of host-based information
+// in the SGNET dataset" (footnote 1); this module implements the
+// extension the footnote implies. The Argos-style taint oracle *does*
+// see the hijack when a conversation is proxied to the sample factory,
+// so gamma observations exist for the factory-handled subset of events.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace repro::proto {
+
+/// Control-flow hijack techniques observed in server-side exploits.
+enum class HijackTechnique : std::uint8_t {
+  kStackReturn,  // classic saved-return-address overwrite
+  kSehFrame,     // SEH handler overwrite
+  kFuncPointer,  // function/vtable pointer overwrite
+};
+
+[[nodiscard]] std::string hijack_technique_name(HijackTechnique technique);
+
+/// Ground-truth gamma configuration of one exploit implementation. The
+/// trampoline address is implementation-specific (hard-coded by the
+/// exploit author for a particular DLL build), which is what makes it
+/// a usable invariant.
+struct GammaSpec {
+  HijackTechnique technique = HijackTechnique::kStackReturn;
+  /// Hijacked control value: address of a jmp-esp style trampoline.
+  std::uint32_t trampoline = 0x7c80'1234;
+  /// Bytes of padding between the overflow point and the control value.
+  std::uint16_t pad_length = 64;
+};
+
+/// Deterministic gamma configuration for an exploit implementation.
+[[nodiscard]] GammaSpec make_gamma_spec(std::uint64_t exploit_seed);
+
+/// Serializes the bogus control data that precedes the payload on the
+/// wire: pad bytes, then a technique marker, then the little-endian
+/// trampoline. The pad content varies per instance; everything else is
+/// implementation-invariant.
+[[nodiscard]] std::vector<std::uint8_t> build_gamma(const GammaSpec& spec,
+                                                    Rng& rng);
+
+/// What the taint oracle reports when the hijack fires inside the
+/// sample factory.
+struct GammaObservation {
+  std::string technique;      // hijack technique name
+  std::uint32_t trampoline = 0;  // overwriting value caught by tainting
+  std::uint16_t pad_length = 0;  // distance from overflow to control data
+
+  friend bool operator==(const GammaObservation&,
+                         const GammaObservation&) = default;
+};
+
+/// Parses gamma bytes back into an observation (the taint-side view).
+/// Returns nullopt when the marker structure is absent.
+[[nodiscard]] std::optional<GammaObservation> observe_gamma(
+    const std::vector<std::uint8_t>& bytes);
+
+}  // namespace repro::proto

@@ -1,0 +1,19 @@
+#include "proto/message.hpp"
+
+namespace repro::proto {
+
+Bytes to_bytes(std::string_view text) {
+  return Bytes{text.begin(), text.end()};
+}
+
+std::vector<const Bytes*> Conversation::client_messages() const {
+  std::vector<const Bytes*> out;
+  for (const Message& message : messages) {
+    if (message.direction == Message::Direction::kClientToServer) {
+      out.push_back(&message.bytes);
+    }
+  }
+  return out;
+}
+
+}  // namespace repro::proto

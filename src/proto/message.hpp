@@ -1,0 +1,43 @@
+// Protocol messages and conversations.
+//
+// SGNET sensors observe code-injection attacks as TCP conversations:
+// an ordered exchange of client and server messages on a destination
+// port. ScriptGen learns Finite State Machine models from such
+// conversations; the FSM path taken by an attack is the main
+// epsilon-dimension feature of EPM clustering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+
+namespace repro::proto {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Converts ASCII text to protocol bytes.
+[[nodiscard]] Bytes to_bytes(std::string_view text);
+
+/// One directional message within a conversation.
+struct Message {
+  enum class Direction : std::uint8_t { kClientToServer, kServerToClient };
+
+  Direction direction = Direction::kClientToServer;
+  Bytes bytes;
+};
+
+/// One observed TCP conversation between an attacker and a honeypot.
+struct Conversation {
+  net::Ipv4 source;
+  net::Ipv4 destination;
+  std::uint16_t dst_port = 0;
+  std::vector<Message> messages;
+
+  /// Client-to-server messages in order; FSM learning and matching only
+  /// consider the client side (the honeypot plays the server).
+  [[nodiscard]] std::vector<const Bytes*> client_messages() const;
+};
+
+}  // namespace repro::proto

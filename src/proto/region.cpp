@@ -1,0 +1,130 @@
+#include "proto/region.hpp"
+
+#include <algorithm>
+
+namespace repro::proto {
+
+Bytes longest_common_subsequence(const Bytes& a, const Bytes& b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) return {};
+  // Full DP table (messages are bounded by MTU-scale sizes; learning
+  // runs on small per-transition sample sets).
+  std::vector<std::uint32_t> table((n + 1) * (m + 1), 0);
+  const auto at = [&](std::size_t i, std::size_t j) -> std::uint32_t& {
+    return table[i * (m + 1) + j];
+  };
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      at(i, j) = a[i - 1] == b[j - 1]
+                     ? at(i - 1, j - 1) + 1
+                     : std::max(at(i - 1, j), at(i, j - 1));
+    }
+  }
+  Bytes out(at(n, m));
+  std::size_t i = n;
+  std::size_t j = m;
+  std::size_t k = out.size();
+  while (i > 0 && j > 0) {
+    if (a[i - 1] == b[j - 1]) {
+      out[--k] = a[i - 1];
+      --i;
+      --j;
+    } else if (at(i - 1, j) >= at(i, j - 1)) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  return out;
+}
+
+double message_similarity(const Bytes& a, const Bytes& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  const Bytes common = longest_common_subsequence(a, b);
+  return 2.0 * static_cast<double>(common.size()) /
+         static_cast<double>(a.size() + b.size());
+}
+
+namespace {
+
+/// Leftmost greedy embedding positions of subsequence `needle` in
+/// `haystack`; returns false if `needle` is not a subsequence.
+bool embed(const Bytes& needle, const Bytes& haystack,
+           std::vector<std::size_t>& positions) {
+  positions.clear();
+  positions.reserve(needle.size());
+  std::size_t h = 0;
+  for (const std::uint8_t byte : needle) {
+    while (h < haystack.size() && haystack[h] != byte) ++h;
+    if (h == haystack.size()) return false;
+    positions.push_back(h++);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Region> region_analysis(const std::vector<const Bytes*>& messages,
+                                    std::size_t min_region_length) {
+  std::vector<Region> regions;
+  if (messages.empty()) return regions;
+
+  // Iterated LCS: bytes common to all messages, in order.
+  Bytes common = *messages.front();
+  for (std::size_t i = 1; i < messages.size() && !common.empty(); ++i) {
+    common = longest_common_subsequence(common, *messages[i]);
+  }
+  if (common.empty()) return regions;
+
+  // Embed the common subsequence in every message and split it wherever
+  // any message breaks contiguity: the surviving runs are bytes that are
+  // contiguous (hence structurally fixed) in all instances.
+  std::vector<std::vector<std::size_t>> embeddings(messages.size());
+  std::vector<std::size_t> scratch;
+  for (std::size_t m = 0; m < messages.size(); ++m) {
+    if (!embed(common, *messages[m], scratch)) return regions;  // defensive
+    embeddings[m] = scratch;
+  }
+
+  Bytes run;
+  const auto flush = [&] {
+    if (run.size() >= min_region_length) regions.push_back(Region{run});
+    run.clear();
+  };
+  for (std::size_t k = 0; k < common.size(); ++k) {
+    if (k > 0) {
+      bool contiguous = true;
+      for (const auto& positions : embeddings) {
+        if (positions[k] != positions[k - 1] + 1) {
+          contiguous = false;
+          break;
+        }
+      }
+      if (!contiguous) flush();
+    }
+    run.push_back(common[k]);
+  }
+  flush();
+  return regions;
+}
+
+bool regions_match(const std::vector<Region>& regions,
+                   const Bytes& candidate) noexcept {
+  auto cursor = candidate.begin();
+  for (const Region& region : regions) {
+    cursor = std::search(cursor, candidate.end(), region.bytes.begin(),
+                         region.bytes.end());
+    if (cursor == candidate.end() && !region.bytes.empty()) return false;
+    cursor += static_cast<long>(region.bytes.size());
+  }
+  return true;
+}
+
+std::size_t total_region_bytes(const std::vector<Region>& regions) noexcept {
+  std::size_t total = 0;
+  for (const Region& region : regions) total += region.bytes.size();
+  return total;
+}
+
+}  // namespace repro::proto

@@ -1,0 +1,171 @@
+#include "proto/services.hpp"
+
+#include "util/error.hpp"
+
+namespace repro::proto {
+
+std::uint16_t service_port(ServiceKind kind) noexcept {
+  switch (kind) {
+    case ServiceKind::kSmb445: return 445;
+    case ServiceKind::kNetbios139: return 139;
+    case ServiceKind::kDceRpc135: return 135;
+  }
+  return 0;
+}
+
+std::string service_name(ServiceKind kind) {
+  switch (kind) {
+    case ServiceKind::kSmb445: return "smb445";
+    case ServiceKind::kNetbios139: return "netbios139";
+    case ServiceKind::kDceRpc135: return "dcerpc135";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Assembles an implementation-specific constant from a pool of
+/// "key=value" option fields. Different exploit implementations choose
+/// different option subsets and different values, which is what makes
+/// their messages separable by the FSM's message clustering — exactly
+/// the "implementation specificities" effect of [20].
+std::string implementation_fields(Rng& rng, std::size_t min_fields,
+                                  std::size_t max_fields) {
+  static constexpr const char* kKeys[] = {"client", "domain", "os",    "lm",
+                                          "pid",    "cap",    "flags", "uid"};
+  const std::size_t count =
+      min_fields + rng.index(max_fields - min_fields + 1);
+  std::vector<std::string> keys{std::begin(kKeys), std::end(kKeys)};
+  rng.shuffle(keys);
+  std::string out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out += " " + keys[i] + "=" + rng.alnum(10 + rng.index(6));
+  }
+  return out;
+}
+
+}  // namespace
+
+ExploitTemplate make_exploit_template(ServiceKind service,
+                                      std::uint32_t implementation_index) {
+  // Implementation constants are derived from a deterministic stream so
+  // the same (service, index) pair always yields the same exploit.
+  Rng rng{mix64(fnv1a64(service_name(service)) ^
+                (0x9e37'79b9'7f4a'7c15ULL * (implementation_index + 1)))};
+
+  ExploitTemplate tmpl;
+  tmpl.service = service;
+  tmpl.id = service_name(service) + "-impl" +
+            std::to_string(implementation_index);
+  tmpl.gamma = make_gamma_spec(fnv1a64(tmpl.id));
+
+  switch (service) {
+    case ServiceKind::kSmb445: {
+      tmpl.requests.push_back(RequestTemplate{
+          "\xffSMBr NEGOTIATE", implementation_fields(rng, 3, 5), 6, false});
+      // Roughly a third of the implementations authenticate anonymously
+      // and skip the session-setup request, shortening the dialog.
+      if (implementation_index % 3 != 2) {
+        tmpl.requests.push_back(RequestTemplate{
+            "\xffSMBs SESSION_SETUP", implementation_fields(rng, 2, 4),
+            4 + implementation_index % 5, false});
+      }
+      tmpl.requests.push_back(RequestTemplate{
+          "\xffSMB2 TRANS2 ASN.1 bitstring",
+          implementation_fields(rng, 2, 4) + " blob=", 6, true});
+      break;
+    }
+    case ServiceKind::kNetbios139: {
+      tmpl.requests.push_back(RequestTemplate{
+          "\x81 SESSION REQUEST called=*SMBSERVER",
+          implementation_fields(rng, 2, 3), 2, false});
+      tmpl.requests.push_back(RequestTemplate{
+          "\xffSMBr NEGOTIATE", implementation_fields(rng, 3, 5), 6, false});
+      tmpl.requests.push_back(RequestTemplate{
+          "\xffSMB2 TRANS2 ASN.1 bitstring",
+          implementation_fields(rng, 2, 4) + " blob=", 6, true});
+      break;
+    }
+    case ServiceKind::kDceRpc135: {
+      tmpl.requests.push_back(RequestTemplate{
+          "\x05\x0b BIND uuid=4d9f4ab8-7d1c-11cf-861e-0020af6e7c57",
+          implementation_fields(rng, 2, 4), 6, false});
+      tmpl.requests.push_back(RequestTemplate{
+          "\x05 REQUEST opnum=4",
+          implementation_fields(rng, 2, 3) + " stub=",
+          2 + implementation_index % 4, true});
+      break;
+    }
+  }
+  return tmpl;
+}
+
+Conversation synthesize_attack(const ExploitTemplate& tmpl,
+                               const Bytes& payload, net::Ipv4 source,
+                               net::Ipv4 destination, Rng& rng) {
+  if (tmpl.requests.empty()) {
+    throw ConfigError("synthesize_attack: template '" + tmpl.id +
+                      "' has no requests");
+  }
+  Conversation conversation;
+  conversation.source = source;
+  conversation.destination = destination;
+  conversation.dst_port = service_port(tmpl.service);
+
+  for (const RequestTemplate& request : tmpl.requests) {
+    Message client;
+    client.direction = Message::Direction::kClientToServer;
+    client.bytes = to_bytes(request.protocol_prefix);
+    const Bytes token = to_bytes(request.implementation_token);
+    client.bytes.insert(client.bytes.end(), token.begin(), token.end());
+    // Per-instance random field: hex-ish bytes so no accidental overlap
+    // with protocol keywords.
+    for (std::size_t i = 0; i < request.random_field_length; ++i) {
+      client.bytes.push_back(
+          static_cast<std::uint8_t>(rng.uniform(0x80, 0xbf)));
+    }
+    if (request.carries_payload) {
+      // Bogus control data first (pad + hijacked control value), then
+      // the payload it redirects execution into.
+      const Bytes gamma = build_gamma(tmpl.gamma, rng);
+      client.bytes.insert(client.bytes.end(), gamma.begin(), gamma.end());
+      client.bytes.insert(client.bytes.end(), payload.begin(), payload.end());
+    }
+    conversation.messages.push_back(std::move(client));
+
+    Message server;
+    server.direction = Message::Direction::kServerToClient;
+    server.bytes = to_bytes(request.carries_payload ? "-FAULT pipe broken"
+                                                     : "+OK continue");
+    conversation.messages.push_back(std::move(server));
+  }
+  return conversation;
+}
+
+PayloadLocation payload_location(const ExploitTemplate& tmpl) {
+  for (std::size_t i = 0; i < tmpl.requests.size(); ++i) {
+    const RequestTemplate& request = tmpl.requests[i];
+    if (!request.carries_payload) continue;
+    // Client messages sit at even indices (each followed by one reply).
+    return PayloadLocation{
+        i * 2, request.protocol_prefix.size() +
+                   request.implementation_token.size() +
+                   request.random_field_length};
+  }
+  throw ConfigError("payload_location: template '" + tmpl.id +
+                    "' carries no payload");
+}
+
+Conversation strip_payload(Conversation conversation,
+                           const PayloadLocation& location) {
+  if (location.message_index >= conversation.messages.size()) {
+    throw ConfigError("strip_payload: message index out of range");
+  }
+  Bytes& bytes = conversation.messages[location.message_index].bytes;
+  if (location.byte_offset < bytes.size()) {
+    bytes.resize(location.byte_offset);
+  }
+  return conversation;
+}
+
+}  // namespace repro::proto

@@ -1,0 +1,94 @@
+// Synthetic vulnerable-service exploit dialogs.
+//
+// SGNET observes real exploits against Windows services (the paper's
+// Allaple case targets the MS04-007 ASN.1 vulnerability on 445/tcp).
+// We cannot replay real exploit traffic offline, so this module defines
+// byte-level *exploit dialog templates*: multi-request conversations
+// with a realistic mix of fixed protocol framing, implementation-
+// specific constants (usernames, NetBIOS connection identifiers — what
+// makes two implementations of the same exploit take different FSM
+// paths) and per-instance random fields. The final request carries the
+// injected payload (gamma + pi of the EGPM model).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "proto/gamma.hpp"
+#include "proto/message.hpp"
+#include "util/rng.hpp"
+
+namespace repro::proto {
+
+/// The base service a dialog speaks; fixes the destination port and the
+/// protocol framing. The paper's dataset sees three invariant ports.
+enum class ServiceKind : std::uint8_t {
+  kSmb445,      // SMB / MS04-007-style dialogs on 445/tcp
+  kNetbios139,  // NetBIOS session service dialogs on 139/tcp
+  kDceRpc135,   // DCE-RPC endpoint-mapper dialogs on 135/tcp
+};
+
+[[nodiscard]] std::uint16_t service_port(ServiceKind kind) noexcept;
+[[nodiscard]] std::string service_name(ServiceKind kind);
+
+/// One client request within a dialog template.
+struct RequestTemplate {
+  /// Fixed protocol framing shared by every implementation of the
+  /// service (e.g. the SMB negotiate header).
+  std::string protocol_prefix;
+  /// Implementation-specific constant: identical across all attacks by
+  /// this exploit implementation, different between implementations.
+  std::string implementation_token;
+  /// Length of the per-instance random field (transaction ids, padding).
+  std::size_t random_field_length = 0;
+  /// Whether the injected payload bytes are appended to this request.
+  bool carries_payload = false;
+};
+
+/// A full exploit implementation: the epsilon ground truth.
+struct ExploitTemplate {
+  std::string id;        // stable label, e.g. "smb445-asn1-implA"
+  ServiceKind service = ServiceKind::kSmb445;
+  std::vector<RequestTemplate> requests;
+  /// Bogus control data configuration (gamma): serialized between the
+  /// fixed dialog fields and the payload in the carrying request.
+  GammaSpec gamma;
+};
+
+/// Deterministically derives a distinct exploit implementation of the
+/// given service. Different `implementation_index` values produce
+/// different implementation tokens (and possibly different dialog
+/// lengths), hence different FSM paths.
+[[nodiscard]] ExploitTemplate make_exploit_template(
+    ServiceKind service, std::uint32_t implementation_index);
+
+/// Renders one concrete attack conversation from a template: fixed
+/// framing + implementation tokens + fresh random fields + the payload
+/// appended to the payload-carrying request. Server replies are
+/// interleaved so the conversation is a plausible dialog.
+[[nodiscard]] Conversation synthesize_attack(const ExploitTemplate& tmpl,
+                                             const Bytes& payload,
+                                             net::Ipv4 source,
+                                             net::Ipv4 destination, Rng& rng);
+
+/// Location of the injected (tainted) region inside the carrying client
+/// message — the information Argos' memory tainting provides to the
+/// sample factory. The region starts at the gamma bytes (bogus control
+/// data) and runs through the payload to the end of the message.
+struct PayloadLocation {
+  std::size_t message_index = 0;  // index into Conversation::messages
+  std::size_t byte_offset = 0;    // start of gamma + payload
+};
+[[nodiscard]] PayloadLocation payload_location(const ExploitTemplate& tmpl);
+
+/// Copy of the conversation with the tainted payload bytes removed from
+/// the carrying message. The sample factory applies this before handing
+/// conversations to ScriptGen FSM refinement, so learned models describe
+/// the protocol dialog rather than payload bytes (matching how SGNET
+/// separates epsilon from gamma/pi).
+[[nodiscard]] Conversation strip_payload(Conversation conversation,
+                                         const PayloadLocation& location);
+
+}  // namespace repro::proto

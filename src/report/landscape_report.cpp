@@ -1,0 +1,157 @@
+#include "report/landscape_report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/c2.hpp"
+#include "analysis/context.hpp"
+#include "util/strings.hpp"
+
+namespace repro::report {
+
+namespace {
+
+/// Coarse behavior class inferred from profile features alone.
+std::string behavior_class(const sandbox::BehavioralProfile& profile) {
+  bool irc = false;
+  bool dns = false;
+  bool dos = false;
+  bool scan = false;
+  for (const std::string& feature : profile.features()) {
+    irc |= feature.rfind("irc|join|", 0) == 0;
+    dns |= feature.rfind("dns|", 0) == 0;
+    dos |= feature.rfind("dos|", 0) == 0;
+    scan |= feature.rfind("network|scan|", 0) == 0;
+  }
+  if (irc && !dns) return "IRC bot (C&C-driven)";
+  if (dns) return "downloader / dropper (distribution site)";
+  if (dos && scan) return "self-propagating worm with DoS payload";
+  if (scan) return "self-propagating worm";
+  return "trojan (no network propagation behavior)";
+}
+
+/// The most frequent AV label among a set of samples.
+std::string dominant_label(const honeypot::EventDatabase& db,
+                           const std::vector<honeypot::SampleId>& samples) {
+  std::map<std::string, std::size_t> counts;
+  for (const auto id : samples) ++counts[db.sample(id).av_label];
+  std::string best = "(unknown)";
+  std::size_t best_count = 0;
+  for (const auto& [label, count] : counts) {
+    if (count > best_count) {
+      best = label;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::string landscape_report(const honeypot::EventDatabase& db,
+                             const cluster::EpmResult& e,
+                             const cluster::EpmResult& p,
+                             const cluster::EpmResult& m,
+                             const analysis::BehavioralView& b,
+                             const LandscapeReportOptions& options) {
+  std::string out = "# Threat landscape report\n\n";
+  out += "dataset: " + with_commas(db.events().size()) + " attacks, " +
+         with_commas(db.samples().size()) + " samples, " +
+         std::to_string(b.cluster_count()) + " behavior classes\n\n";
+
+  // Rank B-clusters by sample count, multi-sample only.
+  std::vector<std::pair<std::size_t, int>> ranked;
+  for (std::size_t c = 0; c < b.cluster_count(); ++c) {
+    const auto members = b.samples_of_cluster(static_cast<int>(c));
+    if (members.size() >= 2) ranked.push_back({members.size(), static_cast<int>(c)});
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  if (ranked.size() > options.top) ranked.resize(options.top);
+
+  const analysis::C2Report c2 = analysis::correlate_irc(db, m, b);
+
+  int rank = 1;
+  for (const auto& [sample_count, b_cluster] : ranked) {
+    const auto samples = b.samples_of_cluster(b_cluster);
+    const auto context = analysis::propagation_context(
+        db, m, b, b_cluster, options.origin, options.weeks);
+
+    out += "## Threat " + std::to_string(rank++) + " — B" +
+           std::to_string(b_cluster) + " (" + std::to_string(sample_count) +
+           " samples, " + std::to_string(context.per_m_cluster.size()) +
+           " static variants)\n";
+
+    // Behavior, from the first member's profile.
+    const auto& first_sample = db.sample(samples.front());
+    if (first_sample.profile.has_value()) {
+      out += "- behavior: " + behavior_class(*first_sample.profile) + "\n";
+    }
+    out += "- dominant AV label: " + dominant_label(db, samples) + "\n";
+
+    // Propagation vector: dominant (E, P) pair over the threat's events.
+    std::map<std::pair<int, int>, std::size_t> vectors;
+    std::size_t events = 0;
+    const std::set<honeypot::SampleId> sample_set{samples.begin(),
+                                                  samples.end()};
+    for (const auto& event : db.events()) {
+      if (!event.sample.has_value() || !sample_set.count(*event.sample)) {
+        continue;
+      }
+      ++events;
+      ++vectors[{e.cluster_of_event(event.id), p.cluster_of_event(event.id)}];
+    }
+    if (!vectors.empty()) {
+      const auto dominant = std::max_element(
+          vectors.begin(), vectors.end(),
+          [](const auto& a, const auto& bb) { return a.second < bb.second; });
+      out += "- propagation: E" + std::to_string(dominant->first.first) +
+             "/P" + std::to_string(dominant->first.second) + " covers " +
+             std::to_string(dominant->second * 100 / std::max<std::size_t>(
+                                                         1, events)) +
+             "% of " + std::to_string(events) + " attacks";
+      const int p_cluster = dominant->first.second;
+      if (p_cluster >= 0) {
+        const auto& fields =
+            p.patterns[static_cast<std::size_t>(p_cluster)].fields();
+        out += " (" + fields[0].value_or("*") + " / port " +
+               fields[2].value_or("*") + " / " + fields[3].value_or("*") +
+               ")";
+      }
+      out += "\n";
+    }
+
+    // Population character from the lead M-cluster.
+    if (!context.per_m_cluster.empty()) {
+      const auto& lead = context.per_m_cluster.front();
+      out += "- population: " +
+             std::string(lead.ip_entropy > 0.5
+                             ? "widespread over the IP space ("
+                             : "concentrated in specific networks (") +
+             std::to_string(lead.occupied_slash8) + " /8 blocks, " +
+             std::to_string(lead.distinct_attackers) +
+             " attackers in the lead variant), active " +
+             std::to_string(lead.weeks_active) + " weeks\n";
+    }
+
+    // C&C coordinates, when the threat's M-clusters appear in Table 2.
+    std::set<int> threat_m;
+    for (const auto& mc : context.per_m_cluster) threat_m.insert(mc.m_cluster);
+    std::vector<std::string> channels;
+    for (const auto& row : c2.associations) {
+      for (const int m_cluster : row.m_clusters) {
+        if (threat_m.count(m_cluster)) {
+          channels.push_back(row.server.to_string() + " " + row.room);
+          break;
+        }
+      }
+    }
+    if (!channels.empty()) {
+      out += "- C&C: " + join(channels, ", ") + "\n";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace repro::report

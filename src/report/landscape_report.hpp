@@ -1,0 +1,33 @@
+// The analyst-facing threat-landscape report.
+//
+// The paper's conclusion is that combining the perspectives builds
+// "rich, structured knowledge that helps the security analyst obtain a
+// better understanding of the economy of the different threats". This
+// emitter produces that artifact: one dossier per major threat
+// (B-cluster), synthesizing every perspective — behavior class, static
+// variant spread, propagation vector, population character, C&C
+// coordinates, activity timeline.
+#pragma once
+
+#include <string>
+
+#include "analysis/bview.hpp"
+#include "cluster/epm.hpp"
+#include "honeypot/database.hpp"
+#include "util/simtime.hpp"
+
+namespace repro::report {
+
+struct LandscapeReportOptions {
+  /// Dossiers for the `top` largest multi-sample B-clusters.
+  std::size_t top = 5;
+  SimTime origin{};
+  int weeks = 0;
+};
+
+[[nodiscard]] std::string landscape_report(
+    const honeypot::EventDatabase& db, const cluster::EpmResult& e,
+    const cluster::EpmResult& p, const cluster::EpmResult& m,
+    const analysis::BehavioralView& b, const LandscapeReportOptions& options);
+
+}  // namespace repro::report

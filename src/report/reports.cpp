@@ -1,0 +1,176 @@
+#include "report/reports.hpp"
+
+#include <algorithm>
+
+#include "util/histogram.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace repro::report {
+
+namespace {
+
+std::string paper_vs(const std::string& what, std::size_t measured,
+                     const std::string& paper) {
+  return what + ": measured " + std::to_string(measured) + " (paper: " +
+         paper + ")\n";
+}
+
+}  // namespace
+
+std::string big_picture(const honeypot::EventDatabase& db,
+                        const honeypot::EnrichmentStats& stats,
+                        const cluster::EpmResult& e,
+                        const cluster::EpmResult& p,
+                        const cluster::EpmResult& m,
+                        const analysis::BehavioralView& b) {
+  std::string out = "=== Section 4.1 — the big picture ===\n";
+  out += "attack events observed: " + with_commas(db.events().size()) + "\n";
+  out += paper_vs("malware samples collected", db.samples().size(), "6353");
+  out += paper_vs("samples executed in sandbox", stats.executed, "5165");
+  out += paper_vs("E-clusters", e.cluster_count(), "39");
+  out += paper_vs("P-clusters", p.cluster_count(), "27");
+  out += paper_vs("M-clusters", m.cluster_count(), "260");
+  out += paper_vs("B-clusters", b.cluster_count(), "972");
+  out += paper_vs("size-1 B-clusters", b.singleton_count(), "860");
+  return out;
+}
+
+std::string table1(const cluster::EpmResult& e, const cluster::EpmResult& p,
+                   const cluster::EpmResult& m) {
+  // The paper's reference counts, row-aligned with our schemas.
+  const std::vector<std::pair<const cluster::EpmResult*,
+                              std::vector<std::string>>> dims = {
+      {&e, {"50", "3"}},
+      {&p, {"6", "22", "4", "5"}},
+      {&m, {"57", "95", "7", "1", "8", "7", "1", "7", "43", "11", "15"}}};
+  TextTable table{{"Dim.", "Feature", "# invariants", "paper"}};
+  for (const auto& [result, paper] : dims) {
+    for (std::size_t f = 0; f < result->schema.size(); ++f) {
+      table.add_row({f == 0 ? cluster::dimension_name(result->schema.dimension) : "",
+                     result->schema.names[f],
+                     std::to_string(result->invariants.count(f)),
+                     f < paper.size() ? paper[f] : "-"});
+    }
+  }
+  return "=== Table 1 — selected features and invariants ===\n" +
+         table.render();
+}
+
+std::string figure3(const analysis::RelationshipGraph& graph) {
+  using Layer = analysis::RelationshipGraph::Layer;
+  std::string out = "=== Figure 3 — EPM/B relationships (clusters with >=30 "
+                    "events) ===\n";
+  out += "E nodes: " + std::to_string(graph.layer_size(Layer::kE)) +
+         ", P nodes: " + std::to_string(graph.layer_size(Layer::kP)) +
+         ", M nodes: " + std::to_string(graph.layer_size(Layer::kM)) +
+         ", B nodes: " + std::to_string(graph.layer_size(Layer::kB)) + "\n";
+  out += "distinct E-P combinations: " +
+         std::to_string(graph.ep_combination_count()) + "\n";
+  out += "P-clusters shared by 2+ E-clusters: " +
+         std::to_string(graph.shared_p_count()) + "\n";
+  out += "B-clusters split across 2+ M-clusters: " +
+         std::to_string(graph.split_b_count()) + "\n";
+  out += "paper's observations to verify:\n";
+  out += "  (1) few E/P combinations vs many M-clusters\n";
+  out += "  (2) same P-cluster associated to multiple E-clusters\n";
+  out += "  (3) fewer B-clusters than M-clusters\n";
+  return out;
+}
+
+std::string figure4(const analysis::SingletonReport& report) {
+  std::string out = "=== Figure 4 — size-1 B-cluster anomaly ===\n";
+  out += paper_vs("size-1 B-clusters", report.singleton_b_clusters, "860");
+  out += "  of which 1-1 with an M-cluster (genuinely rare): " +
+         std::to_string(report.one_to_one) + "\n";
+  out += "  of which misclassification anomalies: " +
+         std::to_string(report.anomalies) + "\n";
+  out += "-- AV names of anomalous samples (top 10; paper: dominated by "
+         "Rahack/Allaple variants) --\n";
+  BarChart av;
+  for (const auto& [name, count] : report.av_names) {
+    av.add(name, static_cast<double>(count));
+  }
+  av.sort_desc();
+  av.truncate(10);
+  out += av.render();
+  out += "-- propagation strategy in (E,P) coordinates (top 5; paper: one "
+         "dominant P-pattern, PUSH on tcp/9988) --\n";
+  std::vector<std::pair<std::size_t, std::pair<int, int>>> coords;
+  for (const auto& [ep, count] : report.ep_coordinates) {
+    coords.push_back({count, ep});
+  }
+  std::sort(coords.rbegin(), coords.rend());
+  for (std::size_t i = 0; i < std::min<std::size_t>(coords.size(), 5); ++i) {
+    out += "  E" + std::to_string(coords[i].second.first) + " / P" +
+           std::to_string(coords[i].second.second) + " : " +
+           std::to_string(coords[i].first) + " samples\n";
+  }
+  return out;
+}
+
+std::string figure5(const analysis::BClusterContext& context) {
+  std::string out = "=== Figure 5 — propagation context of B-cluster " +
+                    std::to_string(context.b_cluster) + " (" +
+                    std::to_string(context.sample_count) + " samples, " +
+                    std::to_string(context.per_m_cluster.size()) +
+                    " M-clusters) ===\n";
+  TextTable table{{"M-cluster", "events", "attackers", "/8 blocks",
+                   "IP entropy", "weeks active", "locations"}};
+  for (const analysis::MClusterContext& mc : context.per_m_cluster) {
+    table.add_row({"M" + std::to_string(mc.m_cluster),
+                   std::to_string(mc.event_count),
+                   std::to_string(mc.distinct_attackers),
+                   std::to_string(mc.occupied_slash8),
+                   fixed(mc.ip_entropy, 2), std::to_string(mc.weeks_active),
+                   std::to_string(mc.distinct_locations())});
+  }
+  out += table.render();
+  out += "-- weekly activity timelines (one row per M-cluster) --\n";
+  for (const analysis::MClusterContext& mc : context.per_m_cluster) {
+    std::vector<double> series;
+    series.reserve(mc.weekly_events.size());
+    for (const std::size_t count : mc.weekly_events) {
+      series.push_back(static_cast<double>(count));
+    }
+    out += "  M" + std::to_string(mc.m_cluster) + " " + sparkline(series) +
+           "\n";
+  }
+  return out;
+}
+
+std::string table2(const analysis::C2Report& report) {
+  std::string out = "=== Table 2 — IRC servers associated to M-clusters ===\n";
+  TextTable table{{"Server address", "Room name", "M-clusters"}};
+  for (const analysis::IrcAssociation& row : report.associations) {
+    std::vector<std::string> ids;
+    ids.reserve(row.m_clusters.size());
+    for (const int m : row.m_clusters) ids.push_back(std::to_string(m));
+    table.add_row({row.server.to_string(), row.room, join(ids, ", ")});
+  }
+  out += table.render();
+  out += "channels commanding 2+ M-clusters (same botnet, patched builds): " +
+         std::to_string(report.multi_cluster_rows()) + "\n";
+  out += "/24 networks hosting 2+ C&C servers: " +
+         std::to_string(report.colocated_groups()) + "\n";
+  std::size_t reused_rooms = 0;
+  for (const auto& [room, servers] : report.room_reuse) {
+    reused_rooms += servers >= 2 ? 1 : 0;
+  }
+  out += "room names recurring on 2+ servers: " +
+         std::to_string(reused_rooms) + "\n";
+  return out;
+}
+
+std::string healing(const analysis::HealingReport& report) {
+  std::string out = "=== Section 4.2 — healing by re-execution ===\n";
+  out += "suspect samples: " + std::to_string(report.suspects) +
+         ", re-executed: " + std::to_string(report.reexecuted) + "\n";
+  out += "B-clusters: " + std::to_string(report.b_clusters_before) + " -> " +
+         std::to_string(report.b_clusters_after) + "\n";
+  out += "size-1 B-clusters: " + std::to_string(report.singletons_before) +
+         " -> " + std::to_string(report.singletons_after) + "\n";
+  return out;
+}
+
+}  // namespace repro::report

@@ -1,0 +1,55 @@
+// Paper-style report emitters.
+//
+// One function per paper artifact: each renders the same rows/series
+// the paper reports, from the corresponding analysis result. The bench
+// binaries print these next to the paper's reference values.
+#pragma once
+
+#include <string>
+
+#include "analysis/anomaly.hpp"
+#include "analysis/bview.hpp"
+#include "analysis/c2.hpp"
+#include "analysis/context.hpp"
+#include "analysis/graph.hpp"
+#include "analysis/healing.hpp"
+#include "cluster/epm.hpp"
+#include "honeypot/database.hpp"
+#include "honeypot/enrichment.hpp"
+
+namespace repro::report {
+
+/// Section 4.1 headline counts (samples, analyzable samples, cluster
+/// counts per perspective), with the paper's reference values.
+[[nodiscard]] std::string big_picture(const honeypot::EventDatabase& db,
+                                      const honeypot::EnrichmentStats& stats,
+                                      const cluster::EpmResult& e,
+                                      const cluster::EpmResult& p,
+                                      const cluster::EpmResult& m,
+                                      const analysis::BehavioralView& b);
+
+/// Table 1: features and number of invariants per dimension.
+[[nodiscard]] std::string table1(const cluster::EpmResult& e,
+                                 const cluster::EpmResult& p,
+                                 const cluster::EpmResult& m);
+
+/// Figure 3: the E-P-M-B relationship graph summary and its three
+/// stated observations.
+[[nodiscard]] std::string figure3(const analysis::RelationshipGraph& graph);
+
+/// Figure 4: AV-name histogram and E/P coordinates of the singleton
+/// anomalies.
+[[nodiscard]] std::string figure4(const analysis::SingletonReport& report);
+
+/// Figure 5: per-M-cluster propagation context of one B-cluster
+/// (population, IP spread, weeks of activity, weekly timeline).
+[[nodiscard]] std::string figure5(const analysis::BClusterContext& context);
+
+/// Table 2: IRC server/room to M-cluster associations plus the
+/// co-location and room-reuse signals.
+[[nodiscard]] std::string table2(const analysis::C2Report& report);
+
+/// Section 4.2 healing experiment summary.
+[[nodiscard]] std::string healing(const analysis::HealingReport& report);
+
+}  // namespace repro::report

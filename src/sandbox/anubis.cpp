@@ -1,0 +1,117 @@
+#include "sandbox/anubis.hpp"
+
+#include "util/error.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace repro::sandbox {
+
+namespace {
+
+void add_irc_features(const malware::IrcCnc& irc, const Environment& env,
+                      SimTime when, BehavioralProfile& profile) {
+  const std::string endpoint =
+      irc.server.to_string() + ":" + std::to_string(irc.port);
+  if (!env.server_reachable(irc.server, when)) {
+    profile.add("network|connect-failed|" + endpoint);
+    return;
+  }
+  profile.add("network|connect|" + endpoint);
+  profile.add("irc|join|" + irc.room);
+  profile.add("irc|privmsg|" + irc.room);
+  // Commands the bot-herder issues in this room; derived from the room
+  // so every bot on the same channel records the same command features.
+  Rng command_rng{mix64(fnv1a64(irc.room) ^ irc.server.value())};
+  const std::string command_host = "update" + command_rng.alnum(4) + ".example";
+  profile.add("http|get|" + command_host + "/payload.bin");
+  profile.add("process|create|payload.bin");
+}
+
+void add_downloader_features(const malware::DownloaderCnc& cnc,
+                             const Environment& env, SimTime when,
+                             BehavioralProfile& profile) {
+  if (!env.dns_resolves(cnc.domain, when)) {
+    profile.add("dns|nxdomain|" + cnc.domain);
+    return;
+  }
+  profile.add("dns|resolve|" + cnc.domain);
+  // The distribution site serves its full component set early in its
+  // life and fewer components later (the paper observed clusters that
+  // downloaded two components and clusters that downloaded one).
+  const auto dns_it = env.dns().find(cnc.domain);
+  int served = cnc.component_count;
+  if (dns_it != env.dns().end()) {
+    const AvailabilityWindow& window = dns_it->second;
+    const std::int64_t midpoint =
+        window.from.seconds + (window.to.seconds - window.from.seconds) / 2;
+    if (when.seconds >= midpoint && served > 1) served = 1;
+  }
+  for (int component = 0; component < served; ++component) {
+    const std::string name = "comp" + std::to_string(component + 1) + ".exe";
+    profile.add("http|get|" + cnc.domain + "/" + name);
+    profile.add("file|write|C:\\WINDOWS\\temp\\" + name);
+    profile.add("process|create|" + name);
+    profile.add("mutex|create|" + name + "-mtx");
+  }
+  // Components the site no longer serves leave a distinct failure
+  // footprint (the sample retries the fetch through its 4-minute run).
+  for (int component = served; component < cnc.component_count; ++component) {
+    const std::string name = "comp" + std::to_string(component + 1) + ".exe";
+    profile.add("http|get-failed|" + cnc.domain + "/" + name);
+    profile.add("network|retry|" + cnc.domain);
+    profile.add("file|delete|C:\\WINDOWS\\temp\\" + name + ".part");
+  }
+  // Second stage: the downloaded component joins an IRC server that
+  // hands out further download commands.
+  profile.add("network|connect|irc." + cnc.domain + ":6667");
+  profile.add("irc|join|#" + cnc.domain.substr(0, cnc.domain.find('.')));
+}
+
+}  // namespace
+
+BehavioralProfile Sandbox::run(const malware::BehaviorSpec& behavior,
+                               SimTime when,
+                               std::uint64_t execution_seed) const {
+  BehavioralProfile profile;
+  for (const std::string& feature : behavior.base_features) {
+    profile.add(feature);
+  }
+  if (behavior.irc.has_value()) {
+    add_irc_features(*behavior.irc, *environment_, when, profile);
+  }
+  if (behavior.downloader.has_value()) {
+    add_downloader_features(*behavior.downloader, *environment_, when,
+                            profile);
+  }
+
+  // Per-execution noise: spurious, execution-unique features.
+  Rng rng{mix64(execution_seed ^ 0x0a11'ce5e'd00d'f00dULL)};
+  if (behavior.noise_probability > 0.0 &&
+      rng.chance(behavior.noise_probability)) {
+    for (int i = 0; i < behavior.noise_feature_count; ++i) {
+      std::uint8_t raw[8];
+      rng.fill(raw);
+      profile.add("artifact|tmpfile|" + hex_encode(raw));
+    }
+  }
+  return profile;
+}
+
+BehavioralProfile Sandbox::run_repeated(const malware::BehaviorSpec& behavior,
+                                        SimTime when,
+                                        std::uint64_t execution_seed,
+                                        int times) const {
+  if (times < 1) {
+    throw ConfigError("Sandbox::run_repeated: times must be >= 1");
+  }
+  BehavioralProfile merged =
+      run(behavior, when, mix64(execution_seed ^ 1));
+  for (int i = 1; i < times; ++i) {
+    merged = intersect(
+        merged, run(behavior, when,
+                    mix64(execution_seed ^ static_cast<std::uint64_t>(i + 1))));
+  }
+  return merged;
+}
+
+}  // namespace repro::sandbox

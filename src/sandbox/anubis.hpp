@@ -1,0 +1,42 @@
+// Anubis-style dynamic analysis (simulated).
+//
+// Interprets a variant's ground-truth BehaviorSpec under the execution
+// environment at a given date, producing the behavioral profile a
+// four-minute sandboxed run would record. Environmental dependencies
+// (dead DNS entries, down C&C servers) and per-execution noise are
+// modeled explicitly because both drive the paper's Section 4.2
+// findings (B-cluster splits and singleton anomalies).
+#pragma once
+
+#include <cstdint>
+
+#include "malware/behavior.hpp"
+#include "sandbox/environment.hpp"
+#include "sandbox/profile.hpp"
+
+namespace repro::sandbox {
+
+class Sandbox {
+ public:
+  explicit Sandbox(const Environment& environment)
+      : environment_(&environment) {}
+
+  /// Runs one execution. `execution_seed` individuates the run: two runs
+  /// of the same sample with different seeds may differ in the noise
+  /// features they pick up, never in the deterministic behavior.
+  [[nodiscard]] BehavioralProfile run(const malware::BehaviorSpec& behavior,
+                                      SimTime when,
+                                      std::uint64_t execution_seed) const;
+
+  /// Re-executes `times` times with derived seeds and intersects the
+  /// profiles — the paper's healing procedure for suspected clustering
+  /// artifacts. `times` must be >= 1.
+  [[nodiscard]] BehavioralProfile run_repeated(
+      const malware::BehaviorSpec& behavior, SimTime when,
+      std::uint64_t execution_seed, int times) const;
+
+ private:
+  const Environment* environment_;
+};
+
+}  // namespace repro::sandbox

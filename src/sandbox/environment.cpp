@@ -1,0 +1,23 @@
+#include "sandbox/environment.hpp"
+
+namespace repro::sandbox {
+
+void Environment::set_dns(std::string domain, AvailabilityWindow window) {
+  dns_[std::move(domain)] = window;
+}
+
+void Environment::set_server(net::Ipv4 server, AvailabilityWindow window) {
+  servers_[server] = window;
+}
+
+bool Environment::dns_resolves(const std::string& domain, SimTime when) const {
+  const auto it = dns_.find(domain);
+  return it != dns_.end() && it->second.contains(when);
+}
+
+bool Environment::server_reachable(net::Ipv4 server, SimTime when) const {
+  const auto it = servers_.find(server);
+  return it != servers_.end() && it->second.contains(when);
+}
+
+}  // namespace repro::sandbox

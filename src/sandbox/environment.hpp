@@ -1,0 +1,54 @@
+// Execution environment.
+//
+// The paper shows that a sample's behavioral profile depends on
+// *external conditions* at execution time: whether a distribution
+// domain still resolves, whether the C&C server is up. The Environment
+// models those conditions as availability windows on the simulated
+// timeline; the sandbox consults it at execution time.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "net/ipv4.hpp"
+#include "util/simtime.hpp"
+
+namespace repro::sandbox {
+
+/// Half-open availability interval [from, to).
+struct AvailabilityWindow {
+  SimTime from{};
+  SimTime to{};
+
+  [[nodiscard]] bool contains(SimTime t) const noexcept {
+    return from <= t && t < to;
+  }
+};
+
+class Environment {
+ public:
+  /// Registers a DNS entry valid within the window (e.g. iliketay.cn
+  /// until it is removed from the DNS database).
+  void set_dns(std::string domain, AvailabilityWindow window);
+
+  /// Registers a C&C server reachable within the window.
+  void set_server(net::Ipv4 server, AvailabilityWindow window);
+
+  [[nodiscard]] bool dns_resolves(const std::string& domain,
+                                  SimTime when) const;
+  [[nodiscard]] bool server_reachable(net::Ipv4 server, SimTime when) const;
+
+  [[nodiscard]] const std::map<std::string, AvailabilityWindow>& dns() const {
+    return dns_;
+  }
+  [[nodiscard]] const std::map<net::Ipv4, AvailabilityWindow>& servers()
+      const {
+    return servers_;
+  }
+
+ private:
+  std::map<std::string, AvailabilityWindow> dns_;
+  std::map<net::Ipv4, AvailabilityWindow> servers_;
+};
+
+}  // namespace repro::sandbox

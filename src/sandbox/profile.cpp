@@ -1,0 +1,51 @@
+#include "sandbox/profile.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace repro::sandbox {
+
+std::vector<std::uint64_t> BehavioralProfile::feature_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(features_.size());
+  for (const std::string& feature : features_) {
+    ids.push_back(fnv1a64(feature));
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+double jaccard(const BehavioralProfile& a, const BehavioralProfile& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  std::size_t intersection = 0;
+  auto it_a = a.features().begin();
+  auto it_b = b.features().begin();
+  while (it_a != a.features().end() && it_b != b.features().end()) {
+    if (*it_a < *it_b) {
+      ++it_a;
+    } else if (*it_b < *it_a) {
+      ++it_b;
+    } else {
+      ++intersection;
+      ++it_a;
+      ++it_b;
+    }
+  }
+  const std::size_t unions = a.size() + b.size() - intersection;
+  return unions == 0 ? 1.0
+                     : static_cast<double>(intersection) /
+                           static_cast<double>(unions);
+}
+
+BehavioralProfile intersect(const BehavioralProfile& a,
+                            const BehavioralProfile& b) {
+  std::set<std::string> out;
+  std::set_intersection(a.features().begin(), a.features().end(),
+                        b.features().begin(), b.features().end(),
+                        std::inserter(out, out.begin()));
+  return BehavioralProfile{std::move(out)};
+}
+
+}  // namespace repro::sandbox

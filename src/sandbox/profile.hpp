@@ -1,0 +1,56 @@
+// Behavioral profiles.
+//
+// Following Bayer et al. (NDSS'09), a behavioral profile is an abstract
+// set of features describing OS objects and the operations performed on
+// them during one sandboxed execution. Profiles are compared with
+// Jaccard similarity; B-clusters group profiles whose similarity
+// exceeds a threshold under single linkage.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace repro::sandbox {
+
+/// One execution's feature set. Features are canonical strings of the
+/// form "<object-type>|<operation>|<argument>".
+class BehavioralProfile {
+ public:
+  BehavioralProfile() = default;
+  explicit BehavioralProfile(std::set<std::string> features)
+      : features_(std::move(features)) {}
+
+  void add(std::string feature) { features_.insert(std::move(feature)); }
+
+  [[nodiscard]] const std::set<std::string>& features() const noexcept {
+    return features_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return features_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return features_.empty(); }
+  [[nodiscard]] bool contains(const std::string& feature) const {
+    return features_.count(feature) > 0;
+  }
+
+  /// Stable 64-bit ids of the features (FNV-1a), sorted — the form the
+  /// clustering algorithms consume.
+  [[nodiscard]] std::vector<std::uint64_t> feature_ids() const;
+
+  friend bool operator==(const BehavioralProfile&,
+                         const BehavioralProfile&) = default;
+
+ private:
+  std::set<std::string> features_;
+};
+
+/// |a ∩ b| / |a ∪ b|; 1 for two empty profiles.
+[[nodiscard]] double jaccard(const BehavioralProfile& a,
+                             const BehavioralProfile& b);
+
+/// Feature intersection — the "healing" primitive: intersecting several
+/// re-executions of the same sample strips execution-unique noise.
+[[nodiscard]] BehavioralProfile intersect(const BehavioralProfile& a,
+                                          const BehavioralProfile& b);
+
+}  // namespace repro::sandbox

@@ -1,0 +1,151 @@
+#include "shellcode/analyzer.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "util/strings.hpp"
+
+namespace repro::shellcode {
+
+namespace {
+
+constexpr std::uint8_t kStubSignature[4] = {0xd9, 0xc0, 0xd9, 0x74};
+
+/// Parses "host:port" into an intent's host/port fields; returns false
+/// on malformed input.
+bool parse_host_port(const std::string& text, DownloadIntent& intent) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos) return false;
+  try {
+    intent.host = net::Ipv4::parse(text.substr(0, colon));
+    const int port = std::stoi(text.substr(colon + 1));
+    if (port < 0 || port > 65535) return false;
+    intent.port = static_cast<std::uint16_t>(port);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+std::optional<DownloadIntent> parse_body(const std::string& body) {
+  // Expected shape: "NEPO <CMD> <args...> END"
+  const std::vector<std::string> tokens = split(body, ' ');
+  if (tokens.size() < 3 || tokens.front() != "NEPO" || tokens.back() != "END") {
+    return std::nullopt;
+  }
+  DownloadIntent intent;
+  const std::string& command = tokens[1];
+  if (command == "BIND" && tokens.size() == 4) {
+    intent.protocol = Protocol::kBind;
+    intent.port = static_cast<std::uint16_t>(std::stoi(tokens[2]));
+    return intent;
+  }
+  if (command == "CSEND" && tokens.size() == 4) {
+    intent.protocol = Protocol::kCsend;
+    intent.port = static_cast<std::uint16_t>(std::stoi(tokens[2]));
+    return intent;
+  }
+  if (command == "CBCK" && tokens.size() == 4) {
+    intent.protocol = Protocol::kConnectBack;
+    if (!parse_host_port(tokens[2], intent)) return std::nullopt;
+    return intent;
+  }
+  if (command == "URL" && tokens.size() == 4) {
+    const std::string& url = tokens[2];
+    const std::size_t scheme_end = url.find("://");
+    if (scheme_end == std::string::npos) return std::nullopt;
+    const std::string scheme = url.substr(0, scheme_end);
+    if (scheme == "ftp") {
+      intent.protocol = Protocol::kFtp;
+    } else if (scheme == "http") {
+      intent.protocol = Protocol::kHttp;
+    } else {
+      return std::nullopt;
+    }
+    const std::string rest = url.substr(scheme_end + 3);
+    const std::size_t slash = rest.find('/');
+    if (slash == std::string::npos) return std::nullopt;
+    if (!parse_host_port(rest.substr(0, slash), intent)) return std::nullopt;
+    intent.filename = rest.substr(slash + 1);
+    return intent;
+  }
+  if (command == "TFTP" && tokens.size() == 6 && tokens[3] == "GET") {
+    intent.protocol = Protocol::kTftp;
+    if (!parse_host_port(tokens[2], intent)) return std::nullopt;
+    intent.filename = tokens[4];
+    return intent;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<DownloadIntent> analyze_shellcode(
+    std::span<const std::uint8_t> payload) {
+  // 1) Cleartext body anywhere in the payload.
+  static constexpr char kClearMarker[] = "NEPO ";
+  const auto clear_it =
+      std::search(payload.begin(), payload.end(), std::begin(kClearMarker),
+                  std::end(kClearMarker) - 1);
+  if (clear_it != payload.end()) {
+    const std::string body{clear_it, payload.end()};
+    const std::size_t end = body.find(" END");
+    if (end != std::string::npos) {
+      if (auto intent = parse_body(body.substr(0, end + 4))) return intent;
+    }
+  }
+
+  // 2) Alphanumeric decoder: marker, then byte-per-letter-pair body
+  // terminated by '!'.
+  static constexpr char kAlnumSignature[] = "PYIIII";
+  const auto alnum_it =
+      std::search(payload.begin(), payload.end(), std::begin(kAlnumSignature),
+                  std::end(kAlnumSignature) - 1);
+  if (alnum_it != payload.end()) {
+    std::string body;
+    std::size_t i =
+        static_cast<std::size_t>(alnum_it - payload.begin()) +
+        sizeof(kAlnumSignature) - 1;
+    bool terminated = false;
+    while (i < payload.size()) {
+      const std::uint8_t hi = payload[i];
+      if (hi == '!') {
+        terminated = true;
+        break;
+      }
+      if (i + 1 >= payload.size()) break;
+      const std::uint8_t lo = payload[i + 1];
+      if (hi < 'A' || hi > 'P' || lo < 'a' || lo > 'p') break;
+      body.push_back(static_cast<char>(((hi - 'A') << 4) | (lo - 'a')));
+      i += 2;
+    }
+    if (terminated) {
+      if (auto intent = parse_body(body)) return intent;
+    }
+  }
+
+  // 3) XOR decoder stub: signature, key, little-endian body length,
+  // encoded body.
+  const auto stub_it =
+      std::search(payload.begin(), payload.end(), std::begin(kStubSignature),
+                  std::end(kStubSignature));
+  if (stub_it == payload.end()) return std::nullopt;
+  const std::size_t stub_offset =
+      static_cast<std::size_t>(stub_it - payload.begin());
+  if (stub_offset + 7 > payload.size()) return std::nullopt;
+  const std::uint8_t key = payload[stub_offset + 4];
+  const std::size_t body_length =
+      payload[stub_offset + 5] |
+      static_cast<std::size_t>(payload[stub_offset + 6]) << 8;
+  const std::size_t body_offset = stub_offset + 7;
+  if (body_offset + body_length > payload.size()) return std::nullopt;
+
+  std::string body;
+  body.reserve(body_length);
+  for (std::size_t i = 0; i < body_length; ++i) {
+    body.push_back(static_cast<char>(payload[body_offset + i] ^ key));
+  }
+  return parse_body(body);
+}
+
+}  // namespace repro::shellcode

@@ -1,0 +1,24 @@
+// Nepenthes-style shellcode analyzer.
+//
+// Given raw payload bytes extracted by the sample factory, the analyzer
+// reconstructs the download intent without any ground-truth knowledge:
+// it locates the XOR decoder stub (or a cleartext body), decodes the
+// body, and parses the download command — mirroring how the Nepenthes
+// shellcode modules pattern-match decoder loops and emulate the network
+// action of real shellcode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "shellcode/intent.hpp"
+
+namespace repro::shellcode {
+
+/// Analysis result; nullopt when no known shellcode structure is found
+/// (SGNET would then fail to emulate the injection and collect nothing).
+[[nodiscard]] std::optional<DownloadIntent> analyze_shellcode(
+    std::span<const std::uint8_t> payload);
+
+}  // namespace repro::shellcode

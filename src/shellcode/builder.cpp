@@ -1,0 +1,103 @@
+#include "shellcode/builder.hpp"
+
+#include "proto/message.hpp"
+
+namespace repro::shellcode {
+
+namespace {
+
+/// Decoder stub signature the analyzer scans for; loosely modeled on the
+/// byte patterns real XOR decoder loops leave in memory.
+constexpr std::uint8_t kStubSignature[4] = {0xd9, 0xc0, 0xd9, 0x74};
+
+/// Alphanumeric decoder stub marker ("PYIIII"-style getpc sequences in
+/// real alphanumeric shellcode).
+constexpr char kAlnumSignature[] = "PYIIII";
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_body(const DownloadIntent& intent) {
+  std::string body = "NEPO ";
+  switch (intent.protocol) {
+    case Protocol::kBind:
+      body += "BIND " + std::to_string(intent.port);
+      break;
+    case Protocol::kCsend:
+      body += "CSEND " + std::to_string(intent.port);
+      break;
+    case Protocol::kConnectBack:
+      body += "CBCK " + (intent.host ? intent.host->to_string() : "0.0.0.0") +
+              ":" + std::to_string(intent.port);
+      break;
+    case Protocol::kFtp:
+    case Protocol::kHttp: {
+      const std::string scheme =
+          intent.protocol == Protocol::kFtp ? "ftp" : "http";
+      body += "URL " + scheme + "://" +
+              (intent.host ? intent.host->to_string() : "0.0.0.0") + ":" +
+              std::to_string(intent.port) + "/" + intent.filename;
+      break;
+    }
+    case Protocol::kTftp:
+      body += "TFTP " + (intent.host ? intent.host->to_string() : "0.0.0.0") +
+              ":" + std::to_string(intent.port) + " GET " + intent.filename;
+      break;
+  }
+  body += " END";
+  return proto::to_bytes(body);
+}
+
+std::vector<std::uint8_t> build_shellcode(const DownloadIntent& intent,
+                                          const EncoderOptions& options,
+                                          Rng& rng) {
+  std::vector<std::uint8_t> out;
+
+  // Junk sled: random bytes that differ per instance. Avoid the stub
+  // signature's first byte so the analyzer cannot be confused by sled
+  // content.
+  const std::size_t sled =
+      options.min_sled +
+      rng.index(options.max_sled - options.min_sled + 1);
+  for (std::size_t i = 0; i < sled; ++i) {
+    std::uint8_t junk = static_cast<std::uint8_t>(rng.uniform(0x01, 0xff));
+    if (junk == kStubSignature[0]) junk = 0x90;
+    out.push_back(junk);
+  }
+
+  const std::vector<std::uint8_t> body = encode_body(intent);
+  switch (options.kind) {
+    case EncoderKind::kClear:
+      out.insert(out.end(), body.begin(), body.end());
+      return out;
+    case EncoderKind::kXor: {
+      const std::uint8_t key =
+          options.random_key ? static_cast<std::uint8_t>(rng.uniform(1, 255))
+                             : options.fixed_key;
+      out.insert(out.end(), std::begin(kStubSignature),
+                 std::end(kStubSignature));
+      out.push_back(key);
+      out.push_back(static_cast<std::uint8_t>(body.size() & 0xff));
+      out.push_back(static_cast<std::uint8_t>(body.size() >> 8));
+      for (const std::uint8_t byte : body) {
+        out.push_back(static_cast<std::uint8_t>(byte ^ key));
+      }
+      return out;
+    }
+    case EncoderKind::kAlphanumeric: {
+      // Marker, then each body byte as two letters: 'A'+hi-nibble,
+      // 'a'+lo-nibble; terminated by '!' (not part of the alphabet).
+      for (const char c : std::string_view{kAlnumSignature}) {
+        out.push_back(static_cast<std::uint8_t>(c));
+      }
+      for (const std::uint8_t byte : body) {
+        out.push_back(static_cast<std::uint8_t>('A' + (byte >> 4)));
+        out.push_back(static_cast<std::uint8_t>('a' + (byte & 0x0f)));
+      }
+      out.push_back('!');
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace repro::shellcode

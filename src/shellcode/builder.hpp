@@ -1,0 +1,50 @@
+// Shellcode builder.
+//
+// Produces the injected payload bytes (pi) for an attack instance: a
+// sled of junk bytes, an XOR decoder stub, and an encoded body whose
+// opcodes describe the download action. The builder is the ground-truth
+// side; the analyzer (analyzer.hpp) must recover the intent from the
+// bytes alone, as Nepenthes does from real shellcode.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "shellcode/intent.hpp"
+#include "util/rng.hpp"
+
+namespace repro::shellcode {
+
+/// Encoding scheme applied to the shellcode body.
+enum class EncoderKind : std::uint8_t {
+  /// Body embedded in clear (no decoder stub).
+  kClear,
+  /// Single-byte XOR with a decoder stub, the classic scheme.
+  kXor,
+  /// Alphanumeric nibble encoding: each body byte becomes two letters,
+  /// as used by exploits whose payload must survive text-safe channels.
+  kAlphanumeric,
+};
+
+/// Knobs controlling how a payload realization varies across instances.
+struct EncoderOptions {
+  EncoderKind kind = EncoderKind::kXor;
+  /// Fresh XOR key per instance (common in the wild); a fixed key makes
+  /// the encoded body an invariant too. Ignored by other encoders.
+  bool random_key = true;
+  std::uint8_t fixed_key = 0x5a;
+  /// Random-junk sled length range prepended before the decoder stub.
+  std::size_t min_sled = 4;
+  std::size_t max_sled = 24;
+};
+
+/// Serializes the intent into the body command understood by the
+/// decoder/analyzer pair, e.g. "NEPO URL http://1.2.3.4:80/ssms.exe".
+[[nodiscard]] std::vector<std::uint8_t> encode_body(
+    const DownloadIntent& intent);
+
+/// Builds one concrete shellcode instance carrying the intent.
+[[nodiscard]] std::vector<std::uint8_t> build_shellcode(
+    const DownloadIntent& intent, const EncoderOptions& options, Rng& rng);
+
+}  // namespace repro::shellcode

@@ -1,0 +1,45 @@
+#include "shellcode/intent.hpp"
+
+namespace repro::shellcode {
+
+std::string protocol_name(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kFtp: return "ftp";
+    case Protocol::kHttp: return "http";
+    case Protocol::kTftp: return "tftp";
+    case Protocol::kBind: return "creceive";
+    case Protocol::kCsend: return "csend";
+    case Protocol::kConnectBack: return "blink";
+  }
+  return "unknown";
+}
+
+std::string interaction_name(InteractionType type) {
+  switch (type) {
+    case InteractionType::kPushBind: return "PUSH/bind";
+    case InteractionType::kPushCsend: return "PUSH/csend";
+    case InteractionType::kPullConnectBack: return "PULL/connect-back";
+    case InteractionType::kPullUrl: return "PULL/url";
+    case InteractionType::kCentralUrl: return "central/url";
+  }
+  return "unknown";
+}
+
+InteractionType classify_interaction(const DownloadIntent& intent,
+                                     net::Ipv4 attacker) {
+  switch (intent.protocol) {
+    case Protocol::kBind: return InteractionType::kPushBind;
+    case Protocol::kCsend: return InteractionType::kPushCsend;
+    case Protocol::kConnectBack: return InteractionType::kPullConnectBack;
+    case Protocol::kFtp:
+    case Protocol::kHttp:
+    case Protocol::kTftp:
+      if (intent.host.has_value() && *intent.host != attacker) {
+        return InteractionType::kCentralUrl;
+      }
+      return InteractionType::kPullUrl;
+  }
+  return InteractionType::kPullUrl;
+}
+
+}  // namespace repro::shellcode

@@ -1,0 +1,73 @@
+// Download intent — the pi-dimension ground truth and analysis result.
+//
+// A shellcode's purpose, once decoded, is to move the malware binary to
+// the victim. The paper's pi features (Table 1) are exactly the fields
+// of this intent: download protocol, filename, server port, and the
+// PUSH / PULL / central-repository interaction type.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/ipv4.hpp"
+
+namespace repro::shellcode {
+
+/// Transport the victim uses to obtain the binary. The six values below
+/// are the protocol vocabulary of the Nepenthes download modules the
+/// paper relies on (URL fetches plus Nepenthes-specific channels).
+enum class Protocol : std::uint8_t {
+  kFtp,       // ftp:// URL fetch
+  kHttp,      // http:// URL fetch
+  kTftp,      // trivial FTP fetch
+  kBind,      // victim listens, attacker connects and pushes ("creceive")
+  kCsend,     // attacker pushes over the exploited connection itself
+  kConnectBack,  // victim connects back to the attacker ("blink"-style)
+};
+
+[[nodiscard]] std::string protocol_name(Protocol protocol);
+
+/// Who serves the binary.
+enum class HostRole : std::uint8_t {
+  kAttacker,   // the attacking host itself
+  kThirdParty  // a central repository distinct from the attacker
+};
+
+/// Decoded shellcode intent, as reconstructed by the analyzer.
+struct DownloadIntent {
+  Protocol protocol = Protocol::kBind;
+  /// Filename requested in the protocol interaction; empty when the
+  /// protocol has no filename (bind/csend pushes).
+  std::string filename;
+  /// Server port involved in the protocol interaction.
+  std::uint16_t port = 0;
+  /// Host serving the binary for URL/tftp/connect-back protocols;
+  /// nullopt for bind/csend (the exploited connection or a listener on
+  /// the victim is used instead).
+  std::optional<net::Ipv4> host;
+
+  friend bool operator==(const DownloadIntent&, const DownloadIntent&) =
+      default;
+};
+
+/// Interaction types as the paper names them. The five values reflect
+/// how Nepenthes distinguishes the channels: two PUSH flavours, two PULL
+/// flavours and the central-repository case.
+enum class InteractionType : std::uint8_t {
+  kPushBind,     // PUSH: attacker connects to a fresh listener on victim
+  kPushCsend,    // PUSH: attacker reuses the exploited connection
+  kPullConnectBack,  // PULL: victim connects back to a port on attacker
+  kPullUrl,      // PULL: victim fetches a URL hosted on the attacker
+  kCentralUrl,   // central repository: URL hosted on a third party
+};
+
+[[nodiscard]] std::string interaction_name(InteractionType type);
+
+/// Classifies the interaction: bind/csend are PUSH-flavoured; URL-style
+/// protocols are PULL from the attacker or central-repository fetches
+/// depending on whether the serving host is the attacker itself.
+[[nodiscard]] InteractionType classify_interaction(const DownloadIntent& intent,
+                                                   net::Ipv4 attacker);
+
+}  // namespace repro::shellcode

@@ -1,0 +1,28 @@
+// Common error types used across the library.
+//
+// The library follows a simple rule: programming errors and violated
+// preconditions throw std::logic_error subclasses; malformed external
+// input (e.g. truncated PE images, undecodable shellcode) throws
+// ParseError so callers can treat it as data-dependent and recover.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace repro {
+
+/// Raised when externally supplied bytes cannot be parsed (truncated or
+/// corrupted binaries, malformed conversations, undecodable shellcode).
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a configuration is internally inconsistent (e.g. a
+/// landscape referencing an unknown exploit id).
+class ConfigError : public std::logic_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace repro

@@ -1,0 +1,18 @@
+// Hex encoding/decoding helpers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro {
+
+/// Lowercase hex rendering of a byte span.
+[[nodiscard]] std::string hex_encode(std::span<const std::uint8_t> data);
+
+/// Inverse of hex_encode. Throws ParseError on odd length or non-hex input.
+[[nodiscard]] std::vector<std::uint8_t> hex_decode(std::string_view text);
+
+}  // namespace repro

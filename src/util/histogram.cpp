@@ -1,0 +1,61 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace repro {
+
+void BarChart::add(const std::string& label, double value) {
+  rows_.emplace_back(label, value);
+}
+
+void BarChart::sort_desc() {
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+}
+
+void BarChart::truncate(std::size_t n) {
+  if (rows_.size() > n) rows_.resize(n);
+}
+
+std::string BarChart::render(std::size_t bar_width) const {
+  if (rows_.empty()) return "(empty)\n";
+  std::size_t label_width = 0;
+  double max_value = 0.0;
+  for (const auto& [label, value] : rows_) {
+    label_width = std::max(label_width, label.size());
+    max_value = std::max(max_value, value);
+  }
+  std::string out;
+  for (const auto& [label, value] : rows_) {
+    const auto filled = max_value > 0.0
+                            ? static_cast<std::size_t>(std::lround(
+                                  value / max_value * static_cast<double>(bar_width)))
+                            : 0;
+    out += label + std::string(label_width - label.size(), ' ') + " | " +
+           std::string(filled, '#') + " " + fixed(value, value == std::floor(value) ? 0 : 2) +
+           "\n";
+  }
+  return out;
+}
+
+std::string sparkline(const std::vector<double>& values) {
+  static const char* kLevels[] = {"_", ".", ":", "-", "=", "+", "*", "#"};
+  double max_value = 0.0;
+  for (const double v : values) max_value = std::max(max_value, v);
+  std::string out;
+  for (const double v : values) {
+    if (v <= 0.0 || max_value <= 0.0) {
+      out += kLevels[0];
+      continue;
+    }
+    const int level = std::min(
+        7, 1 + static_cast<int>(v / max_value * 6.999));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace repro

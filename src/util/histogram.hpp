@@ -1,0 +1,41 @@
+// Text histograms / bar charts used to print the paper's figures
+// (AV-name histograms, IP-space distributions, activity timelines) as
+// terminal-friendly series.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// Labeled counts rendered as a horizontal bar chart.
+class BarChart {
+ public:
+  void add(const std::string& label, double value);
+
+  /// Sort rows by descending value (stable for ties).
+  void sort_desc();
+
+  /// Keep only the top `n` rows (after any sorting).
+  void truncate(std::size_t n);
+
+  /// Render rows as "<label> | #### value".
+  [[nodiscard]] std::string render(std::size_t bar_width = 40) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<std::pair<std::string, double>>& rows()
+      const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> rows_;
+};
+
+/// Dense per-bucket sparkline over an integer-indexed domain (e.g. weeks),
+/// rendered with the classic eight-level block characters.
+[[nodiscard]] std::string sparkline(const std::vector<double>& values);
+
+}  // namespace repro

@@ -1,0 +1,143 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace repro {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t value) noexcept {
+  std::uint64_t state = value;
+  return splitmix64(state);
+}
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t lo, std::uint64_t hi) noexcept {
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next();  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw = next();
+  while (draw >= limit) draw = next();
+  return lo + draw % span;
+}
+
+std::size_t Rng::index(std::size_t n) noexcept {
+  return static_cast<std::size_t>(uniform(0, static_cast<std::uint64_t>(n) - 1));
+}
+
+double Rng::real() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return real() < p;
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    std::uint64_t count = 0;
+    double product = real();
+    while (product > limit) {
+      ++count;
+      product *= real();
+    }
+    return count;
+  }
+  // Normal approximation for large means.
+  const double u1 = real();
+  const double u2 = real();
+  const double gauss =
+      std::sqrt(-2.0 * std::log(u1 + 1e-300)) * std::cos(6.283185307179586 * u2);
+  const double value = mean + std::sqrt(mean) * gauss;
+  return value <= 0.0 ? 0 : static_cast<std::uint64_t>(value + 0.5);
+}
+
+std::uint64_t Rng::burst_length(double continue_probability) noexcept {
+  std::uint64_t length = 1;
+  while (chance(continue_probability)) ++length;
+  return length;
+}
+
+std::size_t Rng::weighted(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) total += w > 0.0 ? w : 0.0;
+  double target = real() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork(std::string_view label) noexcept {
+  const std::uint64_t child_seed =
+      mix64(state_[0] ^ next() ^ fnv1a64(label));
+  return Rng{child_seed};
+}
+
+void Rng::fill(std::span<std::uint8_t> out) noexcept {
+  std::size_t i = 0;
+  while (i < out.size()) {
+    std::uint64_t word = next();
+    for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+      out[i] = static_cast<std::uint8_t>(word & 0xff);
+      word >>= 8;
+    }
+  }
+}
+
+std::string Rng::alnum(std::size_t length) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[index(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+}  // namespace repro

@@ -1,0 +1,82 @@
+#include "util/simtime.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace repro {
+
+namespace {
+
+// Howard Hinnant's civil-calendar algorithms (public domain).
+constexpr std::int64_t days_from_civil(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);           // [0, 399]
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;          // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+constexpr Date civil_from_days(std::int64_t z) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);        // [0, 146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;           // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);        // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                             // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                     // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                          // [1, 12]
+  return Date{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+              static_cast<int>(d)};
+}
+
+}  // namespace
+
+SimTime from_date(const Date& date) noexcept {
+  return SimTime{days_from_civil(date.year, date.month, date.day) *
+                 kSecondsPerDay};
+}
+
+Date to_date(SimTime time) noexcept {
+  std::int64_t days = time.seconds / kSecondsPerDay;
+  if (time.seconds % kSecondsPerDay < 0) --days;
+  return civil_from_days(days);
+}
+
+SimTime parse_date(std::string_view text) {
+  int y = 0;
+  int m = 0;
+  int d = 0;
+  const std::string owned{text};
+  if (std::sscanf(owned.c_str(), "%d-%d-%d", &y, &m, &d) != 3 || m < 1 ||
+      m > 12 || d < 1 || d > 31) {
+    throw ParseError("parse_date: expected YYYY-MM-DD, got '" + owned + "'");
+  }
+  return from_date(Date{y, m, d});
+}
+
+std::string format_date(SimTime time) {
+  const Date date = to_date(time);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", date.year, date.month,
+                date.day);
+  return buf;
+}
+
+std::string format_day_month(SimTime time) {
+  const Date date = to_date(time);
+  return std::to_string(date.day) + "/" + std::to_string(date.month);
+}
+
+std::int64_t week_index(SimTime time, SimTime origin) noexcept {
+  const std::int64_t delta = time.seconds - origin.seconds;
+  std::int64_t weeks = delta / kSecondsPerWeek;
+  if (delta % kSecondsPerWeek < 0) --weeks;
+  return weeks;
+}
+
+}  // namespace repro

@@ -1,0 +1,63 @@
+// Simulation time.
+//
+// The paper's dataset covers January 2008 to May 2009. The simulator
+// never reads the wall clock; all timestamps are SimTime values on an
+// explicit simulated timeline, measured in seconds from the Unix epoch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace repro {
+
+/// A point on the simulated timeline (seconds since the Unix epoch, UTC).
+struct SimTime {
+  std::int64_t seconds = 0;
+
+  friend auto operator<=>(const SimTime&, const SimTime&) = default;
+};
+
+constexpr std::int64_t kSecondsPerDay = 86'400;
+constexpr std::int64_t kSecondsPerWeek = 7 * kSecondsPerDay;
+
+/// Calendar date in UTC.
+struct Date {
+  int year = 1970;
+  int month = 1;  // 1..12
+  int day = 1;    // 1..31
+
+  friend auto operator<=>(const Date&, const Date&) = default;
+};
+
+/// Midnight UTC of the given calendar date.
+[[nodiscard]] SimTime from_date(const Date& date) noexcept;
+
+/// Calendar date containing the given time.
+[[nodiscard]] Date to_date(SimTime time) noexcept;
+
+/// Parse "YYYY-MM-DD". Throws ParseError on malformed input.
+[[nodiscard]] SimTime parse_date(std::string_view text);
+
+/// Render as "YYYY-MM-DD".
+[[nodiscard]] std::string format_date(SimTime time);
+
+/// Render as "D/M" the way the paper prints timeline entries (e.g. 15/7).
+[[nodiscard]] std::string format_day_month(SimTime time);
+
+/// Week index of `time` relative to `origin` (floor; may be negative).
+[[nodiscard]] std::int64_t week_index(SimTime time, SimTime origin) noexcept;
+
+[[nodiscard]] constexpr SimTime add_days(SimTime t, std::int64_t days) noexcept {
+  return SimTime{t.seconds + days * kSecondsPerDay};
+}
+
+[[nodiscard]] constexpr SimTime add_weeks(SimTime t, std::int64_t weeks) noexcept {
+  return SimTime{t.seconds + weeks * kSecondsPerWeek};
+}
+
+[[nodiscard]] constexpr SimTime add_seconds(SimTime t, std::int64_t s) noexcept {
+  return SimTime{t.seconds + s};
+}
+
+}  // namespace repro

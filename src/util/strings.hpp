@@ -1,0 +1,26 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro {
+
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+[[nodiscard]] std::string to_lower(std::string_view text);
+[[nodiscard]] std::string trim(std::string_view text);
+
+/// Render with SI-ish thousands separators: 1234567 -> "1,234,567".
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+/// printf-style double with fixed decimals.
+[[nodiscard]] std::string fixed(double value, int decimals);
+
+/// Escape non-printable bytes C-style ("\x00"), used to render section
+/// names the way the paper prints them (".text\x00\x00\x00").
+[[nodiscard]] std::string escape_bytes(std::string_view raw);
+
+}  // namespace repro

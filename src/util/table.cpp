@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+
+namespace repro {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  if (columns == 0) return {};
+
+  std::vector<std::size_t> width(columns, 0);
+  const auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      width[i] = std::max(width[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  const auto emit_row = [&](const std::vector<std::string>& row,
+                            std::string& out) {
+    out += "|";
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out += " " + cell + std::string(width[i] - cell.size(), ' ') + " |";
+    }
+    out += "\n";
+  };
+
+  std::string out;
+  if (!header_.empty()) {
+    emit_row(header_, out);
+    out += "|";
+    for (std::size_t i = 0; i < columns; ++i) {
+      out += std::string(width[i] + 2, '-') + "|";
+    }
+    out += "\n";
+  }
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+void TextTable::print(std::ostream& os) const { os << render(); }
+
+std::string to_csv_row(const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out += ",";
+    const std::string& cell = cells[i];
+    if (cell.find_first_of(",\"\n") != std::string::npos) {
+      out += "\"";
+      for (const char c : cell) {
+        if (c == '"') out += "\"\"";
+        else out.push_back(c);
+      }
+      out += "\"";
+    } else {
+      out += cell;
+    }
+  }
+  return out;
+}
+
+}  // namespace repro

@@ -1,0 +1,37 @@
+// ASCII table and CSV rendering used by the report module to print the
+// paper's tables and figure series.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// Column-aligned ASCII table with an optional header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header = {});
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column widths fit to content, e.g.
+  ///   | Dim | Feature | # invariants |
+  ///   |-----|---------|--------------|
+  ///   | ... | ...     | ...          |
+  [[nodiscard]] std::string render() const;
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Minimal CSV emission (quotes fields containing separators/quotes).
+[[nodiscard]] std::string to_csv_row(const std::vector<std::string>& cells);
+
+}  // namespace repro

@@ -1,0 +1,172 @@
+// Deterministic robustness sweeps ("fuzz-lite"): every parser that
+// consumes externally-controlled bytes must survive arbitrary
+// mutations — returning an error value or throwing ParseError, never
+// crashing or reading out of bounds. Honeypot data is attacker
+// controlled by definition, so these paths are the library's security
+// boundary.
+#include <gtest/gtest.h>
+
+#include "io/csv_import.hpp"
+#include "pe/builder.hpp"
+#include "pe/filetype.hpp"
+#include "pe/parser.hpp"
+#include "proto/gamma.hpp"
+#include "proto/region.hpp"
+#include "shellcode/analyzer.hpp"
+#include "shellcode/builder.hpp"
+#include "util/error.hpp"
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+#include "util/simtime.hpp"
+
+namespace repro {
+namespace {
+
+/// Applies `count` random byte mutations (overwrite, truncate, extend).
+std::vector<std::uint8_t> mutate(std::vector<std::uint8_t> data, Rng& rng,
+                                 int count) {
+  for (int i = 0; i < count && !data.empty(); ++i) {
+    switch (rng.index(4)) {
+      case 0:  // overwrite
+        data[rng.index(data.size())] =
+            static_cast<std::uint8_t>(rng.uniform(0, 255));
+        break;
+      case 1:  // truncate
+        data.resize(1 + rng.index(data.size()));
+        break;
+      case 2: {  // extend with junk
+        std::vector<std::uint8_t> junk(rng.index(64));
+        rng.fill(junk);
+        data.insert(data.end(), junk.begin(), junk.end());
+        break;
+      }
+      case 3: {  // byte swap
+        const std::size_t a = rng.index(data.size());
+        const std::size_t b = rng.index(data.size());
+        std::swap(data[a], data[b]);
+        break;
+      }
+    }
+  }
+  return data;
+}
+
+class FuzzSeed : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeed, PeParserSurvivesMutations) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 977 + 1};
+  pe::PeTemplate tmpl;
+  tmpl.sections.push_back(pe::SectionSpec{
+      ".text", pe::kSectionCode, std::vector<std::uint8_t>(1500, 0x90),
+      false});
+  tmpl.sections.push_back(
+      pe::SectionSpec{"rdata", pe::kSectionInitializedData, {}, true});
+  tmpl.imports.push_back(pe::ImportSpec{"KERNEL32.dll", {"Sleep"}});
+  const auto valid = pe::build_pe(tmpl);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto mutated = mutate(valid, rng, 1 + static_cast<int>(rng.index(8)));
+    try {
+      const pe::PeInfo info = pe::parse_pe(mutated);
+      // If it still parses, basic invariants must hold.
+      EXPECT_LE(info.sections.size(), 64u);
+    } catch (const ParseError&) {
+      // Expected for most mutations.
+    }
+    // The type detector must always return something.
+    EXPECT_FALSE(pe::detect_file_type(mutated).empty());
+    (void)pe::looks_like_pe(mutated);
+  }
+}
+
+TEST_P(FuzzSeed, ShellcodeAnalyzerSurvivesMutations) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 1013 + 7};
+  shellcode::DownloadIntent intent;
+  intent.protocol = shellcode::Protocol::kHttp;
+  intent.port = 80;
+  intent.host = net::Ipv4{1, 2, 3, 4};
+  intent.filename = "x.exe";
+  for (const auto kind :
+       {shellcode::EncoderKind::kXor, shellcode::EncoderKind::kAlphanumeric,
+        shellcode::EncoderKind::kClear}) {
+    shellcode::EncoderOptions options;
+    options.kind = kind;
+    const auto valid = shellcode::build_shellcode(intent, options, rng);
+    for (int trial = 0; trial < 30; ++trial) {
+      const auto mutated =
+          mutate(valid, rng, 1 + static_cast<int>(rng.index(6)));
+      // Must return nullopt or a structurally valid intent — never crash.
+      const auto analyzed = shellcode::analyze_shellcode(mutated);
+      if (analyzed.has_value()) {
+        EXPECT_LE(analyzed->filename.size(), 4096u);
+      }
+    }
+  }
+}
+
+TEST_P(FuzzSeed, GammaObserverSurvivesMutations) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 31 + 3};
+  const auto spec = proto::make_gamma_spec(static_cast<std::uint64_t>(
+      GetParam()));
+  const auto valid = proto::build_gamma(spec, rng);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto mutated = mutate(valid, rng, 1 + static_cast<int>(rng.index(6)));
+    (void)proto::observe_gamma(mutated);  // must not crash
+  }
+}
+
+TEST_P(FuzzSeed, RegionAnalysisSurvivesRandomMessages) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 131 + 5};
+  std::vector<proto::Bytes> messages(2 + rng.index(4));
+  for (auto& message : messages) {
+    message.resize(rng.index(120));
+    rng.fill(message);
+  }
+  std::vector<const proto::Bytes*> views;
+  for (const auto& message : messages) views.push_back(&message);
+  const auto regions = proto::region_analysis(views);
+  // Whatever was extracted must match every input.
+  for (const auto& message : messages) {
+    EXPECT_TRUE(proto::regions_match(regions, message));
+  }
+}
+
+TEST_P(FuzzSeed, CsvParserSurvivesRandomLines) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 613 + 11};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string line;
+    const std::size_t length = rng.index(200);
+    for (std::size_t i = 0; i < length; ++i) {
+      // Printable chars with elevated quote/comma frequency.
+      const int draw = static_cast<int>(rng.index(10));
+      line.push_back(draw < 2   ? '"'
+                     : draw < 4 ? ','
+                                : static_cast<char>(rng.uniform(0x20, 0x7e)));
+    }
+    try {
+      const auto fields = io::parse_csv_row(line);
+      EXPECT_GE(fields.size(), 1u);
+    } catch (const ParseError&) {
+      // Unterminated quotes are expected.
+    }
+  }
+}
+
+TEST_P(FuzzSeed, HexAndDateParsersSurviveJunk) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 503 + 13};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string text = rng.alnum(rng.index(24));
+    try {
+      (void)hex_decode(text);
+    } catch (const ParseError&) {
+    }
+    try {
+      (void)parse_date(text);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,150 @@
+// Unit tests for the io module: CSV/JSONL export and CSV re-import.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/csv_export.hpp"
+#include "io/csv_import.hpp"
+#include "util/table.hpp"
+#include "scenario/paper.hpp"
+#include "util/error.hpp"
+
+namespace repro::io {
+namespace {
+
+/// One tiny shared dataset for the export tests.
+const scenario::Dataset& dataset() {
+  static const scenario::Dataset ds = [] {
+    scenario::ScenarioOptions options;
+    options.scale = 0.03;
+    options.seed = 3;
+    return scenario::build_paper_dataset(options);
+  }();
+  return ds;
+}
+
+TEST(CsvRow, ParsesPlainFields) {
+  EXPECT_EQ(parse_csv_row("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(parse_csv_row(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(parse_csv_row("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+}
+
+TEST(CsvRow, ParsesQuotedFields) {
+  EXPECT_EQ(parse_csv_row("a,\"b,c\",d"),
+            (std::vector<std::string>{"a", "b,c", "d"}));
+  EXPECT_EQ(parse_csv_row("\"say \"\"hi\"\"\""),
+            (std::vector<std::string>{"say \"hi\""}));
+}
+
+TEST(CsvRow, RejectsUnterminatedQuote) {
+  EXPECT_THROW(parse_csv_row("a,\"broken"), ParseError);
+}
+
+TEST(CsvRow, RoundTripsThroughWriter) {
+  const std::vector<std::string> cells{"plain", "with,comma", "with\"quote",
+                                       ""};
+  EXPECT_EQ(parse_csv_row(to_csv_row(cells)), cells);
+}
+
+TEST(Export, EventsCsvRoundTrips) {
+  const auto& ds = dataset();
+  std::stringstream stream;
+  write_events_csv(stream, ds.db, ds.e, ds.p, ds.m, ds.b);
+  const auto records = read_events_csv(stream);
+  ASSERT_EQ(records.size(), ds.db.events().size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& record = records[i];
+    const auto& event = ds.db.events()[i];
+    EXPECT_EQ(record.event_id, event.id);
+    EXPECT_EQ(record.attacker, event.attacker.to_string());
+    EXPECT_EQ(record.dst_port, event.epsilon.dst_port);
+    EXPECT_EQ(record.fsm_path, event.epsilon.fsm_path);
+    EXPECT_EQ(record.e_cluster, ds.e.cluster_of_event(event.id));
+    EXPECT_EQ(record.m_cluster, ds.m.cluster_of_event(event.id));
+    if (event.sample.has_value()) {
+      EXPECT_EQ(record.sample_id, static_cast<int>(*event.sample));
+    } else {
+      EXPECT_EQ(record.sample_id, -1);
+    }
+  }
+}
+
+TEST(Export, SamplesCsvHasOneRowPerSample) {
+  const auto& ds = dataset();
+  std::stringstream stream;
+  write_samples_csv(stream, ds.db, ds.b);
+  std::string line;
+  std::size_t rows = 0;
+  ASSERT_TRUE(std::getline(stream, line));  // header
+  EXPECT_EQ(parse_csv_row(line).front(), "sample_id");
+  while (std::getline(stream, line)) {
+    const auto fields = parse_csv_row(line);
+    ASSERT_EQ(fields.size(), 9u);
+    EXPECT_EQ(fields[1].size(), 32u);  // md5 hex
+    ++rows;
+  }
+  EXPECT_EQ(rows, ds.db.samples().size());
+}
+
+TEST(Export, ClustersCsvListsAllPatterns) {
+  const auto& ds = dataset();
+  std::stringstream stream;
+  write_clusters_csv(stream, ds.p);
+  std::string line;
+  std::size_t rows = 0;
+  std::getline(stream, line);
+  while (std::getline(stream, line)) {
+    const auto fields = parse_csv_row(line);
+    ASSERT_EQ(fields.size(), 4u);
+    EXPECT_EQ(fields[1], "Pi");
+    ++rows;
+  }
+  EXPECT_EQ(rows, ds.p.cluster_count());
+}
+
+TEST(Export, ProfilesJsonlOnePerAnalyzableSample) {
+  const auto& ds = dataset();
+  std::stringstream stream;
+  write_profiles_jsonl(stream, ds.db);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(stream, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"features\":["), std::string::npos);
+    ++rows;
+  }
+  EXPECT_EQ(rows, ds.db.analyzable_sample_count());
+}
+
+TEST(Export, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nfeed"), "line\\nfeed");
+  EXPECT_EQ(json_escape(std::string{"\x01", 1}), "\\u0001");
+}
+
+TEST(Import, RejectsBadHeader) {
+  std::stringstream stream{"not,a,header\n1,2,3\n"};
+  EXPECT_THROW(read_events_csv(stream), ParseError);
+}
+
+TEST(Import, RejectsArityMismatch) {
+  std::stringstream good;
+  write_events_csv(good, dataset().db, dataset().e, dataset().p, dataset().m,
+                   dataset().b);
+  std::string header;
+  std::getline(good, header);
+  std::stringstream bad{header + "\n1,2,3\n"};
+  EXPECT_THROW(read_events_csv(bad), ParseError);
+}
+
+TEST(Import, EmptyInputThrows) {
+  std::stringstream empty;
+  EXPECT_THROW(read_events_csv(empty), ParseError);
+}
+
+}  // namespace
+}  // namespace repro::io

@@ -1,0 +1,171 @@
+// Unit tests for the net module: addresses, subnets, samplers,
+// IP-space histograms.
+#include <gtest/gtest.h>
+
+#include "net/address_space.hpp"
+#include "net/ipv4.hpp"
+#include "net/subnet.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace repro::net {
+namespace {
+
+TEST(Ipv4, FormatAndParse) {
+  const Ipv4 ip{67, 43, 232, 36};
+  EXPECT_EQ(ip.to_string(), "67.43.232.36");
+  EXPECT_EQ(Ipv4::parse("67.43.232.36"), ip);
+}
+
+TEST(Ipv4, Octets) {
+  const Ipv4 ip{1, 2, 3, 4};
+  EXPECT_EQ(ip.octet(0), 1);
+  EXPECT_EQ(ip.octet(3), 4);
+  EXPECT_EQ(ip.slash8(), 1);
+}
+
+TEST(Ipv4, Slash24Grouping) {
+  EXPECT_EQ(Ipv4::parse("67.43.232.36").slash24(),
+            Ipv4::parse("67.43.232.0"));
+  EXPECT_EQ(Ipv4::parse("67.43.232.36").slash24(),
+            Ipv4::parse("67.43.232.99").slash24());
+  EXPECT_NE(Ipv4::parse("67.43.232.1").slash24(),
+            Ipv4::parse("67.43.233.1").slash24());
+}
+
+class Ipv4Malformed : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Ipv4Malformed, ParseThrows) {
+  EXPECT_THROW(Ipv4::parse(GetParam()), ParseError);
+}
+
+INSTANTIATE_TEST_SUITE_P(BadInputs, Ipv4Malformed,
+                         ::testing::Values("", "1.2.3", "1.2.3.4.5",
+                                           "256.1.1.1", "a.b.c.d",
+                                           "1.2.3.4x"));
+
+TEST(Ipv4, Ordering) {
+  EXPECT_LT(Ipv4::parse("1.2.3.4"), Ipv4::parse("1.2.3.5"));
+  EXPECT_LT(Ipv4::parse("9.255.255.255"), Ipv4::parse("10.0.0.0"));
+}
+
+TEST(Subnet, ParseAndContains) {
+  const Subnet subnet = Subnet::parse("67.43.232.0/24");
+  EXPECT_TRUE(subnet.contains(Ipv4::parse("67.43.232.36")));
+  EXPECT_FALSE(subnet.contains(Ipv4::parse("67.43.233.1")));
+  EXPECT_EQ(subnet.size(), 256u);
+  EXPECT_EQ(subnet.to_string(), "67.43.232.0/24");
+}
+
+TEST(Subnet, ClearsHostBits) {
+  const Subnet subnet{Ipv4::parse("10.1.2.3"), 16};
+  EXPECT_EQ(subnet.network(), Ipv4::parse("10.1.0.0"));
+}
+
+TEST(Subnet, ZeroPrefixContainsEverything) {
+  const Subnet all{Ipv4{0}, 0};
+  EXPECT_TRUE(all.contains(Ipv4::parse("255.255.255.255")));
+  EXPECT_TRUE(all.contains(Ipv4::parse("0.0.0.0")));
+}
+
+TEST(Subnet, ParseErrors) {
+  EXPECT_THROW(Subnet::parse("1.2.3.4"), ParseError);
+  EXPECT_THROW(Subnet::parse("1.2.3.4/33"), ParseError);
+  EXPECT_THROW(Subnet::parse("1.2.3.4/x"), ParseError);
+}
+
+TEST(Subnet, PrefixOutOfRangeThrows) {
+  EXPECT_THROW((Subnet{Ipv4{0}, 33}), ConfigError);
+  EXPECT_THROW((Subnet{Ipv4{0}, -1}), ConfigError);
+}
+
+TEST(Subnet, RandomAddressStaysInside) {
+  Rng rng{1};
+  const Subnet subnet = Subnet::parse("192.0.2.0/24");
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(subnet.contains(subnet.random_address(rng)));
+  }
+}
+
+TEST(WidespreadSampler, AvoidsReservedSpace) {
+  Rng rng{2};
+  const WidespreadSampler sampler;
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4 ip = sampler.sample(rng);
+    EXPECT_TRUE(WidespreadSampler::routable_slash8(ip.slash8()))
+        << ip.to_string();
+    EXPECT_NE(ip.slash8(), 10);
+    EXPECT_NE(ip.slash8(), 127);
+    EXPECT_LT(ip.slash8(), 224);
+    EXPECT_FALSE(ip.octet(0) == 192 && ip.octet(1) == 168) << ip.to_string();
+    EXPECT_FALSE(ip.octet(0) == 172 && ip.octet(1) >= 16 && ip.octet(1) < 32)
+        << ip.to_string();
+  }
+}
+
+TEST(WidespreadSampler, SpreadsOverManySlash8s) {
+  Rng rng{3};
+  const WidespreadSampler sampler;
+  Slash8Histogram histogram;
+  for (int i = 0; i < 2000; ++i) histogram.add(sampler.sample(rng));
+  EXPECT_GT(histogram.occupied_blocks(), 150u);
+  EXPECT_GT(histogram.normalized_entropy(), 0.8);
+}
+
+TEST(ConcentratedSampler, StaysInSubnets) {
+  Rng rng{4};
+  const std::vector<Subnet> subnets{Subnet::parse("67.43.0.0/16"),
+                                    Subnet::parse("72.10.172.0/24")};
+  const ConcentratedSampler sampler{subnets, {}};
+  for (int i = 0; i < 500; ++i) {
+    const Ipv4 ip = sampler.sample(rng);
+    EXPECT_TRUE(subnets[0].contains(ip) || subnets[1].contains(ip))
+        << ip.to_string();
+  }
+}
+
+TEST(ConcentratedSampler, LowEntropyFootprint) {
+  Rng rng{5};
+  const ConcentratedSampler sampler{{Subnet::parse("67.43.0.0/16")}, {}};
+  Slash8Histogram histogram;
+  for (int i = 0; i < 500; ++i) histogram.add(sampler.sample(rng));
+  EXPECT_EQ(histogram.occupied_blocks(), 1u);
+  EXPECT_EQ(histogram.normalized_entropy(), 0.0);
+}
+
+TEST(ConcentratedSampler, RequiresSubnets) {
+  EXPECT_THROW((ConcentratedSampler{{}, {}}), ConfigError);
+}
+
+TEST(ConcentratedSampler, RejectsWeightMismatch) {
+  EXPECT_THROW((ConcentratedSampler{{Subnet::parse("1.0.0.0/8")}, {1.0, 2.0}}),
+               ConfigError);
+}
+
+TEST(Slash8Histogram, CountsAndTotal) {
+  Slash8Histogram histogram;
+  histogram.add(Ipv4::parse("9.1.1.1"));
+  histogram.add(Ipv4::parse("9.2.2.2"));
+  histogram.add(Ipv4::parse("10.0.0.1"));
+  EXPECT_EQ(histogram.count(9), 2u);
+  EXPECT_EQ(histogram.count(10), 1u);
+  EXPECT_EQ(histogram.total(), 3u);
+  EXPECT_EQ(histogram.occupied_blocks(), 2u);
+}
+
+TEST(Slash8Histogram, EmptyEntropyIsZero) {
+  const Slash8Histogram histogram;
+  EXPECT_EQ(histogram.normalized_entropy(), 0.0);
+  EXPECT_EQ(histogram.total(), 0u);
+}
+
+TEST(Slash8Histogram, UniformEntropyIsOne) {
+  Slash8Histogram histogram;
+  for (int block = 0; block < 256; ++block) {
+    histogram.add(Ipv4{static_cast<std::uint32_t>(block) << 24});
+  }
+  EXPECT_NEAR(histogram.normalized_entropy(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace repro::net

@@ -1,0 +1,235 @@
+// Algebraic properties of the clustering algorithms, checked over
+// randomized inputs: partitions must be invariant under row
+// permutation, monotone in their thresholds, and stable under
+// duplication — properties that hold for the abstract algorithms and
+// therefore must hold for the implementations.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "cluster/behavioral.hpp"
+#include "cluster/epm.hpp"
+#include "cluster/feature.hpp"
+#include "sandbox/profile.hpp"
+#include "util/rng.hpp"
+
+namespace repro::cluster {
+namespace {
+
+// ------------------------------------------------------------- helpers
+
+/// Canonical form of a partition: set of member-index sets, so two
+/// labelings compare equal iff they induce the same grouping.
+std::set<std::set<std::size_t>> canonical(const std::vector<int>& assignment) {
+  std::map<int, std::set<std::size_t>> groups;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    groups[assignment[i]].insert(i);
+  }
+  std::set<std::set<std::size_t>> out;
+  for (auto& [label, members] : groups) out.insert(std::move(members));
+  return out;
+}
+
+DimensionData random_dimension(Rng& rng, std::size_t rows,
+                               std::size_t features) {
+  DimensionData data;
+  data.schema.dimension = Dimension::kMu;
+  for (std::size_t f = 0; f < features; ++f) {
+    data.schema.names.push_back("f" + std::to_string(f));
+  }
+  for (std::size_t row = 0; row < rows; ++row) {
+    FeatureVector instance;
+    for (std::size_t f = 0; f < features; ++f) {
+      // Mixture of common values (potential invariants) and uniques.
+      instance.values.push_back(rng.chance(0.7)
+                                    ? "v" + std::to_string(rng.index(4))
+                                    : "u" + std::to_string(row * 31 + f));
+    }
+    data.instances.push_back(std::move(instance));
+    data.contexts.push_back(InstanceContext{
+        net::Ipv4{static_cast<std::uint32_t>(rng.index(12))},
+        net::Ipv4{static_cast<std::uint32_t>(rng.index(12) + 100)}});
+    data.event_ids.push_back(row);
+  }
+  return data;
+}
+
+std::vector<sandbox::BehavioralProfile> random_profiles(Rng& rng,
+                                                        std::size_t count) {
+  std::vector<sandbox::BehavioralProfile> profiles;
+  for (std::size_t i = 0; i < count; ++i) {
+    sandbox::BehavioralProfile profile;
+    const std::size_t family = rng.index(5);
+    for (int f = 0; f < 10; ++f) {
+      profile.add("fam" + std::to_string(family) + "-" + std::to_string(f));
+    }
+    const std::size_t extras = rng.index(6);
+    for (std::size_t f = 0; f < extras; ++f) {
+      profile.add("extra-" + rng.alnum(6));
+    }
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+std::vector<const sandbox::BehavioralProfile*> views(
+    const std::vector<sandbox::BehavioralProfile>& profiles) {
+  std::vector<const sandbox::BehavioralProfile*> out;
+  for (const auto& profile : profiles) out.push_back(&profile);
+  return out;
+}
+
+// ------------------------------------------------------ EPM properties
+
+class EpmProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EpmProperty, PartitionInvariantUnderRowPermutation) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 7919 + 1};
+  const DimensionData data = random_dimension(rng, 120, 4);
+  const auto base = epm_cluster(data, InvariantThresholds{5, 2, 2});
+
+  // Permute the rows and re-cluster.
+  std::vector<std::size_t> order(data.instances.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  DimensionData permuted;
+  permuted.schema = data.schema;
+  for (const std::size_t row : order) {
+    permuted.instances.push_back(data.instances[row]);
+    permuted.contexts.push_back(data.contexts[row]);
+    permuted.event_ids.push_back(data.event_ids[row]);
+  }
+  const auto shuffled = epm_cluster(permuted, InvariantThresholds{5, 2, 2});
+
+  // The induced partition over event ids must be identical.
+  std::vector<int> base_by_event(data.instances.size());
+  std::vector<int> shuffled_by_event(data.instances.size());
+  for (std::size_t row = 0; row < data.instances.size(); ++row) {
+    base_by_event[data.event_ids[row]] = base.assignment[row];
+    shuffled_by_event[permuted.event_ids[row]] = shuffled.assignment[row];
+  }
+  EXPECT_EQ(canonical(base_by_event), canonical(shuffled_by_event));
+}
+
+TEST_P(EpmProperty, DuplicatingARowNeverChangesItsCluster) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 104729 + 3};
+  DimensionData data = random_dimension(rng, 80, 4);
+  const auto base = epm_cluster(data, InvariantThresholds{5, 2, 2});
+  // Duplicate one row (same event context): its twin must land in the
+  // same cluster pattern.
+  const std::size_t pick = rng.index(data.instances.size());
+  data.instances.push_back(data.instances[pick]);
+  data.contexts.push_back(data.contexts[pick]);
+  data.event_ids.push_back(1000);
+  const auto extended = epm_cluster(data, InvariantThresholds{5, 2, 2});
+  const std::string base_key =
+      base.patterns[static_cast<std::size_t>(base.assignment[pick])].key();
+  const std::string twin_key =
+      extended
+          .patterns[static_cast<std::size_t>(extended.assignment.back())]
+          .key();
+  EXPECT_EQ(base_key, twin_key);
+}
+
+TEST_P(EpmProperty, TighterThresholdsNeverAddInvariants) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 13 + 5};
+  const DimensionData data = random_dimension(rng, 150, 3);
+  const auto loose = discover_invariants(data, InvariantThresholds{3, 1, 1});
+  const auto tight = discover_invariants(data, InvariantThresholds{12, 3, 3});
+  for (std::size_t f = 0; f < data.schema.size(); ++f) {
+    EXPECT_LE(tight.count(f), loose.count(f));
+    for (const std::string& value : tight.values(f)) {
+      EXPECT_TRUE(loose.is_invariant(f, value));
+    }
+  }
+}
+
+TEST_P(EpmProperty, EveryPatternHasAtLeastOneMember) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 37 + 7};
+  const auto result =
+      epm_cluster(random_dimension(rng, 100, 4), InvariantThresholds{4, 2, 2});
+  for (std::size_t c = 0; c < result.patterns.size(); ++c) {
+    EXPECT_FALSE(result.members[c].empty()) << result.patterns[c].key();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpmProperty, ::testing::Range(0, 10));
+
+// ----------------------------------------------- behavioral properties
+
+class BehavioralProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BehavioralProperty, PartitionInvariantUnderPermutation) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 101 + 11};
+  auto profiles = random_profiles(rng, 60);
+  BehavioralOptions options;
+  options.use_lsh = false;  // exact: permutation invariance must be exact
+  const auto base = cluster_profiles(views(profiles), options);
+
+  std::vector<std::size_t> order(profiles.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  std::vector<const sandbox::BehavioralProfile*> permuted;
+  for (const std::size_t i : order) permuted.push_back(&profiles[i]);
+  const auto shuffled = cluster_profiles(permuted, options);
+
+  std::vector<int> shuffled_by_original(profiles.size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    shuffled_by_original[order[pos]] = shuffled.assignment[pos];
+  }
+  EXPECT_EQ(canonical(base.assignment), canonical(shuffled_by_original));
+}
+
+TEST_P(BehavioralProperty, HigherThresholdNeverMerges) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 211 + 13};
+  const auto profiles = random_profiles(rng, 60);
+  BehavioralOptions loose;
+  loose.use_lsh = false;
+  loose.threshold = 0.5;
+  BehavioralOptions tight;
+  tight.use_lsh = false;
+  tight.threshold = 0.9;
+  const auto loose_clusters = cluster_profiles(views(profiles), loose);
+  const auto tight_clusters = cluster_profiles(views(profiles), tight);
+  // Refinement: every tight cluster lies inside one loose cluster.
+  EXPECT_GE(tight_clusters.cluster_count(), loose_clusters.cluster_count());
+  for (const auto& members : tight_clusters.members) {
+    std::set<int> loose_labels;
+    for (const std::size_t item : members) {
+      loose_labels.insert(loose_clusters.assignment[item]);
+    }
+    EXPECT_EQ(loose_labels.size(), 1u);
+  }
+}
+
+TEST_P(BehavioralProperty, LshAgreesWithExactGivenSimilarityGap) {
+  // LSH is probabilistic near the threshold; agreement with the exact
+  // algorithm is only guaranteed when pair similarities are bounded
+  // away from it. Build such a corpus: family members are near
+  // duplicates (Jaccard >= 0.87 >> 0.7), cross-family pairs are
+  // disjoint (Jaccard 0 << 0.7).
+  Rng rng{static_cast<std::uint64_t>(GetParam()) * 307 + 17};
+  std::vector<sandbox::BehavioralProfile> profiles;
+  for (std::size_t i = 0; i < 80; ++i) {
+    sandbox::BehavioralProfile profile;
+    const std::size_t family = rng.index(6);
+    for (int f = 0; f < 14; ++f) {
+      profile.add("fam" + std::to_string(family) + "-" + std::to_string(f));
+    }
+    if (rng.chance(0.5)) profile.add("extra-" + rng.alnum(6));
+    profiles.push_back(std::move(profile));
+  }
+  BehavioralOptions exact;
+  exact.use_lsh = false;
+  BehavioralOptions lsh;
+  lsh.use_lsh = true;
+  EXPECT_EQ(canonical(cluster_profiles(views(profiles), exact).assignment),
+            canonical(cluster_profiles(views(profiles), lsh).assignment));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BehavioralProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace repro::cluster

@@ -1,0 +1,82 @@
+// Unit tests for the report emitters: every artifact renderer must
+// produce the paper-style rows from hand-constructed analysis results.
+#include <gtest/gtest.h>
+
+#include "report/reports.hpp"
+
+namespace repro::report {
+namespace {
+
+TEST(Reports, Table2RendersRowsAndSignals) {
+  analysis::C2Report c2;
+  analysis::IrcAssociation row1;
+  row1.server = net::Ipv4::parse("67.43.226.242");
+  row1.room = "#las6";
+  row1.m_clusters = {282, 70};
+  analysis::IrcAssociation row2;
+  row2.server = net::Ipv4::parse("72.10.172.211");
+  row2.room = "#las6";
+  row2.m_clusters = {266};
+  c2.associations = {row1, row2};
+  c2.slash24_groups["67.43.226.0/24"] = {"67.43.226.242"};
+  c2.room_reuse["#las6"] = 2;
+
+  const std::string out = table2(c2);
+  EXPECT_NE(out.find("67.43.226.242"), std::string::npos);
+  EXPECT_NE(out.find("#las6"), std::string::npos);
+  EXPECT_NE(out.find("282, 70"), std::string::npos);
+  EXPECT_NE(out.find("channels commanding 2+ M-clusters (same botnet, "
+                     "patched builds): 1"),
+            std::string::npos);
+  EXPECT_NE(out.find("room names recurring on 2+ servers: 1"),
+            std::string::npos);
+}
+
+TEST(Reports, HealingShowsBeforeAfter) {
+  analysis::HealingReport healing_report;
+  healing_report.suspects = 100;
+  healing_report.reexecuted = 100;
+  healing_report.b_clusters_before = 900;
+  healing_report.b_clusters_after = 120;
+  healing_report.singletons_before = 850;
+  healing_report.singletons_after = 40;
+  const std::string out = healing(healing_report);
+  EXPECT_NE(out.find("900 -> 120"), std::string::npos);
+  EXPECT_NE(out.find("850 -> 40"), std::string::npos);
+}
+
+TEST(Reports, Figure4RanksAvNames) {
+  analysis::SingletonReport singleton_report;
+  singleton_report.b_cluster_count = 10;
+  singleton_report.singleton_b_clusters = 5;
+  singleton_report.one_to_one = 1;
+  singleton_report.anomalies = 4;
+  singleton_report.av_names = {{"W32.Rahack.A", 3}, {"Trojan Horse", 1}};
+  singleton_report.ep_coordinates[{2, 0}] = 4;
+  const std::string out = figure4(singleton_report);
+  EXPECT_NE(out.find("W32.Rahack.A"), std::string::npos);
+  EXPECT_NE(out.find("E2 / P0 : 4 samples"), std::string::npos);
+  // The dominant name is rendered with the longest bar: it appears
+  // before the less frequent one.
+  EXPECT_LT(out.find("W32.Rahack.A"), out.find("Trojan Horse"));
+}
+
+TEST(Reports, Figure5RendersTimeline) {
+  analysis::BClusterContext context;
+  context.b_cluster = 7;
+  context.sample_count = 3;
+  analysis::MClusterContext mc;
+  mc.m_cluster = 13;
+  mc.event_count = 6;
+  mc.distinct_attackers = 4;
+  mc.weekly_events = {0, 3, 0, 3};
+  mc.weeks_active = 2;
+  context.per_m_cluster.push_back(mc);
+  const std::string out = figure5(context);
+  EXPECT_NE(out.find("B-cluster 7"), std::string::npos);
+  EXPECT_NE(out.find("M13"), std::string::npos);
+  EXPECT_NE(out.find("weekly activity timelines"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro::report

@@ -1,0 +1,256 @@
+// Unit tests for the sandbox module: profiles, environment, and the
+// Anubis-style behavior interpreter.
+#include <gtest/gtest.h>
+
+#include "malware/behavior.hpp"
+#include "sandbox/anubis.hpp"
+#include "sandbox/environment.hpp"
+#include "sandbox/profile.hpp"
+#include "util/error.hpp"
+
+namespace repro::sandbox {
+namespace {
+
+BehavioralProfile profile_of(std::initializer_list<const char*> features) {
+  BehavioralProfile profile;
+  for (const char* feature : features) profile.add(feature);
+  return profile;
+}
+
+// ----------------------------------------------------------------- profile
+
+TEST(Profile, JaccardIdentity) {
+  const auto p = profile_of({"a", "b", "c"});
+  EXPECT_EQ(jaccard(p, p), 1.0);
+}
+
+TEST(Profile, JaccardDisjoint) {
+  EXPECT_EQ(jaccard(profile_of({"a"}), profile_of({"b"})), 0.0);
+}
+
+TEST(Profile, JaccardPartial) {
+  // |{a,b} ∩ {b,c}| / |{a,b,c}| = 1/3.
+  EXPECT_NEAR(jaccard(profile_of({"a", "b"}), profile_of({"b", "c"})),
+              1.0 / 3.0, 1e-12);
+}
+
+TEST(Profile, JaccardEmptyBoth) {
+  EXPECT_EQ(jaccard(BehavioralProfile{}, BehavioralProfile{}), 1.0);
+}
+
+TEST(Profile, JaccardSymmetric) {
+  const auto a = profile_of({"a", "b", "c", "d"});
+  const auto b = profile_of({"c", "d", "e"});
+  EXPECT_EQ(jaccard(a, b), jaccard(b, a));
+}
+
+TEST(Profile, IntersectStripsDifferences) {
+  const auto merged =
+      intersect(profile_of({"a", "b", "noise1"}), profile_of({"a", "b",
+                                                              "noise2"}));
+  EXPECT_EQ(merged, profile_of({"a", "b"}));
+}
+
+TEST(Profile, FeatureIdsSortedUnique) {
+  const auto ids = profile_of({"x", "y", "z"}).feature_ids();
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+TEST(Profile, AddIsIdempotent) {
+  BehavioralProfile profile;
+  profile.add("a");
+  profile.add("a");
+  EXPECT_EQ(profile.size(), 1u);
+  EXPECT_TRUE(profile.contains("a"));
+  EXPECT_FALSE(profile.contains("b"));
+}
+
+// ------------------------------------------------------------- environment
+
+TEST(Environment, DnsWindows) {
+  Environment env;
+  env.set_dns("iliketay.cn", AvailabilityWindow{parse_date("2008-01-01"),
+                                                parse_date("2008-12-01")});
+  EXPECT_TRUE(env.dns_resolves("iliketay.cn", parse_date("2008-06-01")));
+  EXPECT_FALSE(env.dns_resolves("iliketay.cn", parse_date("2009-01-01")));
+  EXPECT_FALSE(env.dns_resolves("other.example", parse_date("2008-06-01")));
+}
+
+TEST(Environment, WindowIsHalfOpen) {
+  Environment env;
+  const SimTime from = parse_date("2008-01-01");
+  const SimTime to = parse_date("2008-02-01");
+  env.set_server(net::Ipv4{1, 2, 3, 4}, AvailabilityWindow{from, to});
+  EXPECT_TRUE(env.server_reachable(net::Ipv4{1, 2, 3, 4}, from));
+  EXPECT_FALSE(env.server_reachable(net::Ipv4{1, 2, 3, 4}, to));
+}
+
+// ----------------------------------------------------------------- sandbox
+
+malware::BehaviorSpec worm_spec() {
+  malware::BehaviorSpec spec;
+  spec.kind = malware::BehaviorKind::kWormDos;
+  spec.base_features = {"file|write|a", "mutex|create|m", "network|scan|445"};
+  return spec;
+}
+
+TEST(Sandbox, BaseFeaturesAlwaysPresent) {
+  Environment env;
+  const Sandbox sandbox{env};
+  const auto profile = sandbox.run(worm_spec(), parse_date("2008-03-01"), 1);
+  for (const std::string& feature : worm_spec().base_features) {
+    EXPECT_TRUE(profile.contains(feature)) << feature;
+  }
+}
+
+TEST(Sandbox, SameSeedSameProfile) {
+  Environment env;
+  const Sandbox sandbox{env};
+  auto spec = worm_spec();
+  spec.noise_probability = 1.0;
+  spec.noise_feature_count = 5;
+  const SimTime when = parse_date("2008-03-01");
+  EXPECT_EQ(sandbox.run(spec, when, 7), sandbox.run(spec, when, 7));
+  EXPECT_NE(sandbox.run(spec, when, 7), sandbox.run(spec, when, 8));
+}
+
+TEST(Sandbox, NoiseAddsExecutionUniqueFeatures) {
+  Environment env;
+  const Sandbox sandbox{env};
+  auto spec = worm_spec();
+  spec.noise_probability = 1.0;
+  spec.noise_feature_count = 6;
+  const auto clean_size = worm_spec().base_features.size();
+  const auto noisy =
+      sandbox.run(spec, parse_date("2008-03-01"), 1);
+  EXPECT_EQ(noisy.size(), clean_size + 6);
+}
+
+TEST(Sandbox, ZeroNoiseProbabilityIsClean) {
+  Environment env;
+  const Sandbox sandbox{env};
+  const auto profile = sandbox.run(worm_spec(), parse_date("2008-03-01"), 1);
+  EXPECT_EQ(profile.size(), worm_spec().base_features.size());
+}
+
+TEST(Sandbox, IrcBotConnectsWhenServerUp) {
+  Environment env;
+  env.set_server(net::Ipv4{67, 43, 232, 36},
+                 AvailabilityWindow{parse_date("2008-01-01"),
+                                    parse_date("2009-01-01")});
+  const Sandbox sandbox{env};
+  malware::BehaviorSpec spec;
+  spec.kind = malware::BehaviorKind::kIrcBot;
+  spec.irc = malware::IrcCnc{net::Ipv4{67, 43, 232, 36}, 6667, "#kok6"};
+  const auto profile = sandbox.run(spec, parse_date("2008-06-01"), 1);
+  EXPECT_TRUE(profile.contains("network|connect|67.43.232.36:6667"));
+  EXPECT_TRUE(profile.contains("irc|join|#kok6"));
+}
+
+TEST(Sandbox, IrcBotFailsWhenServerDown) {
+  Environment env;  // server never registered -> down
+  const Sandbox sandbox{env};
+  malware::BehaviorSpec spec;
+  spec.kind = malware::BehaviorKind::kIrcBot;
+  spec.irc = malware::IrcCnc{net::Ipv4{67, 43, 232, 36}, 6667, "#kok6"};
+  const auto profile = sandbox.run(spec, parse_date("2008-06-01"), 1);
+  EXPECT_TRUE(profile.contains("network|connect-failed|67.43.232.36:6667"));
+  EXPECT_FALSE(profile.contains("irc|join|#kok6"));
+}
+
+TEST(Sandbox, SameRoomSameCommands) {
+  // Bots on the same channel record the same herder commands: their
+  // profiles must be identical (the Table 2 "same botnet" signal).
+  Environment env;
+  env.set_server(net::Ipv4{67, 43, 232, 36},
+                 AvailabilityWindow{parse_date("2008-01-01"),
+                                    parse_date("2009-01-01")});
+  const Sandbox sandbox{env};
+  malware::BehaviorSpec spec;
+  spec.kind = malware::BehaviorKind::kIrcBot;
+  spec.irc = malware::IrcCnc{net::Ipv4{67, 43, 232, 36}, 6667, "#kok6"};
+  const auto a = sandbox.run(spec, parse_date("2008-06-01"), 1);
+  const auto b = sandbox.run(spec, parse_date("2008-07-01"), 2);
+  EXPECT_EQ(a, b);
+}
+
+malware::BehaviorSpec downloader_spec() {
+  malware::BehaviorSpec spec;
+  spec.kind = malware::BehaviorKind::kDownloader;
+  spec.downloader = malware::DownloaderCnc{"iliketay.cn", 2};
+  return spec;
+}
+
+TEST(Sandbox, DownloaderFullServiceEarly) {
+  Environment env;
+  env.set_dns("iliketay.cn", AvailabilityWindow{parse_date("2008-01-01"),
+                                                parse_date("2008-12-01")});
+  const Sandbox sandbox{env};
+  const auto profile =
+      sandbox.run(downloader_spec(), parse_date("2008-02-01"), 1);
+  EXPECT_TRUE(profile.contains("dns|resolve|iliketay.cn"));
+  EXPECT_TRUE(profile.contains("http|get|iliketay.cn/comp1.exe"));
+  EXPECT_TRUE(profile.contains("http|get|iliketay.cn/comp2.exe"));
+}
+
+TEST(Sandbox, DownloaderDegradedServiceLate) {
+  Environment env;
+  env.set_dns("iliketay.cn", AvailabilityWindow{parse_date("2008-01-01"),
+                                                parse_date("2008-12-01")});
+  const Sandbox sandbox{env};
+  // After the midpoint of the DNS window only one component is served.
+  const auto profile =
+      sandbox.run(downloader_spec(), parse_date("2008-10-01"), 1);
+  EXPECT_TRUE(profile.contains("http|get|iliketay.cn/comp1.exe"));
+  EXPECT_FALSE(profile.contains("http|get|iliketay.cn/comp2.exe"));
+}
+
+TEST(Sandbox, DownloaderNxdomainAfterRemoval) {
+  Environment env;
+  env.set_dns("iliketay.cn", AvailabilityWindow{parse_date("2008-01-01"),
+                                                parse_date("2008-12-01")});
+  const Sandbox sandbox{env};
+  const auto profile =
+      sandbox.run(downloader_spec(), parse_date("2009-02-01"), 1);
+  EXPECT_TRUE(profile.contains("dns|nxdomain|iliketay.cn"));
+  EXPECT_FALSE(profile.contains("dns|resolve|iliketay.cn"));
+}
+
+TEST(Sandbox, EnvironmentSplitsProfilesIntoDistinctClusters) {
+  // The three environmental regimes produce three distinct profiles —
+  // the mechanism behind the paper's B-cluster split of M-cluster 13.
+  Environment env;
+  env.set_dns("iliketay.cn", AvailabilityWindow{parse_date("2008-01-01"),
+                                                parse_date("2008-12-01")});
+  const Sandbox sandbox{env};
+  const auto early = sandbox.run(downloader_spec(), parse_date("2008-02-01"), 1);
+  const auto late = sandbox.run(downloader_spec(), parse_date("2008-10-01"), 2);
+  const auto dead = sandbox.run(downloader_spec(), parse_date("2009-02-01"), 3);
+  EXPECT_NE(early, late);
+  EXPECT_NE(late, dead);
+  EXPECT_GT(jaccard(early, late), jaccard(early, dead));
+}
+
+TEST(Sandbox, RepeatedRunStripsNoise) {
+  Environment env;
+  const Sandbox sandbox{env};
+  auto spec = worm_spec();
+  spec.noise_probability = 1.0;  // every run is noisy
+  spec.noise_feature_count = 6;
+  const auto healed = sandbox.run_repeated(spec, parse_date("2008-03-01"),
+                                           /*execution_seed=*/9, /*times=*/3);
+  // Noise features are execution-unique, so the intersection is clean.
+  EXPECT_EQ(healed, sandbox.run(worm_spec(), parse_date("2008-03-01"), 1));
+}
+
+TEST(Sandbox, RepeatedRunRequiresPositiveTimes) {
+  Environment env;
+  const Sandbox sandbox{env};
+  EXPECT_THROW(
+      sandbox.run_repeated(worm_spec(), parse_date("2008-03-01"), 1, 0),
+      ConfigError);
+}
+
+}  // namespace
+}  // namespace repro::sandbox

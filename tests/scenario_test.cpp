@@ -1,0 +1,295 @@
+// Integration tests on the paper-scale scenario at reduced event rates:
+// pipeline sanity, determinism, and the qualitative shapes the paper
+// reports. Quantitative paper-vs-measured comparisons live in the
+// bench harnesses, which run at full scale.
+#include <gtest/gtest.h>
+
+#include "analysis/anomaly.hpp"
+#include "analysis/c2.hpp"
+#include "analysis/context.hpp"
+#include "analysis/graph.hpp"
+#include "analysis/healing.hpp"
+#include "cluster/metrics.hpp"
+#include "report/landscape_report.hpp"
+#include "report/reports.hpp"
+#include "scenario/paper.hpp"
+
+namespace repro::scenario {
+namespace {
+
+/// One shared reduced-scale dataset for the whole suite (building it
+/// costs a few seconds; the tests are read-only).
+class PaperScenario : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ScenarioOptions options;
+    options.scale = 0.25;
+    options.seed = 4242;
+    dataset_ = new Dataset(build_paper_dataset(options));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static const Dataset& dataset() { return *dataset_; }
+
+ private:
+  static Dataset* dataset_;
+};
+
+Dataset* PaperScenario::dataset_ = nullptr;
+
+TEST_F(PaperScenario, LandscapeIsValidAndPopulated) {
+  const auto& landscape = dataset().landscape;
+  EXPECT_NO_THROW(landscape.validate());
+  EXPECT_EQ(landscape.weeks, 74);
+  EXPECT_EQ(landscape.exploits.size(), 50u);  // Table 1: 50 FSM paths
+  EXPECT_EQ(landscape.payloads.size(), 27u);  // 27 P-clusters
+  EXPECT_GT(landscape.variants.size(), 150u);
+  EXPECT_EQ(format_date(landscape.start_time), "2008-01-01");
+}
+
+TEST_F(PaperScenario, PipelineProducesData) {
+  EXPECT_GT(dataset().db.events().size(), 500u);
+  EXPECT_GT(dataset().db.samples().size(), 300u);
+  EXPECT_GT(dataset().enrichment.executed, 200u);
+  EXPECT_GT(dataset().enrichment.failed, 10u);
+}
+
+TEST_F(PaperScenario, AllPerspectivesProduceClusters) {
+  EXPECT_GT(dataset().e.cluster_count(), 5u);
+  EXPECT_GT(dataset().p.cluster_count(), 5u);
+  EXPECT_GT(dataset().m.cluster_count(), 20u);
+  EXPECT_GT(dataset().b.cluster_count(), 20u);
+}
+
+TEST_F(PaperScenario, PaperObservationFewEPManyM) {
+  // Figure 3, observation 1: far fewer E/P combinations than M-clusters.
+  const auto graph = analysis::build_relationship_graph(
+      dataset().db, dataset().e, dataset().p, dataset().m, dataset().b, 1);
+  EXPECT_LT(graph.ep_combination_count(), dataset().m.cluster_count());
+}
+
+TEST_F(PaperScenario, PaperObservationSharedPayloads) {
+  // Figure 3, observation 2: some P-cluster is used by 2+ E-clusters.
+  const auto graph = analysis::build_relationship_graph(
+      dataset().db, dataset().e, dataset().p, dataset().m, dataset().b, 1);
+  EXPECT_GE(graph.shared_p_count(), 1u);
+}
+
+TEST_F(PaperScenario, PaperObservationFewerNonSingletonBThanM) {
+  // Figure 3, observation 3 (on the >=30-event view as in the paper).
+  const auto graph = analysis::build_relationship_graph(
+      dataset().db, dataset().e, dataset().p, dataset().m, dataset().b, 30);
+  using Layer = analysis::RelationshipGraph::Layer;
+  EXPECT_LT(graph.layer_size(Layer::kB), graph.layer_size(Layer::kM));
+}
+
+TEST_F(PaperScenario, SingletonAnomaliesAreRahackDominated) {
+  const auto report = analysis::detect_singleton_anomalies(
+      dataset().db, dataset().e, dataset().p, dataset().m, dataset().b);
+  EXPECT_GT(report.singleton_b_clusters, 50u);
+  EXPECT_GT(report.anomalies, report.one_to_one);
+  // Figure 4 top: the dominant AV family among anomalies is Rahack.
+  std::string dominant;
+  std::size_t best = 0;
+  std::size_t rahack = 0;
+  std::size_t total = 0;
+  for (const auto& [name, count] : report.av_names) {
+    total += count;
+    if (name.rfind("W32.Rahack", 0) == 0) rahack += count;
+    if (count > best) {
+      best = count;
+      dominant = name;
+    }
+  }
+  EXPECT_EQ(dominant.rfind("W32.Rahack", 0), 0u) << dominant;
+  EXPECT_GT(rahack * 2, total);  // Rahack variants are the majority
+  // Figure 4 bottom: one dominant (E, P) coordinate.
+  std::size_t best_ep = 0;
+  std::size_t total_ep = 0;
+  for (const auto& [ep, count] : report.ep_coordinates) {
+    total_ep += count;
+    best_ep = std::max(best_ep, count);
+  }
+  EXPECT_GT(best_ep * 2, total_ep);
+}
+
+TEST_F(PaperScenario, MCluster13StyleSignature) {
+  // Find the per-source polymorphic downloader's M-cluster: size 59904
+  // invariant, MD5 wildcard.
+  const auto& m = dataset().m;
+  bool found = false;
+  for (const auto& pattern : m.patterns) {
+    const auto& fields = pattern.fields();
+    // schema: [md5, size, type, machine, nsections, ndlls, osver,
+    //          linker, sections, dlls, k32]
+    if (fields[1].has_value() && *fields[1] == "59904") {
+      EXPECT_FALSE(fields[0].has_value());  // MD5 is "do not care"
+      EXPECT_EQ(fields[3].value_or(""), "332");
+      EXPECT_EQ(fields[4].value_or(""), "3");
+      EXPECT_EQ(fields[5].value_or(""), "1");
+      EXPECT_EQ(fields[7].value_or(""), "92");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(PaperScenario, Table2TopologyIsRecovered) {
+  const auto report =
+      analysis::correlate_irc(dataset().db, dataset().m, dataset().b);
+  EXPECT_GE(report.associations.size(), 8u);
+  // Ground-truth servers from Table 2 appear.
+  std::set<std::string> servers;
+  for (const auto& row : report.associations) {
+    servers.insert(row.server.to_string());
+  }
+  EXPECT_TRUE(servers.count("67.43.232.36"));
+  // Same-channel patches: at least one association with 2+ M-clusters.
+  EXPECT_GE(report.multi_cluster_rows(), 1u);
+  // Co-located C&C servers in one /24.
+  EXPECT_GE(report.colocated_groups(), 1u);
+  // Recurring room names across servers (e.g. #las6, #ns).
+  std::size_t reused = 0;
+  for (const auto& [room, count] : report.room_reuse) {
+    reused += count >= 2 ? 1 : 0;
+  }
+  EXPECT_GE(reused, 1u);
+}
+
+TEST_F(PaperScenario, Figure5ContrastHolds) {
+  const auto split = analysis::most_split_b_clusters(
+      dataset().db, dataset().m, dataset().b, 50);
+  ASSERT_GE(split.size(), 2u);
+  // Find one widespread (worm) context and one concentrated (bot)
+  // context among the most-split B-clusters.
+  bool saw_widespread = false;
+  bool saw_concentrated = false;
+  for (const int b_cluster : split) {
+    const auto context = analysis::propagation_context(
+        dataset().db, dataset().m, dataset().b, b_cluster,
+        dataset().landscape.start_time, dataset().landscape.weeks);
+    for (const auto& mc : context.per_m_cluster) {
+      if (mc.event_count < 10) continue;
+      if (mc.ip_entropy > 0.5 && mc.occupied_slash8 > 10) {
+        saw_widespread = true;
+      }
+      if (mc.ip_entropy < 0.3 && mc.occupied_slash8 <= 3 &&
+          mc.weeks_active <= 20) {
+        saw_concentrated = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_widespread);
+  EXPECT_TRUE(saw_concentrated);
+}
+
+TEST_F(PaperScenario, ClusteringRecoversGroundTruthVariants) {
+  // With ground truth available we can quantify what the paper could
+  // not: M-clusters align well with true variants.
+  std::vector<int> assignment;
+  std::vector<int> truth;
+  for (const auto& event : dataset().db.events()) {
+    if (!event.sample.has_value()) continue;
+    const int m_cluster = dataset().m.cluster_of_event(event.id);
+    if (m_cluster < 0) continue;
+    if (dataset().db.sample(*event.sample).truncated) continue;
+    assignment.push_back(m_cluster);
+    truth.push_back(static_cast<int>(event.truth_variant));
+  }
+  const auto metrics = cluster::evaluate_clustering(assignment, truth);
+  EXPECT_GT(metrics.precision, 0.9);
+  EXPECT_GT(metrics.recall, 0.75);
+}
+
+TEST_F(PaperScenario, ReportsRender) {
+  // The report emitters produce non-empty paper-style output.
+  EXPECT_NE(report::big_picture(dataset().db, dataset().enrichment,
+                                dataset().e, dataset().p, dataset().m,
+                                dataset().b)
+                .find("E-clusters"),
+            std::string::npos);
+  EXPECT_NE(report::table1(dataset().e, dataset().p, dataset().m)
+                .find("FSM path identifier"),
+            std::string::npos);
+  const auto graph = analysis::build_relationship_graph(
+      dataset().db, dataset().e, dataset().p, dataset().m, dataset().b, 30);
+  EXPECT_NE(report::figure3(graph).find("E nodes"), std::string::npos);
+}
+
+TEST_F(PaperScenario, LandscapeReportSynthesizesAllPerspectives) {
+  report::LandscapeReportOptions options;
+  options.top = 4;
+  options.origin = dataset().landscape.start_time;
+  options.weeks = dataset().landscape.weeks;
+  const std::string out = report::landscape_report(
+      dataset().db, dataset().e, dataset().p, dataset().m, dataset().b,
+      options);
+  EXPECT_NE(out.find("# Threat landscape report"), std::string::npos);
+  EXPECT_NE(out.find("## Threat 1"), std::string::npos);
+  EXPECT_NE(out.find("behavior:"), std::string::npos);
+  EXPECT_NE(out.find("propagation:"), std::string::npos);
+  EXPECT_NE(out.find("population:"), std::string::npos);
+  // The biggest threat is the Allaple-like worm.
+  const std::size_t threat1 = out.find("## Threat 1");
+  const std::size_t threat2 = out.find("## Threat 2");
+  ASSERT_NE(threat1, std::string::npos);
+  ASSERT_NE(threat2, std::string::npos);
+  const std::string dossier = out.substr(threat1, threat2 - threat1);
+  EXPECT_NE(dossier.find("worm"), std::string::npos);
+  EXPECT_NE(dossier.find("W32.Rahack"), std::string::npos);
+  EXPECT_NE(dossier.find("widespread"), std::string::npos);
+  // Some dossier mentions a C&C channel.
+  EXPECT_NE(out.find("- C&C: "), std::string::npos);
+}
+
+TEST(Scenario, DeterministicAcrossRuns) {
+  ScenarioOptions options;
+  options.scale = 0.04;
+  options.seed = 7;
+  const Dataset a = build_paper_dataset(options);
+  const Dataset b = build_paper_dataset(options);
+  ASSERT_EQ(a.db.events().size(), b.db.events().size());
+  ASSERT_EQ(a.db.samples().size(), b.db.samples().size());
+  EXPECT_EQ(a.e.cluster_count(), b.e.cluster_count());
+  EXPECT_EQ(a.m.cluster_count(), b.m.cluster_count());
+  EXPECT_EQ(a.b.cluster_count(), b.b.cluster_count());
+  for (std::size_t i = 0; i < a.db.samples().size(); ++i) {
+    ASSERT_EQ(a.db.samples()[i].md5, b.db.samples()[i].md5);
+  }
+}
+
+TEST(Scenario, SeedChangesData) {
+  ScenarioOptions a;
+  a.scale = 0.04;
+  a.seed = 1;
+  ScenarioOptions b;
+  b.scale = 0.04;
+  b.seed = 2;
+  EXPECT_NE(build_paper_dataset(a).db.events().size(),
+            build_paper_dataset(b).db.events().size());
+}
+
+TEST(Scenario, EnvironmentWindowsConsistentWithLandscape) {
+  ScenarioOptions options;
+  options.scale = 0.04;
+  const auto landscape = make_paper_landscape(options);
+  const auto environment = make_paper_environment(landscape);
+  // The downloader domain is registered and expires before the end of
+  // the observation window.
+  ASSERT_TRUE(environment.dns().count("iliketay.cn"));
+  const auto& window = environment.dns().at("iliketay.cn");
+  EXPECT_EQ(window.from, landscape.start_time);
+  EXPECT_LT(window.to, add_weeks(landscape.start_time, landscape.weeks));
+  // Every IRC C&C server has an availability window.
+  for (const auto& variant : landscape.variants) {
+    if (variant.behavior.irc.has_value()) {
+      EXPECT_TRUE(environment.servers().count(variant.behavior.irc->server))
+          << variant.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace repro::scenario

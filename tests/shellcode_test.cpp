@@ -1,0 +1,264 @@
+// Unit tests for the shellcode module: builder/analyzer roundtrips and
+// interaction classification.
+#include <gtest/gtest.h>
+
+#include "shellcode/analyzer.hpp"
+#include "shellcode/builder.hpp"
+#include "shellcode/intent.hpp"
+#include "util/rng.hpp"
+
+namespace repro::shellcode {
+namespace {
+
+DownloadIntent sample_intent(Protocol protocol) {
+  DownloadIntent intent;
+  intent.protocol = protocol;
+  switch (protocol) {
+    case Protocol::kBind:
+      intent.port = 9988;
+      break;
+    case Protocol::kCsend:
+      intent.port = 445;
+      break;
+    case Protocol::kConnectBack:
+      intent.port = 1981;
+      intent.host = net::Ipv4{6, 7, 8, 9};
+      break;
+    case Protocol::kFtp:
+      intent.port = 21;
+      intent.host = net::Ipv4{6, 7, 8, 9};
+      intent.filename = "ssms.exe";
+      break;
+    case Protocol::kHttp:
+      intent.port = 80;
+      intent.host = net::Ipv4{85, 14, 27, 9};
+      intent.filename = "update.exe";
+      break;
+    case Protocol::kTftp:
+      intent.port = 69;
+      intent.host = net::Ipv4{6, 7, 8, 9};
+      intent.filename = "wins.exe";
+      break;
+  }
+  return intent;
+}
+
+class RoundTrip : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(RoundTrip, EncodedShellcodeAnalyzesBack) {
+  Rng rng{1};
+  const DownloadIntent intent = sample_intent(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto payload = build_shellcode(intent, EncoderOptions{}, rng);
+    const auto analyzed = analyze_shellcode(payload);
+    ASSERT_TRUE(analyzed.has_value());
+    EXPECT_EQ(*analyzed, intent);
+  }
+}
+
+TEST_P(RoundTrip, CleartextShellcodeAnalyzesBack) {
+  Rng rng{2};
+  EncoderOptions options;
+  options.kind = EncoderKind::kClear;
+  const DownloadIntent intent = sample_intent(GetParam());
+  const auto payload = build_shellcode(intent, options, rng);
+  const auto analyzed = analyze_shellcode(payload);
+  ASSERT_TRUE(analyzed.has_value());
+  EXPECT_EQ(*analyzed, intent);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, RoundTrip,
+                         ::testing::Values(Protocol::kBind, Protocol::kCsend,
+                                           Protocol::kConnectBack,
+                                           Protocol::kFtp, Protocol::kHttp,
+                                           Protocol::kTftp));
+
+TEST(Builder, RandomKeyProducesPolymorphicPayloads) {
+  Rng rng{3};
+  const DownloadIntent intent = sample_intent(Protocol::kBind);
+  const auto a = build_shellcode(intent, EncoderOptions{}, rng);
+  const auto b = build_shellcode(intent, EncoderOptions{}, rng);
+  EXPECT_NE(a, b);  // different sled + key
+}
+
+TEST(Builder, FixedKeyStableBody) {
+  Rng rng{4};
+  EncoderOptions options;
+  options.random_key = false;
+  options.min_sled = 0;
+  options.max_sled = 0;
+  const DownloadIntent intent = sample_intent(Protocol::kHttp);
+  const auto a = build_shellcode(intent, options, rng);
+  const auto b = build_shellcode(intent, options, rng);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Builder, SledLengthWithinBounds) {
+  Rng rng{5};
+  EncoderOptions options;
+  options.min_sled = 10;
+  options.max_sled = 12;
+  const DownloadIntent intent = sample_intent(Protocol::kBind);
+  for (int i = 0; i < 30; ++i) {
+    const auto payload = build_shellcode(intent, options, rng);
+    const auto body = encode_body(intent);
+    // total = sled + 7-byte stub header + body
+    const std::size_t sled = payload.size() - 7 - body.size();
+    EXPECT_GE(sled, 10u);
+    EXPECT_LE(sled, 12u);
+  }
+}
+
+TEST(Analyzer, RejectsJunk) {
+  Rng rng{6};
+  std::vector<std::uint8_t> junk(200);
+  rng.fill(junk);
+  // Clear any accidental stub signature.
+  for (std::size_t i = 0; i + 4 < junk.size(); ++i) {
+    if (junk[i] == 0xd9) junk[i] = 0x90;
+  }
+  EXPECT_FALSE(analyze_shellcode(junk).has_value());
+}
+
+TEST(Analyzer, RejectsTruncatedBody) {
+  Rng rng{7};
+  const DownloadIntent intent = sample_intent(Protocol::kHttp);
+  const auto payload = build_shellcode(intent, EncoderOptions{}, rng);
+  // Cut inside the encoded body.
+  const std::vector<std::uint8_t> cut{payload.begin(),
+                                      payload.end() - 5};
+  EXPECT_FALSE(analyze_shellcode(cut).has_value());
+}
+
+TEST(Analyzer, FindsStubAfterLongPrefix) {
+  Rng rng{8};
+  const DownloadIntent intent = sample_intent(Protocol::kFtp);
+  const auto payload = build_shellcode(intent, EncoderOptions{}, rng);
+  // Prepend protocol bytes, as in a real exploit request.
+  std::vector<std::uint8_t> framed;
+  const std::string prefix = "SMB TRANS2 REQUEST padding padding";
+  framed.insert(framed.end(), prefix.begin(), prefix.end());
+  framed.insert(framed.end(), payload.begin(), payload.end());
+  const auto analyzed = analyze_shellcode(framed);
+  ASSERT_TRUE(analyzed.has_value());
+  EXPECT_EQ(*analyzed, intent);
+}
+
+TEST(Intent, ProtocolNames) {
+  EXPECT_EQ(protocol_name(Protocol::kBind), "creceive");
+  EXPECT_EQ(protocol_name(Protocol::kCsend), "csend");
+  EXPECT_EQ(protocol_name(Protocol::kConnectBack), "blink");
+  EXPECT_EQ(protocol_name(Protocol::kFtp), "ftp");
+  EXPECT_EQ(protocol_name(Protocol::kHttp), "http");
+  EXPECT_EQ(protocol_name(Protocol::kTftp), "tftp");
+}
+
+TEST(Intent, ClassifyPushFlavours) {
+  const net::Ipv4 attacker{1, 2, 3, 4};
+  EXPECT_EQ(classify_interaction(sample_intent(Protocol::kBind), attacker),
+            InteractionType::kPushBind);
+  EXPECT_EQ(classify_interaction(sample_intent(Protocol::kCsend), attacker),
+            InteractionType::kPushCsend);
+  EXPECT_EQ(
+      classify_interaction(sample_intent(Protocol::kConnectBack), attacker),
+      InteractionType::kPullConnectBack);
+}
+
+TEST(Intent, ClassifyPullVersusCentral) {
+  DownloadIntent intent = sample_intent(Protocol::kHttp);
+  // Served by the attacker itself: PULL.
+  EXPECT_EQ(classify_interaction(intent, *intent.host),
+            InteractionType::kPullUrl);
+  // Served by a third party: central repository.
+  EXPECT_EQ(classify_interaction(intent, net::Ipv4{9, 9, 9, 9}),
+            InteractionType::kCentralUrl);
+}
+
+TEST(Intent, InteractionNamesAreDistinct) {
+  std::set<std::string> names;
+  for (const auto type :
+       {InteractionType::kPushBind, InteractionType::kPushCsend,
+        InteractionType::kPullConnectBack, InteractionType::kPullUrl,
+        InteractionType::kCentralUrl}) {
+    names.insert(interaction_name(type));
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+/// Property sweep: random ports/hosts/filenames roundtrip for every
+/// protocol.
+class IntentSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntentSweep, RandomIntentsRoundTrip) {
+  Rng rng{static_cast<std::uint64_t>(GetParam()) + 100};
+  const Protocol protocols[] = {Protocol::kBind,        Protocol::kCsend,
+                                Protocol::kConnectBack, Protocol::kFtp,
+                                Protocol::kHttp,        Protocol::kTftp};
+  const Protocol protocol = protocols[rng.index(6)];
+  DownloadIntent intent;
+  intent.protocol = protocol;
+  intent.port = static_cast<std::uint16_t>(rng.uniform(1, 65535));
+  if (protocol == Protocol::kConnectBack || protocol == Protocol::kFtp ||
+      protocol == Protocol::kHttp || protocol == Protocol::kTftp) {
+    intent.host = net::Ipv4{static_cast<std::uint32_t>(rng.next())};
+  }
+  if (protocol == Protocol::kFtp || protocol == Protocol::kHttp ||
+      protocol == Protocol::kTftp) {
+    intent.filename = rng.alnum(1 + rng.index(12)) + ".exe";
+  }
+  const auto payload = build_shellcode(intent, EncoderOptions{}, rng);
+  const auto analyzed = analyze_shellcode(payload);
+  ASSERT_TRUE(analyzed.has_value());
+  EXPECT_EQ(*analyzed, intent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, IntentSweep, ::testing::Range(0, 30));
+
+/// The second decoder family: alphanumeric nibble encoding.
+class AlnumRoundTrip : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(AlnumRoundTrip, AnalyzesBack) {
+  Rng rng{55};
+  EncoderOptions options;
+  options.kind = EncoderKind::kAlphanumeric;
+  const DownloadIntent intent = sample_intent(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto payload = build_shellcode(intent, options, rng);
+    const auto analyzed = analyze_shellcode(payload);
+    ASSERT_TRUE(analyzed.has_value());
+    EXPECT_EQ(*analyzed, intent);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, AlnumRoundTrip,
+                         ::testing::Values(Protocol::kBind, Protocol::kCsend,
+                                           Protocol::kConnectBack,
+                                           Protocol::kFtp, Protocol::kHttp,
+                                           Protocol::kTftp));
+
+TEST(AlnumEncoder, BodyIsTextSafe) {
+  Rng rng{56};
+  EncoderOptions options;
+  options.kind = EncoderKind::kAlphanumeric;
+  options.min_sled = 0;
+  options.max_sled = 0;
+  const auto payload =
+      build_shellcode(sample_intent(Protocol::kTftp), options, rng);
+  // Everything after the marker is printable.
+  for (const std::uint8_t byte : payload) {
+    EXPECT_TRUE(byte >= 0x20 && byte < 0x7f) << static_cast<int>(byte);
+  }
+}
+
+TEST(AlnumEncoder, TruncationRejected) {
+  Rng rng{57};
+  EncoderOptions options;
+  options.kind = EncoderKind::kAlphanumeric;
+  const auto payload =
+      build_shellcode(sample_intent(Protocol::kHttp), options, rng);
+  const std::vector<std::uint8_t> cut{payload.begin(), payload.end() - 3};
+  EXPECT_FALSE(analyze_shellcode(cut).has_value());
+}
+
+}  // namespace
+}  // namespace repro::shellcode
