@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_baselines"
+  "../bench/bench_abl_baselines.pdb"
+  "CMakeFiles/bench_abl_baselines.dir/bench_abl_baselines.cpp.o"
+  "CMakeFiles/bench_abl_baselines.dir/bench_abl_baselines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

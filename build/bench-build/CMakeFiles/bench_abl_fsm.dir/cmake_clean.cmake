@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_fsm"
+  "../bench/bench_abl_fsm.pdb"
+  "CMakeFiles/bench_abl_fsm.dir/bench_abl_fsm.cpp.o"
+  "CMakeFiles/bench_abl_fsm.dir/bench_abl_fsm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_abl_lsh"
+  "../bench/bench_abl_lsh.pdb"
+  "CMakeFiles/bench_abl_lsh.dir/bench_abl_lsh.cpp.o"
+  "CMakeFiles/bench_abl_lsh.dir/bench_abl_lsh.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_big_picture"
+  "../bench/bench_big_picture.pdb"
+  "CMakeFiles/bench_big_picture.dir/bench_big_picture.cpp.o"
+  "CMakeFiles/bench_big_picture.dir/bench_big_picture.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_big_picture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

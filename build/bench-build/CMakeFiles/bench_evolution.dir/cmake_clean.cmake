@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_evolution"
+  "../bench/bench_evolution.pdb"
+  "CMakeFiles/bench_evolution.dir/bench_evolution.cpp.o"
+  "CMakeFiles/bench_evolution.dir/bench_evolution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

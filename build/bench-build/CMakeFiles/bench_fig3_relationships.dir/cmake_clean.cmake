@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_relationships"
+  "../bench/bench_fig3_relationships.pdb"
+  "CMakeFiles/bench_fig3_relationships.dir/bench_fig3_relationships.cpp.o"
+  "CMakeFiles/bench_fig3_relationships.dir/bench_fig3_relationships.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_relationships.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_anomalies"
+  "../bench/bench_fig4_anomalies.pdb"
+  "CMakeFiles/bench_fig4_anomalies.dir/bench_fig4_anomalies.cpp.o"
+  "CMakeFiles/bench_fig4_anomalies.dir/bench_fig4_anomalies.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

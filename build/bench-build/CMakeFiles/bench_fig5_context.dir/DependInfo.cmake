@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_context.cpp" "bench-build/CMakeFiles/bench_fig5_context.dir/bench_fig5_context.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig5_context.dir/bench_fig5_context.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_honeypot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_shellcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

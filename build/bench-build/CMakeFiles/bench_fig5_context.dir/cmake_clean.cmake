@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_context"
+  "../bench/bench_fig5_context.pdb"
+  "CMakeFiles/bench_fig5_context.dir/bench_fig5_context.cpp.o"
+  "CMakeFiles/bench_fig5_context.dir/bench_fig5_context.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_gamma_extension"
+  "../bench/bench_gamma_extension.pdb"
+  "CMakeFiles/bench_gamma_extension.dir/bench_gamma_extension.cpp.o"
+  "CMakeFiles/bench_gamma_extension.dir/bench_gamma_extension.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gamma_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_healing"
+  "../bench/bench_healing.pdb"
+  "CMakeFiles/bench_healing.dir/bench_healing.cpp.o"
+  "CMakeFiles/bench_healing.dir/bench_healing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_healing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

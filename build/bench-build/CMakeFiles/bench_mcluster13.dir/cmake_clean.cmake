@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_mcluster13"
+  "../bench/bench_mcluster13.pdb"
+  "CMakeFiles/bench_mcluster13.dir/bench_mcluster13.cpp.o"
+  "CMakeFiles/bench_mcluster13.dir/bench_mcluster13.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mcluster13.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_mcluster13.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_invariants"
+  "../bench/bench_table1_invariants.pdb"
+  "CMakeFiles/bench_table1_invariants.dir/bench_table1_invariants.cpp.o"
+  "CMakeFiles/bench_table1_invariants.dir/bench_table1_invariants.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

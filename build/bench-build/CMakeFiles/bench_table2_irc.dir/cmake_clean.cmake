@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_irc"
+  "../bench/bench_table2_irc.pdb"
+  "CMakeFiles/bench_table2_irc.dir/bench_table2_irc.cpp.o"
+  "CMakeFiles/bench_table2_irc.dir/bench_table2_irc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_irc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

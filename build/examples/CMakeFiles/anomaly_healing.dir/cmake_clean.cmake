@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anomaly_healing.dir/anomaly_healing.cpp.o"
+  "CMakeFiles/anomaly_healing.dir/anomaly_healing.cpp.o.d"
+  "anomaly_healing"
+  "anomaly_healing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anomaly_healing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botnet_tracking.dir/botnet_tracking.cpp.o"
+  "CMakeFiles/botnet_tracking.dir/botnet_tracking.cpp.o.d"
+  "botnet_tracking"
+  "botnet_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botnet_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/honeypot_walkthrough.dir/honeypot_walkthrough.cpp.o"
+  "CMakeFiles/honeypot_walkthrough.dir/honeypot_walkthrough.cpp.o.d"
+  "honeypot_walkthrough"
+  "honeypot_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/honeypot_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

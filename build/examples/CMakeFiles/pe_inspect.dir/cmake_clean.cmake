@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pe_inspect.dir/pe_inspect.cpp.o"
+  "CMakeFiles/pe_inspect.dir/pe_inspect.cpp.o.d"
+  "pe_inspect"
+  "pe_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pe_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

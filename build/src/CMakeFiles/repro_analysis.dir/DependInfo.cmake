@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/anomaly.cpp" "src/CMakeFiles/repro_analysis.dir/analysis/anomaly.cpp.o" "gcc" "src/CMakeFiles/repro_analysis.dir/analysis/anomaly.cpp.o.d"
+  "/root/repo/src/analysis/bview.cpp" "src/CMakeFiles/repro_analysis.dir/analysis/bview.cpp.o" "gcc" "src/CMakeFiles/repro_analysis.dir/analysis/bview.cpp.o.d"
+  "/root/repo/src/analysis/c2.cpp" "src/CMakeFiles/repro_analysis.dir/analysis/c2.cpp.o" "gcc" "src/CMakeFiles/repro_analysis.dir/analysis/c2.cpp.o.d"
+  "/root/repo/src/analysis/codeshare.cpp" "src/CMakeFiles/repro_analysis.dir/analysis/codeshare.cpp.o" "gcc" "src/CMakeFiles/repro_analysis.dir/analysis/codeshare.cpp.o.d"
+  "/root/repo/src/analysis/context.cpp" "src/CMakeFiles/repro_analysis.dir/analysis/context.cpp.o" "gcc" "src/CMakeFiles/repro_analysis.dir/analysis/context.cpp.o.d"
+  "/root/repo/src/analysis/evolution.cpp" "src/CMakeFiles/repro_analysis.dir/analysis/evolution.cpp.o" "gcc" "src/CMakeFiles/repro_analysis.dir/analysis/evolution.cpp.o.d"
+  "/root/repo/src/analysis/graph.cpp" "src/CMakeFiles/repro_analysis.dir/analysis/graph.cpp.o" "gcc" "src/CMakeFiles/repro_analysis.dir/analysis/graph.cpp.o.d"
+  "/root/repo/src/analysis/healing.cpp" "src/CMakeFiles/repro_analysis.dir/analysis/healing.cpp.o" "gcc" "src/CMakeFiles/repro_analysis.dir/analysis/healing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_honeypot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_shellcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_pe.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_analysis.dir/analysis/anomaly.cpp.o"
+  "CMakeFiles/repro_analysis.dir/analysis/anomaly.cpp.o.d"
+  "CMakeFiles/repro_analysis.dir/analysis/bview.cpp.o"
+  "CMakeFiles/repro_analysis.dir/analysis/bview.cpp.o.d"
+  "CMakeFiles/repro_analysis.dir/analysis/c2.cpp.o"
+  "CMakeFiles/repro_analysis.dir/analysis/c2.cpp.o.d"
+  "CMakeFiles/repro_analysis.dir/analysis/codeshare.cpp.o"
+  "CMakeFiles/repro_analysis.dir/analysis/codeshare.cpp.o.d"
+  "CMakeFiles/repro_analysis.dir/analysis/context.cpp.o"
+  "CMakeFiles/repro_analysis.dir/analysis/context.cpp.o.d"
+  "CMakeFiles/repro_analysis.dir/analysis/evolution.cpp.o"
+  "CMakeFiles/repro_analysis.dir/analysis/evolution.cpp.o.d"
+  "CMakeFiles/repro_analysis.dir/analysis/graph.cpp.o"
+  "CMakeFiles/repro_analysis.dir/analysis/graph.cpp.o.d"
+  "CMakeFiles/repro_analysis.dir/analysis/healing.cpp.o"
+  "CMakeFiles/repro_analysis.dir/analysis/healing.cpp.o.d"
+  "librepro_analysis.a"
+  "librepro_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/behavioral.cpp" "src/CMakeFiles/repro_cluster.dir/cluster/behavioral.cpp.o" "gcc" "src/CMakeFiles/repro_cluster.dir/cluster/behavioral.cpp.o.d"
+  "/root/repo/src/cluster/epm.cpp" "src/CMakeFiles/repro_cluster.dir/cluster/epm.cpp.o" "gcc" "src/CMakeFiles/repro_cluster.dir/cluster/epm.cpp.o.d"
+  "/root/repo/src/cluster/feature.cpp" "src/CMakeFiles/repro_cluster.dir/cluster/feature.cpp.o" "gcc" "src/CMakeFiles/repro_cluster.dir/cluster/feature.cpp.o.d"
+  "/root/repo/src/cluster/invariants.cpp" "src/CMakeFiles/repro_cluster.dir/cluster/invariants.cpp.o" "gcc" "src/CMakeFiles/repro_cluster.dir/cluster/invariants.cpp.o.d"
+  "/root/repo/src/cluster/metrics.cpp" "src/CMakeFiles/repro_cluster.dir/cluster/metrics.cpp.o" "gcc" "src/CMakeFiles/repro_cluster.dir/cluster/metrics.cpp.o.d"
+  "/root/repo/src/cluster/minhash.cpp" "src/CMakeFiles/repro_cluster.dir/cluster/minhash.cpp.o" "gcc" "src/CMakeFiles/repro_cluster.dir/cluster/minhash.cpp.o.d"
+  "/root/repo/src/cluster/pattern.cpp" "src/CMakeFiles/repro_cluster.dir/cluster/pattern.cpp.o" "gcc" "src/CMakeFiles/repro_cluster.dir/cluster/pattern.cpp.o.d"
+  "/root/repo/src/cluster/pehash.cpp" "src/CMakeFiles/repro_cluster.dir/cluster/pehash.cpp.o" "gcc" "src/CMakeFiles/repro_cluster.dir/cluster/pehash.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_honeypot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_shellcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

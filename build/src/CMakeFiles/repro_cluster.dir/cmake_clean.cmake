@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_cluster.dir/cluster/behavioral.cpp.o"
+  "CMakeFiles/repro_cluster.dir/cluster/behavioral.cpp.o.d"
+  "CMakeFiles/repro_cluster.dir/cluster/epm.cpp.o"
+  "CMakeFiles/repro_cluster.dir/cluster/epm.cpp.o.d"
+  "CMakeFiles/repro_cluster.dir/cluster/feature.cpp.o"
+  "CMakeFiles/repro_cluster.dir/cluster/feature.cpp.o.d"
+  "CMakeFiles/repro_cluster.dir/cluster/invariants.cpp.o"
+  "CMakeFiles/repro_cluster.dir/cluster/invariants.cpp.o.d"
+  "CMakeFiles/repro_cluster.dir/cluster/metrics.cpp.o"
+  "CMakeFiles/repro_cluster.dir/cluster/metrics.cpp.o.d"
+  "CMakeFiles/repro_cluster.dir/cluster/minhash.cpp.o"
+  "CMakeFiles/repro_cluster.dir/cluster/minhash.cpp.o.d"
+  "CMakeFiles/repro_cluster.dir/cluster/pattern.cpp.o"
+  "CMakeFiles/repro_cluster.dir/cluster/pattern.cpp.o.d"
+  "CMakeFiles/repro_cluster.dir/cluster/pehash.cpp.o"
+  "CMakeFiles/repro_cluster.dir/cluster/pehash.cpp.o.d"
+  "librepro_cluster.a"
+  "librepro_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

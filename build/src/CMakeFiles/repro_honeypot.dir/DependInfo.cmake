@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/honeypot/avlabels.cpp" "src/CMakeFiles/repro_honeypot.dir/honeypot/avlabels.cpp.o" "gcc" "src/CMakeFiles/repro_honeypot.dir/honeypot/avlabels.cpp.o.d"
+  "/root/repo/src/honeypot/database.cpp" "src/CMakeFiles/repro_honeypot.dir/honeypot/database.cpp.o" "gcc" "src/CMakeFiles/repro_honeypot.dir/honeypot/database.cpp.o.d"
+  "/root/repo/src/honeypot/deployment.cpp" "src/CMakeFiles/repro_honeypot.dir/honeypot/deployment.cpp.o" "gcc" "src/CMakeFiles/repro_honeypot.dir/honeypot/deployment.cpp.o.d"
+  "/root/repo/src/honeypot/download.cpp" "src/CMakeFiles/repro_honeypot.dir/honeypot/download.cpp.o" "gcc" "src/CMakeFiles/repro_honeypot.dir/honeypot/download.cpp.o.d"
+  "/root/repo/src/honeypot/enrichment.cpp" "src/CMakeFiles/repro_honeypot.dir/honeypot/enrichment.cpp.o" "gcc" "src/CMakeFiles/repro_honeypot.dir/honeypot/enrichment.cpp.o.d"
+  "/root/repo/src/honeypot/gateway.cpp" "src/CMakeFiles/repro_honeypot.dir/honeypot/gateway.cpp.o" "gcc" "src/CMakeFiles/repro_honeypot.dir/honeypot/gateway.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_shellcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_sandbox.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

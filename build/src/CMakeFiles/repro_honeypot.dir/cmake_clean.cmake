@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_honeypot.dir/honeypot/avlabels.cpp.o"
+  "CMakeFiles/repro_honeypot.dir/honeypot/avlabels.cpp.o.d"
+  "CMakeFiles/repro_honeypot.dir/honeypot/database.cpp.o"
+  "CMakeFiles/repro_honeypot.dir/honeypot/database.cpp.o.d"
+  "CMakeFiles/repro_honeypot.dir/honeypot/deployment.cpp.o"
+  "CMakeFiles/repro_honeypot.dir/honeypot/deployment.cpp.o.d"
+  "CMakeFiles/repro_honeypot.dir/honeypot/download.cpp.o"
+  "CMakeFiles/repro_honeypot.dir/honeypot/download.cpp.o.d"
+  "CMakeFiles/repro_honeypot.dir/honeypot/enrichment.cpp.o"
+  "CMakeFiles/repro_honeypot.dir/honeypot/enrichment.cpp.o.d"
+  "CMakeFiles/repro_honeypot.dir/honeypot/gateway.cpp.o"
+  "CMakeFiles/repro_honeypot.dir/honeypot/gateway.cpp.o.d"
+  "librepro_honeypot.a"
+  "librepro_honeypot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_honeypot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

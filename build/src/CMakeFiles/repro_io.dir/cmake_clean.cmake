@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_io.dir/io/csv_export.cpp.o"
+  "CMakeFiles/repro_io.dir/io/csv_export.cpp.o.d"
+  "CMakeFiles/repro_io.dir/io/csv_import.cpp.o"
+  "CMakeFiles/repro_io.dir/io/csv_import.cpp.o.d"
+  "librepro_io.a"
+  "librepro_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_net.dir/net/address_space.cpp.o"
+  "CMakeFiles/repro_net.dir/net/address_space.cpp.o.d"
+  "CMakeFiles/repro_net.dir/net/ipv4.cpp.o"
+  "CMakeFiles/repro_net.dir/net/ipv4.cpp.o.d"
+  "CMakeFiles/repro_net.dir/net/subnet.cpp.o"
+  "CMakeFiles/repro_net.dir/net/subnet.cpp.o.d"
+  "librepro_net.a"
+  "librepro_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_pe.dir/pe/builder.cpp.o"
+  "CMakeFiles/repro_pe.dir/pe/builder.cpp.o.d"
+  "CMakeFiles/repro_pe.dir/pe/filetype.cpp.o"
+  "CMakeFiles/repro_pe.dir/pe/filetype.cpp.o.d"
+  "CMakeFiles/repro_pe.dir/pe/parser.cpp.o"
+  "CMakeFiles/repro_pe.dir/pe/parser.cpp.o.d"
+  "librepro_pe.a"
+  "librepro_pe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_pe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

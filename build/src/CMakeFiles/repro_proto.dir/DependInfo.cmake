@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/fsm.cpp" "src/CMakeFiles/repro_proto.dir/proto/fsm.cpp.o" "gcc" "src/CMakeFiles/repro_proto.dir/proto/fsm.cpp.o.d"
+  "/root/repo/src/proto/gamma.cpp" "src/CMakeFiles/repro_proto.dir/proto/gamma.cpp.o" "gcc" "src/CMakeFiles/repro_proto.dir/proto/gamma.cpp.o.d"
+  "/root/repo/src/proto/incremental.cpp" "src/CMakeFiles/repro_proto.dir/proto/incremental.cpp.o" "gcc" "src/CMakeFiles/repro_proto.dir/proto/incremental.cpp.o.d"
+  "/root/repo/src/proto/message.cpp" "src/CMakeFiles/repro_proto.dir/proto/message.cpp.o" "gcc" "src/CMakeFiles/repro_proto.dir/proto/message.cpp.o.d"
+  "/root/repo/src/proto/region.cpp" "src/CMakeFiles/repro_proto.dir/proto/region.cpp.o" "gcc" "src/CMakeFiles/repro_proto.dir/proto/region.cpp.o.d"
+  "/root/repo/src/proto/services.cpp" "src/CMakeFiles/repro_proto.dir/proto/services.cpp.o" "gcc" "src/CMakeFiles/repro_proto.dir/proto/services.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

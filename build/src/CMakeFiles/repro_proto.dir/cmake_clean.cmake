@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_proto.dir/proto/fsm.cpp.o"
+  "CMakeFiles/repro_proto.dir/proto/fsm.cpp.o.d"
+  "CMakeFiles/repro_proto.dir/proto/gamma.cpp.o"
+  "CMakeFiles/repro_proto.dir/proto/gamma.cpp.o.d"
+  "CMakeFiles/repro_proto.dir/proto/incremental.cpp.o"
+  "CMakeFiles/repro_proto.dir/proto/incremental.cpp.o.d"
+  "CMakeFiles/repro_proto.dir/proto/message.cpp.o"
+  "CMakeFiles/repro_proto.dir/proto/message.cpp.o.d"
+  "CMakeFiles/repro_proto.dir/proto/region.cpp.o"
+  "CMakeFiles/repro_proto.dir/proto/region.cpp.o.d"
+  "CMakeFiles/repro_proto.dir/proto/services.cpp.o"
+  "CMakeFiles/repro_proto.dir/proto/services.cpp.o.d"
+  "librepro_proto.a"
+  "librepro_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_report.dir/report/landscape_report.cpp.o"
+  "CMakeFiles/repro_report.dir/report/landscape_report.cpp.o.d"
+  "CMakeFiles/repro_report.dir/report/reports.cpp.o"
+  "CMakeFiles/repro_report.dir/report/reports.cpp.o.d"
+  "librepro_report.a"
+  "librepro_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sandbox.dir/sandbox/anubis.cpp.o"
+  "CMakeFiles/repro_sandbox.dir/sandbox/anubis.cpp.o.d"
+  "CMakeFiles/repro_sandbox.dir/sandbox/environment.cpp.o"
+  "CMakeFiles/repro_sandbox.dir/sandbox/environment.cpp.o.d"
+  "CMakeFiles/repro_sandbox.dir/sandbox/profile.cpp.o"
+  "CMakeFiles/repro_sandbox.dir/sandbox/profile.cpp.o.d"
+  "librepro_sandbox.a"
+  "librepro_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

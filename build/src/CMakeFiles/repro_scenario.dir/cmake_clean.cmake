@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_scenario.dir/scenario/paper.cpp.o"
+  "CMakeFiles/repro_scenario.dir/scenario/paper.cpp.o.d"
+  "librepro_scenario.a"
+  "librepro_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

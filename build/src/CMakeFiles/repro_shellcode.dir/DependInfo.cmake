@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shellcode/analyzer.cpp" "src/CMakeFiles/repro_shellcode.dir/shellcode/analyzer.cpp.o" "gcc" "src/CMakeFiles/repro_shellcode.dir/shellcode/analyzer.cpp.o.d"
+  "/root/repo/src/shellcode/builder.cpp" "src/CMakeFiles/repro_shellcode.dir/shellcode/builder.cpp.o" "gcc" "src/CMakeFiles/repro_shellcode.dir/shellcode/builder.cpp.o.d"
+  "/root/repo/src/shellcode/intent.cpp" "src/CMakeFiles/repro_shellcode.dir/shellcode/intent.cpp.o" "gcc" "src/CMakeFiles/repro_shellcode.dir/shellcode/intent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_proto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_shellcode.dir/shellcode/analyzer.cpp.o"
+  "CMakeFiles/repro_shellcode.dir/shellcode/analyzer.cpp.o.d"
+  "CMakeFiles/repro_shellcode.dir/shellcode/builder.cpp.o"
+  "CMakeFiles/repro_shellcode.dir/shellcode/builder.cpp.o.d"
+  "CMakeFiles/repro_shellcode.dir/shellcode/intent.cpp.o"
+  "CMakeFiles/repro_shellcode.dir/shellcode/intent.cpp.o.d"
+  "librepro_shellcode.a"
+  "librepro_shellcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_shellcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

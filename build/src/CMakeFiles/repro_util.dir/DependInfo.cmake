@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/byteio.cpp" "src/CMakeFiles/repro_util.dir/util/byteio.cpp.o" "gcc" "src/CMakeFiles/repro_util.dir/util/byteio.cpp.o.d"
+  "/root/repo/src/util/hex.cpp" "src/CMakeFiles/repro_util.dir/util/hex.cpp.o" "gcc" "src/CMakeFiles/repro_util.dir/util/hex.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/repro_util.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/repro_util.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/md5.cpp" "src/CMakeFiles/repro_util.dir/util/md5.cpp.o" "gcc" "src/CMakeFiles/repro_util.dir/util/md5.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/repro_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/repro_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/simtime.cpp" "src/CMakeFiles/repro_util.dir/util/simtime.cpp.o" "gcc" "src/CMakeFiles/repro_util.dir/util/simtime.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/CMakeFiles/repro_util.dir/util/strings.cpp.o" "gcc" "src/CMakeFiles/repro_util.dir/util/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/repro_util.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/repro_util.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

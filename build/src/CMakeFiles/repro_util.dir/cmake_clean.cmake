@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_util.dir/util/byteio.cpp.o"
+  "CMakeFiles/repro_util.dir/util/byteio.cpp.o.d"
+  "CMakeFiles/repro_util.dir/util/hex.cpp.o"
+  "CMakeFiles/repro_util.dir/util/hex.cpp.o.d"
+  "CMakeFiles/repro_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/repro_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/repro_util.dir/util/md5.cpp.o"
+  "CMakeFiles/repro_util.dir/util/md5.cpp.o.d"
+  "CMakeFiles/repro_util.dir/util/rng.cpp.o"
+  "CMakeFiles/repro_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/repro_util.dir/util/simtime.cpp.o"
+  "CMakeFiles/repro_util.dir/util/simtime.cpp.o.d"
+  "CMakeFiles/repro_util.dir/util/strings.cpp.o"
+  "CMakeFiles/repro_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/repro_util.dir/util/table.cpp.o"
+  "CMakeFiles/repro_util.dir/util/table.cpp.o.d"
+  "librepro_util.a"
+  "librepro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

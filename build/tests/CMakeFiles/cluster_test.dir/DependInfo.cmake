@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster_test.cpp" "tests/CMakeFiles/cluster_test.dir/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/repro_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_pe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_honeypot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_malware.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_shellcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/repro_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shellcode_test.dir/shellcode_test.cpp.o"
+  "CMakeFiles/shellcode_test.dir/shellcode_test.cpp.o.d"
+  "shellcode_test"
+  "shellcode_test.pdb"
+  "shellcode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shellcode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/pe_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_test[1]_include.cmake")
+include("/root/repo/build/tests/shellcode_test[1]_include.cmake")
+include("/root/repo/build/tests/malware_test[1]_include.cmake")
+include("/root/repo/build/tests/sandbox_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/honeypot_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
