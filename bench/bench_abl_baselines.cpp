@@ -83,5 +83,6 @@ int main() {
                "polymorphism; EPM and\npeHash both restore it from "
                "packer-stable structure, EPM slightly ahead because\nthe "
                "exact file size separates same-structure Allaple builds)\n";
+  bench::print_degradation(ds);
   return 0;
 }

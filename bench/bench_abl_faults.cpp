@@ -1,0 +1,61 @@
+// ABL-5 — sensitivity of the paper's headline artifacts to
+// infrastructure failures. Rebuilds the dataset under increasing fault
+// rates (clean run, paper-calibrated rates, doubled rates) and reports
+// how the cluster counts and the Figure-4 anomaly counts move. The
+// point of the degradation design: faults shrink the dataset and shift
+// absolute counts, but the pipeline keeps producing every artifact —
+// no stage throws, no analysis pass needs a complete dataset.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/anomaly.hpp"
+#include "bench_common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace repro;
+  scenario::ScenarioOptions base = bench::options_from_env();
+  std::cout << "### ABL-5: fault-rate sensitivity\n"
+            << "(seed " << base.seed << ", scale " << base.scale
+            << "; sweeping fault plans over the full pipeline...)\n\n";
+
+  struct Row {
+    std::string name;
+    fault::FaultPlan plan;
+  };
+  const std::vector<Row> sweep = {
+      {"none (0%)", fault::FaultPlan{}},
+      {"paper-calibrated", fault::FaultPlan::paper_calibrated()},
+      {"2x paper", fault::FaultPlan::paper_calibrated().scaled(2.0)},
+  };
+
+  TextTable table{{"fault plan", "events", "samples", "enriched", "E", "P",
+                   "M", "B", "size-1 B", "anomalies"}};
+  for (const Row& row : sweep) {
+    scenario::ScenarioOptions options = base;
+    options.faults = row.plan;
+    const scenario::Dataset ds = scenario::build_paper_dataset(options);
+    const analysis::SingletonReport anomalies =
+        analysis::detect_singleton_anomalies(ds.db, ds.e, ds.p, ds.m, ds.b);
+    table.add_row({row.name, std::to_string(ds.db.events().size()),
+                   std::to_string(ds.db.samples().size()),
+                   std::to_string(ds.enrichment.executed),
+                   std::to_string(ds.e.cluster_count()),
+                   std::to_string(ds.p.cluster_count()),
+                   std::to_string(ds.m.cluster_count()),
+                   std::to_string(ds.b.cluster_count()),
+                   std::to_string(ds.b.singleton_count()),
+                   std::to_string(anomalies.anomalies)});
+    const std::string summary = report::degradation(
+        ds.fault_report, ds.db, ds.enrichment);
+    if (!summary.empty()) {
+      std::cout << "[" << row.name << "]\n" << summary << "\n";
+    }
+  }
+  std::cout << table.render()
+            << "\n(cluster structure should degrade gracefully: counts "
+               "shrink with the\ndataset, but every perspective stays "
+               "populated and no stage aborts)\n";
+  return 0;
+}

@@ -49,5 +49,6 @@ int main() {
                "optimum: lowering\nmin_instances to 1 makes polymorphic "
                "MD5s invariant and recall collapses;\nvery high thresholds "
                "wipe out the invariants and precision collapses)\n";
+  bench::print_degradation(ds);
   return 0;
 }

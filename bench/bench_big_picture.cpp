@@ -11,5 +11,6 @@ int main() {
       bench::build_dataset("EXP-0: Section 4.1 headline statistics");
   std::cout << report::big_picture(ds.db, ds.enrichment, ds.e, ds.p, ds.m,
                                    ds.b);
+  bench::print_degradation(ds);
   return 0;
 }

@@ -3,14 +3,19 @@
 // Every harness rebuilds the paper-scale dataset (deterministic, seed
 // 2008). Set REPRO_BENCH_SCALE to a value in (0, 1] to run the whole
 // suite faster at reduced event rates (shapes hold from ~0.2 upward;
-// the reported absolute counts are calibrated at 1.0).
+// the reported absolute counts are calibrated at 1.0). Set
+// REPRO_BENCH_FAULTS to "paper" (calibrated rates) or "2x" (doubled)
+// to run the same harness under fault injection; every bench then
+// prints the degradation summary after its report.
 #pragma once
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "report/reports.hpp"
 #include "scenario/paper.hpp"
+#include "util/error.hpp"
 
 namespace repro::bench {
 
@@ -22,6 +27,16 @@ inline scenario::ScenarioOptions options_from_env() {
   if (const char* seed = std::getenv("REPRO_BENCH_SEED")) {
     options.seed = std::stoull(seed);
   }
+  if (const char* faults = std::getenv("REPRO_BENCH_FAULTS")) {
+    const std::string mode = faults;
+    if (mode == "paper") {
+      options.faults = fault::FaultPlan::paper_calibrated();
+    } else if (mode == "2x") {
+      options.faults = fault::FaultPlan::paper_calibrated().scaled(2.0);
+    } else if (!mode.empty() && mode != "none") {
+      throw ConfigError("REPRO_BENCH_FAULTS must be none, paper or 2x");
+    }
+  }
   return options;
 }
 
@@ -29,8 +44,17 @@ inline scenario::Dataset build_dataset(const char* banner) {
   const scenario::ScenarioOptions options = options_from_env();
   std::cout << "### " << banner << "\n"
             << "(seed " << options.seed << ", scale " << options.scale
+            << (options.faults.empty() ? "" : ", fault injection ON")
             << "; building the SGNET-equivalent dataset...)\n\n";
   return scenario::build_paper_dataset(options);
+}
+
+/// Prints the degradation summary when any fault fired; no output on a
+/// clean run, so every bench can call this unconditionally.
+inline void print_degradation(const scenario::Dataset& dataset) {
+  const std::string summary = report::degradation(
+      dataset.fault_report, dataset.db, dataset.enrichment);
+  if (!summary.empty()) std::cout << "\n" << summary;
 }
 
 }  // namespace repro::bench

@@ -59,5 +59,6 @@ int main() {
                "patches/recompilations of one\ncodebase; lacking "
                "self-update, old and new releases coexist -- visible here "
                "as\noverlapping lifetimes within a chain)\n";
+  bench::print_degradation(ds);
   return 0;
 }

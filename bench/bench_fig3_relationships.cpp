@@ -63,5 +63,6 @@ int main() {
     }
     std::cout << "\n";
   }
+  bench::print_degradation(ds);
   return 0;
 }

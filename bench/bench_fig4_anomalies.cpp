@@ -34,5 +34,6 @@ int main() {
                 << "\n";
     }
   }
+  bench::print_degradation(ds);
   return 0;
 }

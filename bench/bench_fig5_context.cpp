@@ -70,5 +70,6 @@ int main() {
       break;
     }
   }
+  bench::print_degradation(ds);
   return 0;
 }

@@ -65,5 +65,6 @@ int main() {
                "qualify -- the quantitative form of footnote 1. Relaxed\n"
                "thresholds expose the hijack-code reuse hiding in the "
                "dimension.)\n";
+  bench::print_degradation(ds);
   return 0;
 }

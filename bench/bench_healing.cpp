@@ -34,5 +34,6 @@ int main() {
       ds.db, ds.e, ds.p, ds.m, outcome.after);
   std::cout << "anomalous singletons remaining after healing: "
             << after.anomalies << " (was " << anomalies.anomalies << ")\n";
+  bench::print_degradation(ds);
   return 0;
 }

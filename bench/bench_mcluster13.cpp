@@ -61,5 +61,6 @@ int main() {
             << " (paper: several, split by environmental conditions such "
                "as the\n iliketay.cn DNS entry being alive, degraded or "
                "removed)\n";
+  bench::print_degradation(ds);
   return 0;
 }

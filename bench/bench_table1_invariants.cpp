@@ -15,5 +15,6 @@ int main() {
                "E-clusters.\nIn this implementation every invariant "
                "(path, port) pair necessarily forms\nits own pattern, so "
                "the two counts track each other; see EXPERIMENTS.md.\n";
+  bench::print_degradation(ds);
   return 0;
 }

@@ -18,5 +18,6 @@ int main() {
                "to the very same botnet', servers sharing a /24\nand "
                "recurring room names suggest one bot-herder operating "
                "several botnets)\n";
+  bench::print_degradation(ds);
   return 0;
 }

@@ -49,7 +49,10 @@ SingletonReport detect_singleton_anomalies(const honeypot::EventDatabase& db,
     }
     ++report.anomalies;
     report.anomalous_samples.push_back(sample);
-    ++report.av_names[db.sample(sample).av_label];
+    // An injected AV-labeler gap leaves the label empty; keep the
+    // histogram readable by bucketing those explicitly.
+    const std::string& label = db.sample(sample).av_label;
+    ++report.av_names[label.empty() ? "(no label)" : label];
     const auto event_it = sample_event.find(sample);
     if (event_it != sample_event.end()) {
       const int e_cluster = e.cluster_of_event(event_it->second);

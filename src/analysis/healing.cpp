@@ -1,9 +1,40 @@
 #include "analysis/healing.hpp"
 
+#include "pe/parser.hpp"
 #include "sandbox/anubis.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace repro::analysis {
+
+namespace {
+
+/// A suspect can be (re-)executed iff its stored image is intact and
+/// still parses. Truncated/corrupted downloads stay unrunnable forever;
+/// samples that merely hit a sandbox fault at enrichment time pass and
+/// get their first profile through the healing retry.
+bool runnable(const honeypot::MalwareSample& sample) {
+  if (!sample.intact() || !pe::looks_like_pe(sample.content)) return false;
+  try {
+    (void)pe::parse_pe(sample.content);
+  } catch (const ParseError&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<honeypot::SampleId> unenriched_executable_samples(
+    const honeypot::EventDatabase& db) {
+  std::vector<honeypot::SampleId> out;
+  for (const honeypot::MalwareSample& sample : db.samples()) {
+    if (!sample.profile.has_value() && runnable(sample)) {
+      out.push_back(sample.id);
+    }
+  }
+  return out;
+}
 
 HealingOutcome heal_by_reexecution(
     honeypot::EventDatabase& db, const malware::Landscape& landscape,
@@ -19,7 +50,14 @@ HealingOutcome heal_by_reexecution(
   const sandbox::Sandbox sandbox{environment};
   for (const honeypot::SampleId id : suspects) {
     honeypot::MalwareSample& sample = db.sample_mutable(id);
-    if (!sample.profile.has_value()) continue;
+    // Samples whose bytes cannot execute are skipped; samples that are
+    // runnable but never got a profile (sandbox fault during
+    // enrichment) are recovered here with their first execution.
+    if (!runnable(sample)) {
+      ++outcome.report.unrunnable;
+      continue;
+    }
+    const bool was_unenriched = !sample.profile.has_value();
     const malware::MalwareVariant& variant =
         landscape.variant(sample.truth_variant);
     // Fresh executions use a seed stream distinct from the original
@@ -28,6 +66,7 @@ HealingOutcome heal_by_reexecution(
         variant.behavior, sample.first_seen,
         mix64(fnv1a64(sample.md5) ^ 0x4ea1'0000'0000'0000ULL), reruns);
     ++outcome.report.reexecuted;
+    if (was_unenriched) ++outcome.report.recovered_unenriched;
   }
 
   outcome.after = BehavioralView::build(db, options);

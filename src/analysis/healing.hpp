@@ -22,6 +22,12 @@ namespace repro::analysis {
 struct HealingReport {
   std::size_t suspects = 0;
   std::size_t reexecuted = 0;
+  /// Of `reexecuted`: suspects that had no profile at all (sandbox
+  /// faults) and gained their first one through the healing retry.
+  std::size_t recovered_unenriched = 0;
+  /// Suspects that cannot execute (truncated/corrupted/non-PE bytes);
+  /// skipped, never retried.
+  std::size_t unrunnable = 0;
   std::size_t b_clusters_before = 0;
   std::size_t b_clusters_after = 0;
   std::size_t singletons_before = 0;
@@ -35,6 +41,12 @@ struct HealingOutcome {
   HealingReport report;
   BehavioralView after;
 };
+
+/// Samples with no behavioral profile whose bytes are intact and still
+/// parse as PE — i.e. sandbox-fault victims that deserve a retry.
+/// Truncated/corrupted downloads are excluded (they can never run).
+[[nodiscard]] std::vector<honeypot::SampleId> unenriched_executable_samples(
+    const honeypot::EventDatabase& db);
 
 [[nodiscard]] HealingOutcome heal_by_reexecution(
     honeypot::EventDatabase& db, const malware::Landscape& landscape,

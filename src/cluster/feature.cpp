@@ -126,7 +126,10 @@ DimensionData build_gamma_data(const honeypot::EventDatabase& db) {
   DimensionData data;
   data.schema = gamma_schema();
   for (const honeypot::AttackEvent& event : db.events()) {
-    if (!event.gamma.has_value()) continue;
+    if (!event.gamma.has_value()) {
+      ++data.skipped_events;
+      continue;
+    }
     data.instances.push_back(extract_gamma(event));
     data.contexts.push_back(InstanceContext{event.attacker, event.honeypot});
     data.event_ids.push_back(event.id);
@@ -138,7 +141,10 @@ DimensionData build_pi_data(const honeypot::EventDatabase& db) {
   DimensionData data;
   data.schema = pi_schema();
   for (const honeypot::AttackEvent& event : db.events()) {
-    if (!event.pi.has_value()) continue;
+    if (!event.pi.has_value()) {
+      ++data.skipped_events;
+      continue;
+    }
     data.instances.push_back(extract_pi(event));
     data.contexts.push_back(InstanceContext{event.attacker, event.honeypot});
     data.event_ids.push_back(event.id);
@@ -156,7 +162,10 @@ DimensionData build_mu_data(const honeypot::EventDatabase& db) {
     cache.emplace(sample.id, extract_mu(sample));
   }
   for (const honeypot::AttackEvent& event : db.events()) {
-    if (!event.sample.has_value()) continue;
+    if (!event.sample.has_value()) {
+      ++data.skipped_events;
+      continue;
+    }
     data.instances.push_back(cache.at(*event.sample));
     data.contexts.push_back(InstanceContext{event.attacker, event.honeypot});
     data.event_ids.push_back(event.id);

@@ -71,6 +71,11 @@ struct DimensionData {
   std::vector<InstanceContext> contexts;
   /// Event id behind each row.
   std::vector<honeypot::EventId> event_ids;
+  /// Events that carry no observation for this dimension and were
+  /// skipped (e.g. refused downloads, unproxied conversations). The
+  /// clustering degrades gracefully over what remains; this counter
+  /// keeps the gap visible instead of silent.
+  std::size_t skipped_events = 0;
 };
 
 /// Builds the per-dimension matrices for all events in the database

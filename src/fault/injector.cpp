@@ -1,0 +1,131 @@
+#include "fault/injector.hpp"
+
+#include <sstream>
+
+#include "util/rng.hpp"
+
+namespace repro::fault {
+
+bool FaultReport::any() const noexcept {
+  return attacks_lost_to_outage > 0 || proxy_failures > 0 ||
+         refinements_abandoned > 0 || downloads_refused > 0 ||
+         downloads_corrupted > 0 || sandbox_failures > 0 ||
+         av_label_gaps > 0;
+}
+
+std::string FaultReport::summary() const {
+  std::ostringstream out;
+  out << "--- fault degradation summary ---\n"
+      << "  sensor outages:      " << attacks_lost_to_outage
+      << " attacks unrecorded\n"
+      << "  proxy channel:       " << proxy_failures << " failed attempts ("
+      << proxy_retries << " retries, " << proxy_backoff_seconds
+      << "s backoff), " << refinements_abandoned
+      << " refinements abandoned\n"
+      << "  downloads:           " << downloads_refused << " refused, "
+      << downloads_corrupted << " bit-corrupted\n"
+      << "  sandbox:             " << sandbox_failures
+      << " timeouts/crashes (samples left unenriched)\n"
+      << "  AV labeler:          " << av_label_gaps << " label gaps\n";
+  return out.str();
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  plan_.validate();
+}
+
+bool FaultInjector::roll(std::string_view stage, std::uint64_t key,
+                         double p) const noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  const std::uint64_t h =
+      mix64(plan_.seed ^ fnv1a64(stage) ^ mix64(key ^ 0x9e37'79b9'7f4a'7c15ULL));
+  // Top 53 bits -> uniform double in [0, 1).
+  const double draw =
+      static_cast<double>(h >> 11) * 0x1.0p-53;
+  return draw < p;
+}
+
+bool FaultInjector::sensor_down(int location, int week) {
+  for (const SensorOutage& outage : plan_.sensor_outages) {
+    if (outage.location == location && week >= outage.from_week &&
+        week < outage.to_week) {
+      ++report_.attacks_lost_to_outage;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::ProxyOutcome FaultInjector::try_proxy(std::uint64_t key) {
+  ProxyOutcome outcome;
+  outcome.attempts = 0;
+  std::int64_t backoff = plan_.proxy_backoff_base_seconds;
+  for (int attempt = 0; attempt <= plan_.proxy_max_retries; ++attempt) {
+    ++outcome.attempts;
+    ++report_.proxy_attempts;
+    if (!roll("proxy", mix64(key) + static_cast<std::uint64_t>(attempt),
+              plan_.proxy_failure_probability)) {
+      outcome.refined = true;
+      report_.proxy_backoff_seconds += outcome.backoff_seconds;
+      report_.proxy_retries +=
+          static_cast<std::size_t>(outcome.attempts - 1);
+      return outcome;
+    }
+    ++report_.proxy_failures;
+    if (attempt < plan_.proxy_max_retries) {
+      outcome.backoff_seconds += backoff;  // exponential backoff schedule
+      backoff *= 2;
+    }
+  }
+  outcome.refined = false;
+  ++report_.refinements_abandoned;
+  report_.proxy_backoff_seconds += outcome.backoff_seconds;
+  report_.proxy_retries += static_cast<std::size_t>(outcome.attempts - 1);
+  return outcome;
+}
+
+DownloadFault FaultInjector::download_fault(std::uint64_t key) {
+  if (roll("download.refused", key, plan_.download_refused_probability)) {
+    ++report_.downloads_refused;
+    return DownloadFault::kRefused;
+  }
+  if (roll("download.corrupt", key, plan_.download_corruption_probability)) {
+    ++report_.downloads_corrupted;
+    return DownloadFault::kCorrupted;
+  }
+  return DownloadFault::kNone;
+}
+
+void FaultInjector::corrupt(std::vector<std::uint8_t>& bytes,
+                            std::uint64_t key) const {
+  if (bytes.empty()) return;
+  // Damage the DOS magic so the image can never parse as PE, then flip
+  // a deterministic scatter of payload bits (the wire-level damage).
+  bytes[0] ^= 0xFF;
+  if (bytes.size() > 1) bytes[1] ^= 0xFF;
+  Rng rng{mix64(plan_.seed ^ fnv1a64("corrupt") ^ mix64(key))};
+  const std::size_t flips = 4 + rng.index(28);
+  for (std::size_t i = 0; i < flips; ++i) {
+    bytes[rng.index(bytes.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.index(8));
+  }
+}
+
+bool FaultInjector::sandbox_fails(std::uint64_t key) {
+  if (roll("sandbox", key, plan_.sandbox_failure_probability)) {
+    ++report_.sandbox_failures;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::av_label_gap(std::uint64_t key) {
+  if (roll("avlabel", key, plan_.av_label_gap_probability)) {
+    ++report_.av_label_gaps;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace repro::fault

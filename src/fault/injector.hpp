@@ -1,0 +1,87 @@
+// Deterministic fault injection.
+//
+// A FaultInjector turns a FaultPlan into per-decision outcomes. Every
+// decision is a pure function of (plan seed, stage label, caller key):
+// no shared RNG stream is consumed, so threading an injector through
+// the pipeline never perturbs the simulation's own random draws — an
+// injector holding an *empty* plan yields output bit-identical to a
+// run without any injector at all. The injector also accumulates a
+// FaultReport of per-stage failure counters so every bench can print a
+// degradation summary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/plan.hpp"
+
+namespace repro::fault {
+
+/// Per-stage failure counters accumulated by a FaultInjector.
+struct FaultReport {
+  std::size_t attacks_lost_to_outage = 0;
+  std::size_t proxy_attempts = 0;
+  std::size_t proxy_failures = 0;
+  std::size_t proxy_retries = 0;
+  std::size_t refinements_abandoned = 0;
+  std::int64_t proxy_backoff_seconds = 0;
+  std::size_t downloads_refused = 0;
+  std::size_t downloads_corrupted = 0;
+  std::size_t sandbox_failures = 0;
+  std::size_t av_label_gaps = 0;
+
+  [[nodiscard]] bool any() const noexcept;
+  /// Multi-line, human-readable degradation summary.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// What the download fault model decided for one transfer.
+enum class DownloadFault : std::uint8_t { kNone, kRefused, kCorrupted };
+
+class FaultInjector {
+ public:
+  /// Validates and adopts the plan.
+  explicit FaultInjector(FaultPlan plan);
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const FaultReport& report() const noexcept { return report_; }
+
+  /// True when `location`'s sensors are dark during `week`; bumps the
+  /// outage-loss counter when they are.
+  [[nodiscard]] bool sensor_down(int location, int week);
+
+  /// One proxied conversation's delivery to the sample factory, with
+  /// bounded retry/backoff.
+  struct ProxyOutcome {
+    bool refined = true;  // false: every attempt failed, FSM unrefined
+    int attempts = 1;
+    std::int64_t backoff_seconds = 0;
+  };
+  [[nodiscard]] ProxyOutcome try_proxy(std::uint64_t key);
+
+  /// Fault mode of one download; `key` must be unique per transfer.
+  [[nodiscard]] DownloadFault download_fault(std::uint64_t key);
+
+  /// Deterministically flips bits of a downloaded image so it no longer
+  /// parses as PE (the DOS magic and a scatter of payload bytes are
+  /// damaged). No-op on an empty buffer.
+  void corrupt(std::vector<std::uint8_t>& bytes, std::uint64_t key) const;
+
+  /// True when the sandbox submission keyed by `key` times out/crashes.
+  [[nodiscard]] bool sandbox_fails(std::uint64_t key);
+
+  /// True when the AV labeler returns nothing for `key`.
+  [[nodiscard]] bool av_label_gap(std::uint64_t key);
+
+ private:
+  /// Stateless Bernoulli decision: hash of (seed, stage, key) vs p.
+  [[nodiscard]] bool roll(std::string_view stage, std::uint64_t key,
+                          double p) const noexcept;
+
+  FaultPlan plan_;
+  FaultReport report_;
+};
+
+}  // namespace repro::fault

@@ -69,6 +69,59 @@ std::vector<EventId> EventDatabase::events_of_sample(SampleId id) const {
   return out;
 }
 
+EventDatabase::PresenceSummary EventDatabase::presence_summary()
+    const noexcept {
+  PresenceSummary summary;
+  summary.events = events_.size();
+  for (const AttackEvent& event : events_) {
+    const DimensionPresence presence = event.presence();
+    summary.with_gamma += presence.gamma ? 1 : 0;
+    summary.with_pi += presence.pi ? 1 : 0;
+    summary.with_sample += presence.mu ? 1 : 0;
+    summary.unknown_paths +=
+        event.epsilon.fsm_path.rfind("unknown/", 0) == 0 ? 1 : 0;
+    summary.refused_downloads += event.download_refused ? 1 : 0;
+    summary.refinement_failures += event.refinement_failed ? 1 : 0;
+  }
+  for (const MalwareSample& sample : samples_) {
+    summary.truncated_samples += sample.truncated ? 1 : 0;
+    summary.corrupted_samples += sample.corrupted ? 1 : 0;
+    summary.unlabeled_samples += sample.label_missing ? 1 : 0;
+  }
+  return summary;
+}
+
+void EventDatabase::check_consistency() const {
+  std::vector<std::size_t> referenced(samples_.size(), 0);
+  for (const AttackEvent& event : events_) {
+    if (!event.sample.has_value()) continue;
+    if (*event.sample >= samples_.size()) {
+      throw ConfigError("EventDatabase: event " + std::to_string(event.id) +
+                        " references unknown sample " +
+                        std::to_string(*event.sample));
+    }
+    ++referenced[*event.sample];
+  }
+  for (const MalwareSample& sample : samples_) {
+    if (sample.event_count != referenced[sample.id]) {
+      throw ConfigError(
+          "EventDatabase: sample " + std::to_string(sample.id) +
+          " event_count " + std::to_string(sample.event_count) +
+          " != referencing events " + std::to_string(referenced[sample.id]));
+    }
+    const auto it = md5_index_.find(sample.md5);
+    if (it == md5_index_.end() || it->second != sample.id) {
+      throw ConfigError("EventDatabase: sample " + std::to_string(sample.id) +
+                        " missing from the MD5 index");
+    }
+  }
+  if (md5_index_.size() != samples_.size()) {
+    throw ConfigError("EventDatabase: MD5 index size " +
+                      std::to_string(md5_index_.size()) + " != sample count " +
+                      std::to_string(samples_.size()));
+  }
+}
+
 std::size_t EventDatabase::analyzable_sample_count() const noexcept {
   std::size_t count = 0;
   for (const MalwareSample& sample : samples_) {

@@ -44,6 +44,28 @@ class EventDatabase {
   /// Samples with a behavioral profile (executed successfully).
   [[nodiscard]] std::size_t analyzable_sample_count() const noexcept;
 
+  /// How partial the dataset is, per dimension — the degradation view
+  /// consumers use to skip-and-count instead of assuming completeness.
+  struct PresenceSummary {
+    std::size_t events = 0;
+    std::size_t with_gamma = 0;
+    std::size_t with_pi = 0;
+    std::size_t with_sample = 0;
+    std::size_t unknown_paths = 0;       // epsilon left unrefined/proxied
+    std::size_t refused_downloads = 0;   // pi present, transfer refused
+    std::size_t refinement_failures = 0; // proxy channel gave up
+    std::size_t truncated_samples = 0;
+    std::size_t corrupted_samples = 0;
+    std::size_t unlabeled_samples = 0;
+  };
+  [[nodiscard]] PresenceSummary presence_summary() const noexcept;
+
+  /// Cross-reference integrity: every event's sample id resolves, every
+  /// sample's event_count matches the events referencing it, and the
+  /// MD5 index is a bijection onto the sample store. Throws ConfigError
+  /// with a description of the first violation.
+  void check_consistency() const;
+
  private:
   std::vector<AttackEvent> events_;
   std::vector<MalwareSample> samples_;

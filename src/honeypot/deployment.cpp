@@ -34,6 +34,7 @@ Deployment::Deployment(const malware::Landscape& landscape,
                        DeploymentConfig config)
     : landscape_(&landscape), config_(config), gateway_(config.fsm) {
   landscape.validate();
+  gateway_.set_fault_injector(config_.faults);
   if (config_.location_count <= 0 || config_.honeypots_per_location <= 0) {
     throw ConfigError("Deployment: location/honeypot counts must be positive");
   }
@@ -106,6 +107,14 @@ EventDatabase Deployment::run() {
     std::sort(pending.begin(), pending.end());
 
     for (const PendingAttack& attack : pending) {
+      // Sensor outage: the honeypot records nothing — no event, no FSM
+      // learning, no sample. Skipped before any shared RNG draw so an
+      // empty fault plan leaves the stream untouched.
+      if (config_.faults != nullptr &&
+          config_.faults->sensor_down(location_of(attack.honeypot_index),
+                                      week)) {
+        continue;
+      }
       const malware::MalwareVariant& variant =
           landscape_->variants[attack.variant];
       const malware::PayloadSpec& payload_spec =
@@ -133,6 +142,7 @@ EventDatabase Deployment::run() {
       event.location = location_of(attack.honeypot_index);
       event.epsilon =
           EpsilonObservation{outcome.fsm_path, conversation.dst_port};
+      event.refinement_failed = outcome.proxied && !outcome.refined;
       event.truth_variant = variant.id;
 
       // Gamma extension: when the conversation went through the sample
@@ -168,12 +178,28 @@ EventDatabase Deployment::run() {
             shellcode::classify_interaction(*analyzed, attack.attacker));
         event.pi = pi;
 
-        // 4. Download emulation: fetch the malware binary.
-        DownloadResult download = emulate_download(
-            malware::realize_binary(variant, attack.attacker, nonce),
-            config_.download, driver_rng);
-        event.sample = db.add_sample(std::move(download.content), attack.time,
-                                     download.truncated, variant.id);
+        // 4. Download emulation: fetch the malware binary. Injected
+        // faults extend the truncation model: a refused connection
+        // collects nothing, bit corruption damages the stored image.
+        const fault::DownloadFault download_fault =
+            config_.faults != nullptr ? config_.faults->download_fault(nonce)
+                                      : fault::DownloadFault::kNone;
+        if (download_fault == fault::DownloadFault::kRefused) {
+          event.download_refused = true;
+        } else {
+          DownloadResult download = emulate_download(
+              malware::realize_binary(variant, attack.attacker, nonce),
+              config_.download, driver_rng);
+          if (download_fault == fault::DownloadFault::kCorrupted) {
+            config_.faults->corrupt(download.content, nonce);
+          }
+          event.sample = db.add_sample(std::move(download.content),
+                                       attack.time, download.truncated,
+                                       variant.id);
+          if (download_fault == fault::DownloadFault::kCorrupted) {
+            db.sample_mutable(*event.sample).corrupted = true;
+          }
+        }
       }
       ++nonce;
       db.add_event(std::move(event));

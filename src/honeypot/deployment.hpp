@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "honeypot/database.hpp"
 #include "honeypot/download.hpp"
 #include "honeypot/gateway.hpp"
@@ -27,6 +28,12 @@ struct DeploymentConfig {
   std::uint64_t seed = 1;
   DownloadOptions download;
   proto::IncrementalFsm::Options fsm;
+  /// Optional fault injection: sensor outages, proxy-channel failures
+  /// and extended download faults fire per its plan. The injector's
+  /// decisions never consume the deployment's own RNG streams, so a
+  /// nullptr injector and an injector with an empty plan produce
+  /// bit-identical datasets. Not owned; must outlive the deployment.
+  fault::FaultInjector* faults = nullptr;
 };
 
 class Deployment {

@@ -7,12 +7,14 @@ namespace repro::honeypot {
 DownloadResult emulate_download(std::vector<std::uint8_t> binary,
                                 const DownloadOptions& options, Rng& rng) {
   DownloadResult result;
-  if (!binary.empty() && rng.chance(options.truncation_probability)) {
-    const std::size_t min_keep =
-        std::min(options.min_kept_bytes, binary.size() - 1);
+  // A binary no larger than the minimum kept prefix cannot be cut
+  // short: truncation would either keep every byte (a full transfer
+  // mislabeled `truncated`) or keep more bytes than exist.
+  if (binary.size() > options.min_kept_bytes &&
+      rng.chance(options.truncation_probability)) {
     const std::size_t keep =
-        min_keep + rng.index(binary.size() - min_keep);
-    binary.resize(std::max<std::size_t>(keep, 1));
+        options.min_kept_bytes + rng.index(binary.size() - options.min_kept_bytes);
+    binary.resize(keep);
     result.truncated = true;
   }
   result.content = std::move(binary);

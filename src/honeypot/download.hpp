@@ -24,7 +24,9 @@ struct DownloadResult {
 struct DownloadOptions {
   /// Probability that a transfer fails mid-way.
   double truncation_probability = 0.18;
-  /// A truncated transfer keeps at least this many bytes.
+  /// A truncated transfer keeps at least this many bytes; binaries no
+  /// larger than this are never truncated (a cut below the minimum is
+  /// impossible, a cut at full size is not a truncation).
   std::size_t min_kept_bytes = 256;
 };
 

@@ -3,24 +3,54 @@
 #include "honeypot/avlabels.hpp"
 #include "pe/parser.hpp"
 #include "sandbox/anubis.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace repro::honeypot {
 
 EnrichmentStats enrich_database(EventDatabase& db,
                                 const malware::Landscape& landscape,
-                                const sandbox::Environment& environment) {
+                                const sandbox::Environment& environment,
+                                fault::FaultInjector* faults) {
   EnrichmentStats stats;
   const sandbox::Sandbox sandbox{environment};
   for (MalwareSample& sample : db.samples_mutable()) {
     ++stats.submitted;
     const malware::MalwareVariant& variant =
         landscape.variant(sample.truth_variant);
-    sample.av_label = assign_av_label(variant, sample.md5, sample.truncated);
-    const bool executable =
-        !sample.truncated && pe::looks_like_pe(sample.content);
+
+    // AV labeling; an injected labeler gap leaves the label explicitly
+    // missing rather than inventing one.
+    sample.label_missing =
+        faults != nullptr && faults->av_label_gap(fnv1a64(sample.md5));
+    if (sample.label_missing) {
+      ++stats.label_gaps;
+      sample.av_label.clear();
+    } else {
+      sample.av_label =
+          assign_av_label(variant, sample.md5, !sample.intact());
+    }
+
+    // Dynamic analysis needs a complete, parseable executable. A
+    // bit-corrupted or otherwise undecodable image throws ParseError,
+    // which is recovered here and counted — never propagated.
+    bool executable = sample.intact() && pe::looks_like_pe(sample.content);
+    if (executable) {
+      try {
+        (void)pe::parse_pe(sample.content);
+      } catch (const ParseError&) {
+        executable = false;
+        ++stats.parse_failures;
+      }
+    }
     if (!executable) {
       ++stats.failed;
+      continue;
+    }
+    // Injected sandbox timeout/crash: the sample stays unenriched; the
+    // healing path (analysis::heal_by_reexecution) retries it.
+    if (faults != nullptr && faults->sandbox_fails(fnv1a64(sample.md5))) {
+      ++stats.sandbox_faults;
       continue;
     }
     sample.profile = sandbox.run(variant.behavior, sample.first_seen,

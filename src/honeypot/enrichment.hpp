@@ -4,11 +4,16 @@
 // analysis sandbox (Anubis substitute) and to the AV labeler
 // (VirusTotal substitute), and the results are stored back into the
 // dataset. Truncated samples cannot execute — this is what produces the
-// paper's 6353-collected vs 5165-analyzable gap.
+// paper's 6353-collected vs 5165-analyzable gap. Under fault injection
+// the pipeline degrades gracefully: corrupted images and undecodable
+// bytes are counted as failed instead of propagating ParseError,
+// sandbox crashes leave the sample unenriched (the healing path retries
+// it), and labeler gaps leave an explicitly missing label.
 #pragma once
 
 #include <cstdint>
 
+#include "fault/injector.hpp"
 #include "honeypot/database.hpp"
 #include "malware/landscape.hpp"
 #include "sandbox/environment.hpp"
@@ -18,15 +23,24 @@ namespace repro::honeypot {
 struct EnrichmentStats {
   std::size_t submitted = 0;
   std::size_t executed = 0;
-  std::size_t failed = 0;  // truncated / not a valid executable
+  std::size_t failed = 0;  // truncated / corrupted / not a valid executable
+  /// Of `failed`: images that look like PE but no longer parse.
+  std::size_t parse_failures = 0;
+  /// Sandbox timeouts/crashes (injected): executable but unenriched.
+  std::size_t sandbox_faults = 0;
+  /// Samples the AV labeler returned nothing for (injected).
+  std::size_t label_gaps = 0;
 };
 
 /// Enriches every sample in place. The behavior executed for a sample
 /// is its ground-truth variant's spec — the honest stand-in for running
 /// the real binary; the *environment at first-seen time* decides what
-/// the profile records.
+/// the profile records. `faults` (optional) injects sandbox failures
+/// and AV-label gaps; submitted == executed + failed + sandbox_faults
+/// always holds.
 EnrichmentStats enrich_database(EventDatabase& db,
                                 const malware::Landscape& landscape,
-                                const sandbox::Environment& environment);
+                                const sandbox::Environment& environment,
+                                fault::FaultInjector* faults = nullptr);
 
 }  // namespace repro::honeypot

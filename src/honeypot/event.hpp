@@ -42,6 +42,17 @@ struct PiObservation {
   std::string interaction;  // PUSH/PULL/central flavour
 };
 
+/// Which dimensions of one event were actually observed. Faults and
+/// analyzer limits make records explicitly partial; downstream
+/// consumers skip-and-count missing dimensions instead of assuming
+/// completeness.
+struct DimensionPresence {
+  bool epsilon = true;  // always recorded (possibly an unknown path)
+  bool gamma = false;
+  bool pi = false;
+  bool mu = false;
+};
+
 /// One observed code-injection attack.
 struct AttackEvent {
   EventId id = 0;
@@ -60,10 +71,23 @@ struct AttackEvent {
   std::optional<PiObservation> pi;
   /// Present when a binary was collected (possibly truncated).
   std::optional<SampleId> sample;
+  /// True when the analyzer recovered a download intent but the
+  /// transfer was refused (injected connection failure): pi present,
+  /// mu absent for a reason other than analyzer failure.
+  bool download_refused = false;
+  /// True when the conversation was proxied but the sample-factory
+  /// channel failed every retry: the event keeps its unknown-path
+  /// marker and the FSM was left unrefined.
+  bool refinement_failed = false;
 
   /// Ground truth, for validation metrics only — never an input to
   /// clustering.
   malware::VariantId truth_variant = 0;
+
+  [[nodiscard]] DimensionPresence presence() const noexcept {
+    return DimensionPresence{true, gamma.has_value(), pi.has_value(),
+                             sample.has_value()};
+  }
 };
 
 /// One distinct collected binary (deduplicated by MD5) plus enrichment.
@@ -75,11 +99,22 @@ struct MalwareSample {
   /// True when the Nepenthes-style download was cut short and the
   /// binary is incomplete — such samples cannot run in the sandbox.
   bool truncated = false;
+  /// True when the transfer arrived bit-corrupted (injected download
+  /// fault): the image no longer parses and cannot run either.
+  bool corrupted = false;
   std::size_t event_count = 0;
 
   /// Enrichment results (information-enrichment pipeline of [18]).
   std::optional<sandbox::BehavioralProfile> profile;  // Anubis substitute
-  std::string av_label;                               // VirusTotal substitute
+  std::string av_label;  // VirusTotal substitute; empty = labeler gap
+  /// True when the AV labeler returned nothing for this sample.
+  bool label_missing = false;
+
+  /// A sample can execute in the sandbox only when its bytes form a
+  /// complete, undamaged image.
+  [[nodiscard]] bool intact() const noexcept {
+    return !truncated && !corrupted;
+  }
 
   /// Ground truth, for validation only.
   malware::VariantId truth_variant = 0;

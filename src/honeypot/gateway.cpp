@@ -18,12 +18,22 @@ Gateway::Outcome Gateway::handle(
     return Outcome{*path, false};
   }
   // Proxy to the sample factory: the taint oracle isolates the payload
-  // and the stripped dialog refines the model.
-  model.train(proto::strip_payload(raw, payload_location));
+  // and the stripped dialog refines the model. The channel may fail;
+  // after the bounded retry/backoff budget the refinement is abandoned
+  // and the model learns nothing from this conversation.
   ++proxied_count_;
+  bool refined = true;
+  if (injector_ != nullptr) {
+    refined = injector_->try_proxy(proxied_count_).refined;
+  }
+  if (refined) {
+    model.train(proto::strip_payload(raw, payload_location));
+  } else {
+    ++refinement_failures_;
+  }
   return Outcome{"unknown/p" + std::to_string(raw.dst_port) + "/" +
                      std::to_string(proxied_count_),
-                 true};
+                 true, refined};
 }
 
 std::size_t Gateway::mature_transitions() const noexcept {

@@ -13,6 +13,7 @@
 #include <map>
 #include <string>
 
+#include "fault/injector.hpp"
 #include "proto/incremental.hpp"
 #include "proto/services.hpp"
 
@@ -23,11 +24,23 @@ class Gateway {
   explicit Gateway(proto::IncrementalFsm::Options options = {})
       : options_(options) {}
 
+  /// Installs a fault injector; the proxy channel to the sample factory
+  /// then fails per the plan (with bounded retry/backoff) and abandoned
+  /// deliveries leave the FSM unrefined. nullptr disables injection.
+  void set_fault_injector(fault::FaultInjector* injector) noexcept {
+    injector_ = injector;
+  }
+
   /// Result of handling one conversation.
   struct Outcome {
     /// FSM path id (matched) or "unknown/p<port>/<serial>" (proxied).
     std::string fsm_path;
     bool proxied = false;
+    /// For proxied conversations: whether the sample factory received
+    /// the dialog and refined the FSM. false = every delivery attempt
+    /// failed; the event keeps its unknown-path marker and the model
+    /// learned nothing.
+    bool refined = true;
   };
 
   /// `raw` is the conversation as seen on the wire; `payload_location`
@@ -42,6 +55,10 @@ class Gateway {
   [[nodiscard]] std::size_t matched_count() const noexcept {
     return matched_count_;
   }
+  /// Proxied conversations that never reached the sample factory.
+  [[nodiscard]] std::size_t refinement_failures() const noexcept {
+    return refinement_failures_;
+  }
   /// Mature transitions across all per-port models.
   [[nodiscard]] std::size_t mature_transitions() const noexcept;
 
@@ -50,8 +67,10 @@ class Gateway {
 
   proto::IncrementalFsm::Options options_;
   std::map<std::uint16_t, proto::IncrementalFsm> models_;
+  fault::FaultInjector* injector_ = nullptr;
   std::size_t proxied_count_ = 0;
   std::size_t matched_count_ = 0;
+  std::size_t refinement_failures_ = 0;
 };
 
 }  // namespace repro::honeypot

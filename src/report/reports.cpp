@@ -166,10 +166,44 @@ std::string healing(const analysis::HealingReport& report) {
   std::string out = "=== Section 4.2 — healing by re-execution ===\n";
   out += "suspect samples: " + std::to_string(report.suspects) +
          ", re-executed: " + std::to_string(report.reexecuted) + "\n";
+  if (report.recovered_unenriched > 0 || report.unrunnable > 0) {
+    out += "  recovered from sandbox faults: " +
+           std::to_string(report.recovered_unenriched) +
+           ", unrunnable (skipped): " + std::to_string(report.unrunnable) +
+           "\n";
+  }
   out += "B-clusters: " + std::to_string(report.b_clusters_before) + " -> " +
          std::to_string(report.b_clusters_after) + "\n";
   out += "size-1 B-clusters: " + std::to_string(report.singletons_before) +
          " -> " + std::to_string(report.singletons_after) + "\n";
+  return out;
+}
+
+std::string degradation(const fault::FaultReport& faults,
+                        const honeypot::EventDatabase& db,
+                        const honeypot::EnrichmentStats& stats) {
+  if (!faults.any()) return {};
+  std::string out = faults.summary();
+  const honeypot::EventDatabase::PresenceSummary presence =
+      db.presence_summary();
+  out += "-- dataset completeness per dimension --\n";
+  const auto fraction = [&](std::size_t have) {
+    return std::to_string(have) + "/" + std::to_string(presence.events);
+  };
+  out += "  epsilon: " + fraction(presence.events) + " (" +
+         std::to_string(presence.unknown_paths) + " unknown paths, " +
+         std::to_string(presence.refinement_failures) +
+         " refinement failures)\n";
+  out += "  gamma:   " + fraction(presence.with_gamma) + "\n";
+  out += "  pi:      " + fraction(presence.with_pi) + "\n";
+  out += "  mu:      " + fraction(presence.with_sample) + " (" +
+         std::to_string(presence.refused_downloads) + " downloads refused)\n";
+  out += "  samples: " + std::to_string(db.samples().size()) + " collected, " +
+         std::to_string(presence.truncated_samples) + " truncated, " +
+         std::to_string(presence.corrupted_samples) + " corrupted, " +
+         std::to_string(presence.unlabeled_samples) + " unlabeled; " +
+         std::to_string(stats.executed) + " enriched, " +
+         std::to_string(stats.sandbox_faults) + " sandbox faults\n";
   return out;
 }
 

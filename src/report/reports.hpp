@@ -14,6 +14,7 @@
 #include "analysis/graph.hpp"
 #include "analysis/healing.hpp"
 #include "cluster/epm.hpp"
+#include "fault/injector.hpp"
 #include "honeypot/database.hpp"
 #include "honeypot/enrichment.hpp"
 
@@ -51,5 +52,13 @@ namespace repro::report {
 
 /// Section 4.2 healing experiment summary.
 [[nodiscard]] std::string healing(const analysis::HealingReport& report);
+
+/// Degradation summary under fault injection: per-stage fault counters
+/// plus how partial the resulting dataset is per dimension. Returns an
+/// empty string when no fault ever fired (so benches can print it
+/// unconditionally).
+[[nodiscard]] std::string degradation(const fault::FaultReport& faults,
+                                      const honeypot::EventDatabase& db,
+                                      const honeypot::EnrichmentStats& stats);
 
 }  // namespace repro::report

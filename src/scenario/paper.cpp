@@ -764,13 +764,22 @@ Dataset build_paper_dataset(const ScenarioOptions& options) {
   dataset.landscape = make_paper_landscape(options);
   dataset.environment = make_paper_environment(dataset.landscape);
 
+  options.faults.validate();
+  // Only hand the deployment an injector when the plan can actually
+  // fire; an empty plan is equivalent either way (the injector draws no
+  // shared randomness), the nullptr path just makes that obvious.
+  fault::FaultInjector injector{options.faults};
+  fault::FaultInjector* faults = options.faults.empty() ? nullptr : &injector;
+
   honeypot::DeploymentConfig config;
   config.seed = options.seed;
   config.download.truncation_probability = kTruncationProbability;
+  config.faults = faults;
   honeypot::Deployment deployment{dataset.landscape, config};
   dataset.db = deployment.run();
-  dataset.enrichment = honeypot::enrich_database(dataset.db, dataset.landscape,
-                                                 dataset.environment);
+  dataset.enrichment = honeypot::enrich_database(
+      dataset.db, dataset.landscape, dataset.environment, faults);
+  dataset.fault_report = injector.report();
 
   dataset.e = cluster::epm_cluster(cluster::build_epsilon_data(dataset.db));
   dataset.p = cluster::epm_cluster(cluster::build_pi_data(dataset.db));

@@ -11,6 +11,8 @@
 
 #include "analysis/bview.hpp"
 #include "cluster/epm.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "honeypot/database.hpp"
 #include "honeypot/deployment.hpp"
 #include "honeypot/enrichment.hpp"
@@ -26,6 +28,9 @@ struct ScenarioOptions {
   double scale = 1.0;
   /// Jaccard threshold of the behavioral clustering.
   double b_threshold = 0.70;
+  /// Fault-injection plan. The default (empty) plan is guaranteed to
+  /// produce a dataset bit-identical to a run without any injector.
+  fault::FaultPlan faults;
 };
 
 /// Ground truth: families, variants, exploits, payload specs, window.
@@ -50,6 +55,9 @@ struct Dataset {
   cluster::EpmResult p;
   cluster::EpmResult m;
   analysis::BehavioralView b;
+  /// Per-stage fault counters accumulated while building the dataset;
+  /// all-zero when `ScenarioOptions::faults` is empty.
+  fault::FaultReport fault_report;
 };
 
 [[nodiscard]] Dataset build_paper_dataset(const ScenarioOptions& options = {});
