@@ -10,6 +10,10 @@
 #include "cluster/behavioral.hpp"
 #include "honeypot/database.hpp"
 
+namespace repro::snapshot {
+struct BehavioralViewAccess;
+}  // namespace repro::snapshot
+
 namespace repro::analysis {
 
 class BehavioralView {
@@ -42,6 +46,9 @@ class BehavioralView {
   }
 
  private:
+  /// Snapshot codec: restores the row and assignment state directly.
+  friend struct repro::snapshot::BehavioralViewAccess;
+
   std::vector<honeypot::SampleId> rows_;
   std::vector<int> sample_to_cluster_;  // indexed by SampleId, -1 = none
   cluster::BehavioralClusters clusters_;

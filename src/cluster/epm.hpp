@@ -19,6 +19,10 @@
 #include "cluster/invariants.hpp"
 #include "cluster/pattern.hpp"
 
+namespace repro::snapshot {
+struct EpmResultAccess;
+}  // namespace repro::snapshot
+
 namespace repro::cluster {
 
 struct EpmResult {
@@ -48,6 +52,8 @@ struct EpmResult {
  private:
   friend EpmResult epm_cluster(const DimensionData&,
                                const InvariantThresholds&);
+  /// Snapshot codec: rebuilds the event index on restore.
+  friend struct repro::snapshot::EpmResultAccess;
   std::unordered_map<honeypot::EventId, int> event_index_;
 };
 

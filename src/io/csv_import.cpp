@@ -1,5 +1,6 @@
 #include "io/csv_import.hpp"
 
+#include <charconv>
 #include <istream>
 
 #include "util/error.hpp"
@@ -43,9 +44,29 @@ std::vector<std::string> parse_csv_row(std::string_view line) {
 
 namespace {
 
+/// Strict numeric field parsing: the whole field must be one in-range
+/// number. Anything else — letters, trailing garbage, overflow — is
+/// malformed external input and throws ParseError (never the raw
+/// std::invalid_argument/out_of_range that std::stoi would leak).
+template <typename T>
+T parse_number(const std::string& field, const char* what) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    throw ParseError(std::string{"read_events_csv: "} + what +
+                     " out of range: '" + field + "'");
+  }
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw ParseError(std::string{"read_events_csv: malformed "} + what +
+                     ": '" + field + "'");
+  }
+  return value;
+}
+
 int to_int_or(const std::string& field, int fallback) {
   if (field.empty()) return fallback;
-  return std::stoi(field);
+  return parse_number<int>(field, "integer field");
 }
 
 }  // namespace
@@ -68,7 +89,7 @@ std::vector<EventRecord> read_events_csv(std::istream& is) {
                        std::to_string(records.size() + 1));
     }
     EventRecord record;
-    record.event_id = static_cast<std::uint64_t>(std::stoull(fields[0]));
+    record.event_id = parse_number<std::uint64_t>(fields[0], "event_id");
     record.time = fields[1];
     record.attacker = fields[2];
     record.honeypot = fields[3];

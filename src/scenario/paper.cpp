@@ -1,12 +1,16 @@
 #include "scenario/paper.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <set>
+#include <string_view>
 #include <tuple>
+#include <utility>
 
 #include "cluster/feature.hpp"
 #include "malware/binary.hpp"
 #include "pe/builder.hpp"
+#include "util/byteio.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -759,34 +763,109 @@ sandbox::Environment make_paper_environment(
   return environment;
 }
 
+std::uint64_t scenario_fingerprint(const ScenarioOptions& options) {
+  // Serialize every dataset-shaping knob deterministically and digest
+  // the bytes. The checkpoint knobs are deliberately excluded: where a
+  // snapshot lives must not change what it certifies.
+  ByteWriter writer;
+  writer.u64(options.seed);
+  writer.u64(std::bit_cast<std::uint64_t>(options.scale));
+  writer.u64(std::bit_cast<std::uint64_t>(options.b_threshold));
+  const fault::FaultPlan& plan = options.faults;
+  writer.u64(plan.seed);
+  writer.u64(plan.sensor_outages.size());
+  for (const fault::SensorOutage& outage : plan.sensor_outages) {
+    writer.u32(static_cast<std::uint32_t>(outage.location));
+    writer.u32(static_cast<std::uint32_t>(outage.from_week));
+    writer.u32(static_cast<std::uint32_t>(outage.to_week));
+  }
+  writer.u64(std::bit_cast<std::uint64_t>(plan.proxy_failure_probability));
+  writer.u32(static_cast<std::uint32_t>(plan.proxy_max_retries));
+  writer.u32(static_cast<std::uint32_t>(plan.proxy_backoff_base_seconds));
+  writer.u64(std::bit_cast<std::uint64_t>(plan.download_refused_probability));
+  writer.u64(
+      std::bit_cast<std::uint64_t>(plan.download_corruption_probability));
+  writer.u64(std::bit_cast<std::uint64_t>(plan.sandbox_failure_probability));
+  writer.u64(std::bit_cast<std::uint64_t>(plan.av_label_gap_probability));
+  return fnv1a64(std::string_view{
+      reinterpret_cast<const char*>(writer.data().data()),
+      writer.data().size()});
+}
+
 Dataset build_paper_dataset(const ScenarioOptions& options) {
+  options.faults.validate();
+  snapshot::CheckpointStore store{options.checkpoint,
+                                  scenario_fingerprint(options)};
   Dataset dataset;
-  dataset.landscape = make_paper_landscape(options);
+
+  // Stage 1 — ground truth. The environment is a pure function of the
+  // landscape, so it is rebuilt rather than snapshotted.
+  if (auto loaded = store.load_landscape()) {
+    dataset.landscape = std::move(*loaded);
+  } else {
+    dataset.landscape = make_paper_landscape(options);
+    store.save_landscape(dataset.landscape);
+  }
   dataset.environment = make_paper_environment(dataset.landscape);
 
-  options.faults.validate();
-  // Only hand the deployment an injector when the plan can actually
-  // fire; an empty plan is equivalent either way (the injector draws no
-  // shared randomness), the nullptr path just makes that obvious.
-  fault::FaultInjector injector{options.faults};
-  fault::FaultInjector* faults = options.faults.empty() ? nullptr : &injector;
+  // Stage 2 — deployment + enrichment. The fault report travels with
+  // the snapshot: the injector is not re-exercised on resume, so its
+  // counters can only come from the stage that produced them.
+  if (auto loaded = store.load_database()) {
+    dataset.db = std::move(loaded->db);
+    dataset.enrichment = loaded->enrichment;
+    dataset.fault_report = loaded->fault_report;
+  } else {
+    // Only hand the deployment an injector when the plan can actually
+    // fire; an empty plan is equivalent either way (the injector draws
+    // no shared randomness), the nullptr path just makes that obvious.
+    fault::FaultInjector injector{options.faults};
+    fault::FaultInjector* faults =
+        options.faults.empty() ? nullptr : &injector;
 
-  honeypot::DeploymentConfig config;
-  config.seed = options.seed;
-  config.download.truncation_probability = kTruncationProbability;
-  config.faults = faults;
-  honeypot::Deployment deployment{dataset.landscape, config};
-  dataset.db = deployment.run();
-  dataset.enrichment = honeypot::enrich_database(
-      dataset.db, dataset.landscape, dataset.environment, faults);
-  dataset.fault_report = injector.report();
+    honeypot::DeploymentConfig config;
+    config.seed = options.seed;
+    config.download.truncation_probability = kTruncationProbability;
+    config.faults = faults;
+    honeypot::Deployment deployment{dataset.landscape, config};
+    snapshot::DatabaseStage stage;
+    stage.db = deployment.run();
+    stage.enrichment = honeypot::enrich_database(
+        stage.db, dataset.landscape, dataset.environment, faults);
+    stage.fault_report = injector.report();
+    store.save_database(stage);
+    dataset.db = std::move(stage.db);
+    dataset.enrichment = stage.enrichment;
+    dataset.fault_report = stage.fault_report;
+  }
 
-  dataset.e = cluster::epm_cluster(cluster::build_epsilon_data(dataset.db));
-  dataset.p = cluster::epm_cluster(cluster::build_pi_data(dataset.db));
-  dataset.m = cluster::epm_cluster(cluster::build_mu_data(dataset.db));
-  cluster::BehavioralOptions behavioral;
-  behavioral.threshold = options.b_threshold;
-  dataset.b = analysis::BehavioralView::build(dataset.db, behavioral);
+  // Stage 3 — E/P/M clustering.
+  if (auto loaded = store.load_epm()) {
+    dataset.e = std::move(loaded->e);
+    dataset.p = std::move(loaded->p);
+    dataset.m = std::move(loaded->m);
+  } else {
+    snapshot::EpmStage stage;
+    stage.e = cluster::epm_cluster(cluster::build_epsilon_data(dataset.db));
+    stage.p = cluster::epm_cluster(cluster::build_pi_data(dataset.db));
+    stage.m = cluster::epm_cluster(cluster::build_mu_data(dataset.db));
+    store.save_epm(stage);
+    dataset.e = std::move(stage.e);
+    dataset.p = std::move(stage.p);
+    dataset.m = std::move(stage.m);
+  }
+
+  // Stage 4 — behavioral clustering.
+  if (auto loaded = store.load_behavioral()) {
+    dataset.b = std::move(*loaded);
+  } else {
+    cluster::BehavioralOptions behavioral;
+    behavioral.threshold = options.b_threshold;
+    dataset.b = analysis::BehavioralView::build(dataset.db, behavioral);
+    store.save_behavioral(dataset.b);
+  }
+
+  dataset.checkpoint_activity = store.activity();
   return dataset;
 }
 

@@ -18,6 +18,7 @@
 #include "honeypot/enrichment.hpp"
 #include "malware/landscape.hpp"
 #include "sandbox/environment.hpp"
+#include "snapshot/checkpoint.hpp"
 
 namespace repro::scenario {
 
@@ -31,7 +32,21 @@ struct ScenarioOptions {
   /// Fault-injection plan. The default (empty) plan is guaranteed to
   /// produce a dataset bit-identical to a run without any injector.
   fault::FaultPlan faults;
+  /// Crash-safe checkpointing (opt-in). When `checkpoint.directory` is
+  /// set, build_paper_dataset saves a snapshot after every stage and
+  /// resumes from the last valid one on the next run. Resumed output is
+  /// byte-identical to an uninterrupted run; snapshots written under
+  /// different options (seed, scale, threshold, fault plan) are
+  /// rejected by fingerprint and recomputed.
+  snapshot::CheckpointOptions checkpoint;
 };
+
+/// Stable 64-bit digest of every dataset-shaping option (seed, scale,
+/// threshold and the full fault plan — not the checkpoint knobs).
+/// Embedded in snapshots so stale checkpoints never leak across
+/// configurations.
+[[nodiscard]] std::uint64_t scenario_fingerprint(
+    const ScenarioOptions& options);
 
 /// Ground truth: families, variants, exploits, payload specs, window.
 [[nodiscard]] malware::Landscape make_paper_landscape(
@@ -56,8 +71,12 @@ struct Dataset {
   cluster::EpmResult m;
   analysis::BehavioralView b;
   /// Per-stage fault counters accumulated while building the dataset;
-  /// all-zero when `ScenarioOptions::faults` is empty.
+  /// all-zero when `ScenarioOptions::faults` is empty. Restored from
+  /// the stage-2 snapshot on resume (the injector is not re-exercised
+  /// for restored stages).
   fault::FaultReport fault_report;
+  /// What checkpointing did during this build (all-zero when disabled).
+  snapshot::CheckpointStore::Activity checkpoint_activity;
 };
 
 [[nodiscard]] Dataset build_paper_dataset(const ScenarioOptions& options = {});

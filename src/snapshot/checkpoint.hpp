@@ -1,0 +1,164 @@
+// Crash-safe pipeline checkpoints.
+//
+// A CheckpointStore persists the state crossing each stage boundary of
+// the paper pipeline as one snapshot file per stage. The container
+// format is versioned and checksummed end to end (per-section CRC-32
+// plus a whole-file CRC trailer), writes are atomic (temp file, fsync,
+// rename, directory fsync), and every snapshot embeds a fingerprint of
+// the producing ScenarioOptions so checkpoints of a *different*
+// configuration are rejected as stale instead of silently reused. A
+// load never fails the caller: corrupt, truncated or stale files are
+// quarantined (renamed aside) and the stage is simply recomputed, so a
+// run killed at any point — including mid-write — resumes to output
+// byte-identical to an uninterrupted run.
+//
+// File layout (all little-endian, via util/byteio):
+//   [magic u32][format version u32][stage u8][fingerprint u64]
+//   [section count u32]
+//   per section: [name len u32][name][payload len u64][payload]
+//                [payload crc32 u32]
+//   [file crc32 u32]  — over everything before it
+//   [end magic u32]
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/bview.hpp"
+#include "cluster/epm.hpp"
+#include "fault/injector.hpp"
+#include "honeypot/database.hpp"
+#include "honeypot/enrichment.hpp"
+#include "malware/landscape.hpp"
+
+namespace repro::snapshot {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x53'47'4e'53;  // "SNGS"
+inline constexpr std::uint32_t kSnapshotEndMagic = 0x44'4e'45'53;  // "SEND"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// The pipeline's checkpointable stage boundaries, in execution order.
+enum class Stage : std::uint8_t {
+  kLandscape = 1,   // ground truth built
+  kDatabase = 2,    // deployment run + enrichment done
+  kEpm = 3,         // E/P/M clustering done
+  kBehavioral = 4,  // behavioral clustering done
+};
+
+[[nodiscard]] std::string_view stage_name(Stage stage);
+/// Snapshot file name for a stage, e.g. "stage2-database.snap".
+[[nodiscard]] std::string stage_filename(Stage stage);
+
+/// One named payload inside a snapshot file.
+struct Section {
+  std::string name;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Serializes sections into the container format described above.
+[[nodiscard]] std::vector<std::uint8_t> encode_snapshot(
+    Stage stage, std::uint64_t fingerprint,
+    const std::vector<Section>& sections);
+
+/// Parsed container header + sections.
+struct DecodedSnapshot {
+  Stage stage = Stage::kLandscape;
+  std::uint64_t fingerprint = 0;
+  std::vector<Section> sections;
+};
+
+/// Validates magic, version, stage range, section structure and every
+/// CRC. Throws ParseError on any deviation — a truncated file or a
+/// single flipped bit never decodes.
+[[nodiscard]] DecodedSnapshot decode_snapshot(
+    std::span<const std::uint8_t> bytes);
+
+/// Thrown by the test seams below to simulate the process dying.
+class CheckpointInterrupted : public std::runtime_error {
+ public:
+  explicit CheckpointInterrupted(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+struct CheckpointOptions {
+  /// Directory the snapshots live in; empty disables checkpointing.
+  /// Created on first use.
+  std::string directory;
+  /// Test seam: throw CheckpointInterrupted right after the stage with
+  /// this number has been durably saved (0 = never). Simulates a crash
+  /// between stages.
+  int stop_after_stage = 0;
+  /// Test seam: abandon the temp file halfway through writing stage N
+  /// and throw CheckpointInterrupted (0 = never). Simulates a crash
+  /// mid-write; the partial ".tmp" must never be mistaken for a
+  /// snapshot on resume.
+  int short_write_stage = 0;
+};
+
+/// Post-deployment state bundled into the stage-2 snapshot. The fault
+/// report must travel with the database: on resume the injector is
+/// never re-exercised, so the counters can only come from the snapshot.
+struct DatabaseStage {
+  honeypot::EventDatabase db;
+  honeypot::EnrichmentStats enrichment;
+  fault::FaultReport fault_report;
+};
+
+/// The three clustering results of the stage-3 snapshot.
+struct EpmStage {
+  cluster::EpmResult e;
+  cluster::EpmResult p;
+  cluster::EpmResult m;
+};
+
+class CheckpointStore {
+ public:
+  /// `fingerprint` identifies the producing configuration; snapshots
+  /// carrying a different fingerprint are quarantined as stale.
+  CheckpointStore(CheckpointOptions options, std::uint64_t fingerprint);
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return !options_.directory.empty();
+  }
+
+  void save_landscape(const malware::Landscape& landscape);
+  [[nodiscard]] std::optional<malware::Landscape> load_landscape();
+
+  void save_database(const DatabaseStage& stage);
+  [[nodiscard]] std::optional<DatabaseStage> load_database();
+
+  void save_epm(const EpmStage& stage);
+  [[nodiscard]] std::optional<EpmStage> load_epm();
+
+  void save_behavioral(const analysis::BehavioralView& view);
+  [[nodiscard]] std::optional<analysis::BehavioralView> load_behavioral();
+
+  /// What the store did this run — lets callers (and tests) see whether
+  /// a stage was restored or recomputed, and whether files were thrown
+  /// out.
+  struct Activity {
+    std::size_t saved = 0;        // snapshots durably written
+    std::size_t restored = 0;     // stages loaded from disk
+    std::size_t quarantined = 0;  // corrupt/truncated files set aside
+    std::size_t stale = 0;        // of quarantined: fingerprint mismatch
+  };
+  [[nodiscard]] const Activity& activity() const noexcept {
+    return activity_;
+  }
+
+ private:
+  void save_stage(Stage stage, const std::vector<Section>& sections);
+  [[nodiscard]] std::optional<std::vector<Section>> load_stage(Stage stage);
+  void quarantine(const std::string& path, bool stale);
+
+  CheckpointOptions options_;
+  std::uint64_t fingerprint_ = 0;
+  Activity activity_;
+};
+
+}  // namespace repro::snapshot

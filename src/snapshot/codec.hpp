@@ -1,0 +1,55 @@
+// Binary codecs for the pipeline's stage-boundary state.
+//
+// Every structure that crosses a stage boundary of the paper pipeline
+// (ground-truth landscape, event database with enrichment, EPM results,
+// behavioral view, fault accounting) serializes to the little-endian
+// ByteWriter format and restores from a bounds-checked ByteReader.
+// Decoders validate enum ranges, optional flags and cross-references
+// and throw ParseError on anything malformed — never UB, never a
+// logic_error — so a corrupted snapshot that slipped past the container
+// CRCs still fails safely. Round-trip is exact: encode(decode(bytes))
+// reproduces `bytes`, which is what makes checkpoint resume
+// byte-deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/bview.hpp"
+#include "cluster/epm.hpp"
+#include "fault/injector.hpp"
+#include "honeypot/database.hpp"
+#include "honeypot/enrichment.hpp"
+#include "malware/landscape.hpp"
+#include "util/byteio.hpp"
+
+namespace repro::snapshot {
+
+// --- Ground truth -----------------------------------------------------------
+
+void write_landscape(ByteWriter& writer, const malware::Landscape& landscape);
+[[nodiscard]] malware::Landscape read_landscape(ByteReader& reader);
+
+// --- Observed dataset -------------------------------------------------------
+
+void write_database(ByteWriter& writer, const honeypot::EventDatabase& db);
+[[nodiscard]] honeypot::EventDatabase read_database(ByteReader& reader);
+
+void write_enrichment_stats(ByteWriter& writer,
+                            const honeypot::EnrichmentStats& stats);
+[[nodiscard]] honeypot::EnrichmentStats read_enrichment_stats(
+    ByteReader& reader);
+
+void write_fault_report(ByteWriter& writer, const fault::FaultReport& report);
+[[nodiscard]] fault::FaultReport read_fault_report(ByteReader& reader);
+
+// --- Clustering results -----------------------------------------------------
+
+void write_epm_result(ByteWriter& writer, const cluster::EpmResult& result);
+[[nodiscard]] cluster::EpmResult read_epm_result(ByteReader& reader);
+
+void write_behavioral_view(ByteWriter& writer,
+                           const analysis::BehavioralView& view);
+[[nodiscard]] analysis::BehavioralView read_behavioral_view(
+    ByteReader& reader);
+
+}  // namespace repro::snapshot

@@ -1,0 +1,34 @@
+#include "snapshot/crc32.hpp"
+
+#include <array>
+
+namespace repro::snapshot {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? 0xedb8'8320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t crc) noexcept {
+  std::uint32_t c = crc ^ 0xffff'ffffu;
+  for (const std::uint8_t byte : data) {
+    c = kTable[(c ^ byte) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffff'ffffu;
+}
+
+}  // namespace repro::snapshot

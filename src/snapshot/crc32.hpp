@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Snapshot files carry one CRC per section plus a whole-file trailer;
+// any single-bit flip anywhere in a snapshot is therefore detected
+// before a byte of it reaches a decoder.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace repro::snapshot {
+
+/// CRC-32 of `data`, continuing from `crc` (pass 0 to start; feeding
+/// chunks sequentially equals one call over the concatenation).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                  std::uint32_t crc = 0) noexcept;
+
+}  // namespace repro::snapshot

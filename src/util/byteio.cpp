@@ -46,7 +46,9 @@ void ByteWriter::align(std::size_t alignment) {
 }
 
 void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
-  if (offset + 4 > out_.size()) {
+  // Subtraction form: `offset + 4` could wrap for offsets near
+  // SIZE_MAX and sneak past the check.
+  if (out_.size() < 4 || offset > out_.size() - 4) {
     throw ParseError("ByteWriter::patch_u32: offset out of range");
   }
   out_[offset] = static_cast<std::uint8_t>(v & 0xff);
@@ -56,7 +58,9 @@ void ByteWriter::patch_u32(std::size_t offset, std::uint32_t v) {
 }
 
 void ByteReader::require(std::size_t count) const {
-  if (offset_ + count > data_.size()) {
+  // Subtraction form: `offset_ + count` could wrap for counts near
+  // SIZE_MAX (e.g. a corrupt length field) and sneak past the check.
+  if (count > data_.size() - offset_) {
     throw ParseError("ByteReader: read past end of data (offset " +
                      std::to_string(offset_) + " + " + std::to_string(count) +
                      " > " + std::to_string(data_.size()) + ")");

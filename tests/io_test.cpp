@@ -146,5 +146,47 @@ TEST(Import, EmptyInputThrows) {
   EXPECT_THROW(read_events_csv(empty), ParseError);
 }
 
+namespace {
+
+/// A header-plus-one-row CSV with the given event_id and dst_port
+/// fields spliced into an otherwise valid row.
+std::string one_row_csv(const std::string& event_id,
+                        const std::string& dst_port) {
+  std::stringstream good;
+  write_events_csv(good, dataset().db, dataset().e, dataset().p, dataset().m,
+                   dataset().b);
+  std::string header;
+  std::getline(good, header);
+  return header + "\n" + event_id +
+         ",2008-01-02T03:04:05Z,1.2.3.4,5.6.7.8,3," + dst_port +
+         ",S|E,Generic,cmd.exe,-1,epsilon,0,1,2,3,4\n";
+}
+
+}  // namespace
+
+TEST(Import, MalformedNumbersThrowParseError) {
+  // Regression: these used to leak std::invalid_argument /
+  // std::out_of_range from std::stoi instead of the documented
+  // ParseError.
+  for (const char* bad_id : {"abc", "12abc", "", "-1", "1.5",
+                             "99999999999999999999"}) {
+    std::stringstream stream{one_row_csv(bad_id, "445")};
+    EXPECT_THROW(read_events_csv(stream), ParseError) << bad_id;
+  }
+  for (const char* bad_port : {"port", "445x", "4.5",
+                               "99999999999999999999"}) {
+    std::stringstream stream{one_row_csv("7", bad_port)};
+    EXPECT_THROW(read_events_csv(stream), ParseError) << bad_port;
+  }
+}
+
+TEST(Import, EmptyOptionalFieldsKeepFallbacks) {
+  std::stringstream stream{one_row_csv("7", "")};
+  const auto records = read_events_csv(stream);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].event_id, 7u);
+  EXPECT_EQ(records[0].dst_port, 0);  // empty field falls back, no throw
+}
+
 }  // namespace
 }  // namespace repro::io

@@ -1,0 +1,495 @@
+// Tests for the snapshot subsystem: codec round-trips, container
+// integrity (CRC, truncation, bit flips), checkpoint durability and the
+// kill-resume guarantee (a run interrupted anywhere resumes to output
+// byte-identical to an uninterrupted run).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/csv_export.hpp"
+#include "scenario/paper.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "snapshot/codec.hpp"
+#include "snapshot/crc32.hpp"
+#include "util/byteio.hpp"
+#include "util/error.hpp"
+
+namespace repro::snapshot {
+namespace {
+
+namespace fs = std::filesystem;
+
+scenario::ScenarioOptions small_options() {
+  scenario::ScenarioOptions options;
+  options.scale = 0.03;
+  options.seed = 7;
+  return options;
+}
+
+/// One tiny shared dataset (no checkpointing) for codec tests and as
+/// the byte-identical baseline of the resume tests.
+const scenario::Dataset& dataset() {
+  static const scenario::Dataset ds =
+      scenario::build_paper_dataset(small_options());
+  return ds;
+}
+
+/// Every CSV artifact of a dataset concatenated — the observable output
+/// the kill-resume guarantee is stated over.
+std::string all_csv(const scenario::Dataset& ds) {
+  std::ostringstream out;
+  io::write_events_csv(out, ds.db, ds.e, ds.p, ds.m, ds.b);
+  io::write_samples_csv(out, ds.db, ds.b);
+  io::write_clusters_csv(out, ds.e);
+  io::write_clusters_csv(out, ds.p);
+  io::write_clusters_csv(out, ds.m);
+  io::write_profiles_jsonl(out, ds.db);
+  return out.str();
+}
+
+/// Fresh unique checkpoint directory under the test temp dir.
+fs::path fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::path{testing::TempDir()} / ("snap-" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// --- CRC-32 -----------------------------------------------------------------
+
+TEST(Crc32, KnownVector) {
+  const std::string check = "123456789";
+  const auto* data = reinterpret_cast<const std::uint8_t*>(check.data());
+  EXPECT_EQ(crc32({data, check.size()}), 0xcbf43926u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> bytes(301);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  const std::uint32_t one_shot = crc32(bytes);
+  const std::uint32_t split =
+      crc32(std::span{bytes}.subspan(100), crc32(std::span{bytes}.first(100)));
+  EXPECT_EQ(one_shot, split);
+}
+
+TEST(Crc32, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> bytes{1, 2, 3, 4, 5};
+  const std::uint32_t clean = crc32(bytes);
+  bytes[2] ^= 0x10;
+  EXPECT_NE(crc32(bytes), clean);
+}
+
+// --- Codec round-trips ------------------------------------------------------
+
+template <typename T, typename WriteFn, typename ReadFn>
+void expect_roundtrip(const T& value, WriteFn write, ReadFn read) {
+  ByteWriter writer;
+  write(writer, value);
+  const std::vector<std::uint8_t> first = writer.data();
+  ByteReader reader{first};
+  const T decoded = read(reader);
+  EXPECT_EQ(reader.remaining(), 0u);
+  ByteWriter again;
+  write(again, decoded);
+  EXPECT_EQ(again.data(), first);
+}
+
+TEST(Codec, LandscapeRoundTripsByteExactly) {
+  expect_roundtrip(dataset().landscape, write_landscape, read_landscape);
+}
+
+TEST(Codec, DatabaseRoundTripsByteExactly) {
+  expect_roundtrip(dataset().db, write_database, read_database);
+}
+
+TEST(Codec, DatabaseRestoreIsConsistent) {
+  ByteWriter writer;
+  write_database(writer, dataset().db);
+  ByteReader reader{writer.data()};
+  const honeypot::EventDatabase restored = read_database(reader);
+  EXPECT_NO_THROW(restored.check_consistency());
+  EXPECT_EQ(restored.events().size(), dataset().db.events().size());
+  EXPECT_EQ(restored.samples().size(), dataset().db.samples().size());
+  // The MD5 index must be rebuilt, not lost.
+  const std::string& md5 = dataset().db.samples().front().md5;
+  EXPECT_EQ(restored.find_by_md5(md5), dataset().db.find_by_md5(md5));
+}
+
+TEST(Codec, EnrichmentAndFaultReportRoundTrip) {
+  honeypot::EnrichmentStats stats;
+  stats.submitted = 11;
+  stats.executed = 7;
+  stats.failed = 3;
+  stats.parse_failures = 2;
+  stats.sandbox_faults = 1;
+  stats.label_gaps = 5;
+  expect_roundtrip(stats, write_enrichment_stats,
+                   [](ByteReader& r) { return read_enrichment_stats(r); });
+
+  fault::FaultReport report;
+  report.attacks_lost_to_outage = 4;
+  report.proxy_attempts = 9;
+  report.proxy_failures = 2;
+  report.proxy_retries = 1;
+  report.refinements_abandoned = 1;
+  report.proxy_backoff_seconds = -3;
+  report.downloads_refused = 6;
+  report.downloads_corrupted = 2;
+  report.sandbox_failures = 3;
+  report.av_label_gaps = 8;
+  ByteWriter writer;
+  write_fault_report(writer, report);
+  ByteReader reader{writer.data()};
+  const fault::FaultReport decoded = read_fault_report(reader);
+  EXPECT_EQ(decoded.proxy_backoff_seconds, -3);
+  EXPECT_EQ(decoded.av_label_gaps, 8u);
+  ByteWriter again;
+  write_fault_report(again, decoded);
+  EXPECT_EQ(again.data(), writer.data());
+}
+
+TEST(Codec, EpmResultsRoundTripByteExactly) {
+  for (const cluster::EpmResult* result :
+       {&dataset().e, &dataset().p, &dataset().m}) {
+    expect_roundtrip(*result, write_epm_result, read_epm_result);
+  }
+}
+
+TEST(Codec, EpmRestoreRebuildsDerivedState) {
+  ByteWriter writer;
+  write_epm_result(writer, dataset().e);
+  ByteReader reader{writer.data()};
+  const cluster::EpmResult restored = read_epm_result(reader);
+  EXPECT_EQ(restored.cluster_count(), dataset().e.cluster_count());
+  EXPECT_EQ(restored.members, dataset().e.members);
+  for (const honeypot::EventId id : dataset().e.event_ids) {
+    EXPECT_EQ(restored.cluster_of_event(id), dataset().e.cluster_of_event(id));
+  }
+}
+
+TEST(Codec, BehavioralViewRoundTripsByteExactly) {
+  expect_roundtrip(dataset().b, write_behavioral_view, read_behavioral_view);
+}
+
+TEST(Codec, BehavioralRestoreAnswersSameQueries) {
+  ByteWriter writer;
+  write_behavioral_view(writer, dataset().b);
+  ByteReader reader{writer.data()};
+  const analysis::BehavioralView restored = read_behavioral_view(reader);
+  EXPECT_EQ(restored.cluster_count(), dataset().b.cluster_count());
+  EXPECT_EQ(restored.singleton_count(), dataset().b.singleton_count());
+  for (honeypot::SampleId sample = 0;
+       sample < dataset().db.samples().size(); ++sample) {
+    EXPECT_EQ(restored.cluster_of_sample(sample),
+              dataset().b.cluster_of_sample(sample));
+  }
+}
+
+TEST(Codec, TruncatedPayloadThrowsParseError) {
+  ByteWriter writer;
+  write_enrichment_stats(writer, dataset().enrichment);
+  const std::vector<std::uint8_t>& full = writer.data();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    ByteReader reader{std::span{full}.first(cut)};
+    EXPECT_THROW((void)read_enrichment_stats(reader), ParseError);
+  }
+}
+
+TEST(Codec, TruncatedLandscapeNeverCrashes) {
+  ByteWriter writer;
+  write_landscape(writer, dataset().landscape);
+  const std::vector<std::uint8_t>& full = writer.data();
+  // Sparse sweep over a multi-hundred-KB payload.
+  for (std::size_t cut = 0; cut < full.size();
+       cut = cut * 2 + 13) {
+    ByteReader reader{std::span{full}.first(cut)};
+    EXPECT_THROW((void)read_landscape(reader), ParseError);
+  }
+}
+
+TEST(Codec, CorruptedPayloadFailsSafely) {
+  // Direct codec fuzz *below* the CRC layer: a flipped byte may decode
+  // to different content, but it must never crash and may only ever
+  // throw ParseError.
+  ByteWriter writer;
+  write_database(writer, dataset().db);
+  std::vector<std::uint8_t> bytes = writer.take();
+  for (std::size_t i = 0; i < bytes.size(); i += 211) {
+    std::vector<std::uint8_t> mutated = bytes;
+    mutated[i] ^= 0x40;
+    ByteReader reader{mutated};
+    try {
+      (void)read_database(reader);
+    } catch (const ParseError&) {
+      // Acceptable: the corruption was detected.
+    }
+  }
+}
+
+// --- Container format -------------------------------------------------------
+
+std::vector<Section> sample_sections() {
+  return {Section{"alpha", {1, 2, 3, 4, 5}},
+          Section{"beta", {}},
+          Section{"gamma", {0xff, 0x00, 0x7f}}};
+}
+
+TEST(Container, RoundTripPreservesSections) {
+  const std::vector<std::uint8_t> bytes =
+      encode_snapshot(Stage::kEpm, 0xfeedbeefULL, sample_sections());
+  const DecodedSnapshot decoded = decode_snapshot(bytes);
+  EXPECT_EQ(decoded.stage, Stage::kEpm);
+  EXPECT_EQ(decoded.fingerprint, 0xfeedbeefULL);
+  ASSERT_EQ(decoded.sections.size(), 3u);
+  EXPECT_EQ(decoded.sections[0].name, "alpha");
+  EXPECT_EQ(decoded.sections[0].payload,
+            (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(decoded.sections[1].name, "beta");
+  EXPECT_TRUE(decoded.sections[1].payload.empty());
+  EXPECT_EQ(decoded.sections[2].payload,
+            (std::vector<std::uint8_t>{0xff, 0x00, 0x7f}));
+}
+
+TEST(Container, EveryTruncationIsRejected) {
+  const std::vector<std::uint8_t> bytes =
+      encode_snapshot(Stage::kDatabase, 42, sample_sections());
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_THROW((void)decode_snapshot(std::span{bytes}.first(cut)),
+                 ParseError)
+        << "prefix length " << cut << " decoded";
+  }
+}
+
+TEST(Container, EverySingleBitFlipIsRejected) {
+  const std::vector<std::uint8_t> bytes =
+      encode_snapshot(Stage::kLandscape, 7, sample_sections());
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<std::uint8_t> mutated = bytes;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_THROW((void)decode_snapshot(mutated), ParseError)
+          << "flip of bit " << bit << " in byte " << byte << " decoded";
+    }
+  }
+}
+
+TEST(Container, RejectsWrongVersion) {
+  std::vector<std::uint8_t> bytes =
+      encode_snapshot(Stage::kLandscape, 7, sample_sections());
+  // Bump the version field (offset 4) and fix up the trailer CRC so
+  // only the version check can object.
+  bytes[4] = 9;
+  const std::uint32_t fixed =
+      crc32(std::span{bytes}.first(bytes.size() - 8));
+  for (int i = 0; i < 4; ++i) {
+    bytes[bytes.size() - 8 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(fixed >> (8 * i));
+  }
+  EXPECT_THROW((void)decode_snapshot(bytes), ParseError);
+}
+
+// --- CheckpointStore --------------------------------------------------------
+
+TEST(Store, DisabledStoreIsInert) {
+  CheckpointStore store{CheckpointOptions{}, 1};
+  EXPECT_FALSE(store.enabled());
+  store.save_landscape(dataset().landscape);
+  EXPECT_FALSE(store.load_landscape().has_value());
+  EXPECT_EQ(store.activity().saved, 0u);
+}
+
+TEST(Store, SaveThenLoadRestores) {
+  const fs::path dir = fresh_dir("save-load");
+  CheckpointStore writer{CheckpointOptions{dir.string()}, 99};
+  writer.save_landscape(dataset().landscape);
+  EXPECT_TRUE(fs::exists(dir / stage_filename(Stage::kLandscape)));
+
+  CheckpointStore reader{CheckpointOptions{dir.string()}, 99};
+  const auto loaded = reader.load_landscape();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->variants.size(), dataset().landscape.variants.size());
+  EXPECT_EQ(reader.activity().restored, 1u);
+}
+
+TEST(Store, StaleFingerprintIsQuarantinedNotLoaded) {
+  const fs::path dir = fresh_dir("stale");
+  CheckpointStore writer{CheckpointOptions{dir.string()}, 1000};
+  writer.save_landscape(dataset().landscape);
+
+  CheckpointStore reader{CheckpointOptions{dir.string()}, 2000};
+  EXPECT_FALSE(reader.load_landscape().has_value());
+  EXPECT_EQ(reader.activity().stale, 1u);
+  EXPECT_EQ(reader.activity().quarantined, 1u);
+  EXPECT_FALSE(fs::exists(dir / stage_filename(Stage::kLandscape)));
+  EXPECT_TRUE(fs::exists(
+      dir / (stage_filename(Stage::kLandscape) + ".quarantined")));
+}
+
+TEST(Store, CorruptFileIsQuarantinedNotLoaded) {
+  const fs::path dir = fresh_dir("corrupt");
+  CheckpointStore writer{CheckpointOptions{dir.string()}, 5};
+  writer.save_landscape(dataset().landscape);
+
+  // Flip one byte in the middle of the file.
+  const fs::path path = dir / stage_filename(Stage::kLandscape);
+  std::fstream file{path, std::ios::in | std::ios::out | std::ios::binary};
+  file.seekp(static_cast<std::streamoff>(fs::file_size(path) / 2));
+  file.put('\x7e');
+  file.close();
+
+  CheckpointStore reader{CheckpointOptions{dir.string()}, 5};
+  EXPECT_FALSE(reader.load_landscape().has_value());
+  EXPECT_EQ(reader.activity().quarantined, 1u);
+  EXPECT_EQ(reader.activity().stale, 0u);
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(Store, GarbageFileIsQuarantinedNotLoaded) {
+  const fs::path dir = fresh_dir("garbage");
+  {
+    std::ofstream out{dir / stage_filename(Stage::kDatabase),
+                      std::ios::binary};
+    out << "not a snapshot at all";
+  }
+  CheckpointStore store{CheckpointOptions{dir.string()}, 5};
+  EXPECT_FALSE(store.load_database().has_value());
+  EXPECT_EQ(store.activity().quarantined, 1u);
+}
+
+// --- Kill-resume torture ----------------------------------------------------
+
+/// Runs the pipeline with the given kill seam, expecting it to die,
+/// then resumes in the same directory and returns the finished dataset.
+scenario::Dataset killed_then_resumed(const fs::path& dir,
+                                      int stop_after_stage,
+                                      int short_write_stage) {
+  scenario::ScenarioOptions killed = small_options();
+  killed.checkpoint.directory = dir.string();
+  killed.checkpoint.stop_after_stage = stop_after_stage;
+  killed.checkpoint.short_write_stage = short_write_stage;
+  EXPECT_THROW((void)scenario::build_paper_dataset(killed),
+               CheckpointInterrupted);
+
+  scenario::ScenarioOptions resumed = small_options();
+  resumed.checkpoint.directory = dir.string();
+  return scenario::build_paper_dataset(resumed);
+}
+
+TEST(Resume, KilledAfterEachStageResumesByteIdentical) {
+  const std::string baseline = all_csv(dataset());
+  for (int stage = 1; stage <= 4; ++stage) {
+    const fs::path dir =
+        fresh_dir("kill-after-" + std::to_string(stage));
+    const scenario::Dataset resumed =
+        killed_then_resumed(dir, /*stop_after_stage=*/stage,
+                            /*short_write_stage=*/0);
+    EXPECT_EQ(all_csv(resumed), baseline) << "killed after stage " << stage;
+    // The stages completed before the kill were restored, not rebuilt.
+    EXPECT_EQ(resumed.checkpoint_activity.restored,
+              static_cast<std::size_t>(stage))
+        << "killed after stage " << stage;
+    EXPECT_EQ(resumed.fault_report.proxy_attempts,
+              dataset().fault_report.proxy_attempts);
+  }
+}
+
+TEST(Resume, KilledMidWriteResumesByteIdentical) {
+  const std::string baseline = all_csv(dataset());
+  for (int stage = 1; stage <= 4; ++stage) {
+    const fs::path dir = fresh_dir("kill-mid-" + std::to_string(stage));
+    const scenario::Dataset resumed =
+        killed_then_resumed(dir, /*stop_after_stage=*/0,
+                            /*short_write_stage=*/stage);
+    EXPECT_EQ(all_csv(resumed), baseline) << "killed mid-write of stage "
+                                          << stage;
+    // The interrupted stage only left a ".tmp" file, so everything
+    // before it was restored and it was recomputed.
+    EXPECT_EQ(resumed.checkpoint_activity.restored,
+              static_cast<std::size_t>(stage - 1))
+        << "killed mid-write of stage " << stage;
+  }
+}
+
+TEST(Resume, RepeatedKillsStillConverge) {
+  const fs::path dir = fresh_dir("kill-repeat");
+  // Die after stage 1, then after stage 2 (resuming stage 1), then
+  // mid-write of stage 4 (resuming 1-3), then finish.
+  for (const auto [stop, short_write] :
+       {std::pair{1, 0}, std::pair{2, 0}, std::pair{0, 4}}) {
+    scenario::ScenarioOptions options = small_options();
+    options.checkpoint.directory = dir.string();
+    options.checkpoint.stop_after_stage = stop;
+    options.checkpoint.short_write_stage = short_write;
+    EXPECT_THROW((void)scenario::build_paper_dataset(options),
+                 CheckpointInterrupted);
+  }
+  scenario::ScenarioOptions options = small_options();
+  options.checkpoint.directory = dir.string();
+  const scenario::Dataset resumed = scenario::build_paper_dataset(options);
+  EXPECT_EQ(all_csv(resumed), all_csv(dataset()));
+}
+
+TEST(Resume, CompletedRunRestoresEverythingOnRerun) {
+  const fs::path dir = fresh_dir("full-restore");
+  scenario::ScenarioOptions options = small_options();
+  options.checkpoint.directory = dir.string();
+  const scenario::Dataset first = scenario::build_paper_dataset(options);
+  EXPECT_EQ(first.checkpoint_activity.saved, 4u);
+  EXPECT_EQ(first.checkpoint_activity.restored, 0u);
+
+  const scenario::Dataset second = scenario::build_paper_dataset(options);
+  EXPECT_EQ(second.checkpoint_activity.restored, 4u);
+  EXPECT_EQ(second.checkpoint_activity.saved, 0u);
+  EXPECT_EQ(all_csv(second), all_csv(dataset()));
+}
+
+TEST(Resume, DifferentOptionsRejectExistingCheckpoints) {
+  const fs::path dir = fresh_dir("option-change");
+  scenario::ScenarioOptions options = small_options();
+  options.checkpoint.directory = dir.string();
+  (void)scenario::build_paper_dataset(options);
+
+  // Same directory, different seed: nothing may be reused.
+  scenario::ScenarioOptions other = small_options();
+  other.seed = 8;
+  other.checkpoint.directory = dir.string();
+  const scenario::Dataset rebuilt = scenario::build_paper_dataset(other);
+  EXPECT_EQ(rebuilt.checkpoint_activity.restored, 0u);
+  EXPECT_EQ(rebuilt.checkpoint_activity.stale, 4u);
+  EXPECT_EQ(rebuilt.checkpoint_activity.saved, 4u);
+
+  scenario::ScenarioOptions baseline_other = small_options();
+  baseline_other.seed = 8;
+  EXPECT_EQ(all_csv(rebuilt),
+            all_csv(scenario::build_paper_dataset(baseline_other)));
+}
+
+TEST(Resume, QuarantinedStageFallsBackToRecompute) {
+  const fs::path dir = fresh_dir("quarantine-fallback");
+  scenario::ScenarioOptions options = small_options();
+  options.checkpoint.directory = dir.string();
+  (void)scenario::build_paper_dataset(options);
+
+  // Corrupt the stage-2 snapshot; stages 1, 3 and 4 stay intact.
+  const fs::path path = dir / stage_filename(Stage::kDatabase);
+  std::fstream file{path, std::ios::in | std::ios::out | std::ios::binary};
+  file.seekp(static_cast<std::streamoff>(fs::file_size(path) / 3));
+  file.put('\x55');
+  file.close();
+
+  const scenario::Dataset resumed = scenario::build_paper_dataset(options);
+  EXPECT_EQ(resumed.checkpoint_activity.quarantined, 1u);
+  EXPECT_EQ(resumed.checkpoint_activity.restored, 3u);
+  EXPECT_EQ(resumed.checkpoint_activity.saved, 1u);  // stage 2 rewritten
+  EXPECT_EQ(all_csv(resumed), all_csv(dataset()));
+}
+
+}  // namespace
+}  // namespace repro::snapshot

@@ -421,6 +421,36 @@ TEST(ByteIo, PatchU32) {
   EXPECT_THROW(w.patch_u32(5, 1), ParseError);
 }
 
+TEST(ByteIo, HugeCountsThrowInsteadOfWrapping) {
+  // Regression: `offset_ + count` overflows std::size_t for counts near
+  // SIZE_MAX, which used to make the bounds check pass and hand out a
+  // wild span. Every access path must reject such counts cleanly.
+  const std::vector<std::uint8_t> data{1, 2, 3, 4};
+  ByteReader r{data};
+  r.u8();  // non-zero offset makes the additive form wrap
+  EXPECT_THROW((void)r.bytes(SIZE_MAX), ParseError);
+  EXPECT_THROW((void)r.bytes(SIZE_MAX - 1), ParseError);
+  EXPECT_THROW((void)r.fixed_text(SIZE_MAX), ParseError);
+  EXPECT_THROW(r.skip(SIZE_MAX), ParseError);
+  EXPECT_EQ(r.remaining(), 3u);  // reader unchanged after rejections
+  EXPECT_EQ(r.u8(), 2);
+}
+
+TEST(ByteIo, PatchU32OverflowOffsetsThrow) {
+  ByteWriter empty;
+  EXPECT_THROW(empty.patch_u32(0, 1), ParseError);
+
+  ByteWriter w;
+  w.u32(0);
+  // `offset + 4` wraps to a small value for offsets near SIZE_MAX; the
+  // check must reject them rather than scribble out of bounds.
+  EXPECT_THROW(w.patch_u32(SIZE_MAX, 1), ParseError);
+  EXPECT_THROW(w.patch_u32(SIZE_MAX - 3, 1), ParseError);
+  w.patch_u32(0, 5);  // in-range patch still works
+  ByteReader r{w.data()};
+  EXPECT_EQ(r.u32(), 5u);
+}
+
 // ------------------------------------------------------------------- table
 
 TEST(Table, RendersAlignedColumns) {
