@@ -16,16 +16,17 @@
 #include "report/reports.hpp"
 #include "scenario/paper.hpp"
 #include "util/error.hpp"
+#include "util/parse.hpp"
 
 namespace repro::bench {
 
 inline scenario::ScenarioOptions options_from_env() {
   scenario::ScenarioOptions options;
   if (const char* scale = std::getenv("REPRO_BENCH_SCALE")) {
-    options.scale = std::stod(scale);
+    options.scale = parse_f64(scale, "REPRO_BENCH_SCALE");
   }
   if (const char* seed = std::getenv("REPRO_BENCH_SEED")) {
-    options.seed = std::stoull(seed);
+    options.seed = parse_u64(seed, "REPRO_BENCH_SEED");
   }
   if (const char* faults = std::getenv("REPRO_BENCH_FAULTS")) {
     const std::string mode = faults;

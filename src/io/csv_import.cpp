@@ -1,9 +1,9 @@
 #include "io/csv_import.hpp"
 
-#include <charconv>
 #include <istream>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
 
 namespace repro::io {
 
@@ -44,29 +44,12 @@ std::vector<std::string> parse_csv_row(std::string_view line) {
 
 namespace {
 
-/// Strict numeric field parsing: the whole field must be one in-range
-/// number. Anything else — letters, trailing garbage, overflow — is
-/// malformed external input and throws ParseError (never the raw
-/// std::invalid_argument/out_of_range that std::stoi would leak).
-template <typename T>
-T parse_number(const std::string& field, const char* what) {
-  T value{};
-  const auto [ptr, ec] =
-      std::from_chars(field.data(), field.data() + field.size(), value);
-  if (ec == std::errc::result_out_of_range) {
-    throw ParseError(std::string{"read_events_csv: "} + what +
-                     " out of range: '" + field + "'");
-  }
-  if (ec != std::errc{} || ptr != field.data() + field.size()) {
-    throw ParseError(std::string{"read_events_csv: malformed "} + what +
-                     ": '" + field + "'");
-  }
-  return value;
-}
-
+// Strict numeric field parsing lives in util/parse.hpp: the whole field
+// must be one in-range number, anything else throws ParseError (never
+// the raw std::invalid_argument/out_of_range that std::stoi would leak).
 int to_int_or(const std::string& field, int fallback) {
   if (field.empty()) return fallback;
-  return parse_number<int>(field, "integer field");
+  return parse_i32(field, "read_events_csv: integer field");
 }
 
 }  // namespace
@@ -89,7 +72,7 @@ std::vector<EventRecord> read_events_csv(std::istream& is) {
                        std::to_string(records.size() + 1));
     }
     EventRecord record;
-    record.event_id = parse_number<std::uint64_t>(fields[0], "event_id");
+    record.event_id = parse_u64(fields[0], "read_events_csv: event_id");
     record.time = fields[1];
     record.attacker = fields[2];
     record.honeypot = fields[3];

@@ -1,8 +1,12 @@
 #include "net/ipv4.hpp"
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
+#include "util/strings.hpp"
 
 namespace repro::net {
 
@@ -14,19 +18,18 @@ std::string Ipv4::to_string() const {
 }
 
 Ipv4 Ipv4::parse(std::string_view text) {
-  unsigned a = 0;
-  unsigned b = 0;
-  unsigned c = 0;
-  unsigned d = 0;
-  char tail = 0;
-  const std::string owned{text};
-  const int matched =
-      std::sscanf(owned.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail);
-  if (matched != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
-    throw ParseError("Ipv4::parse: malformed address '" + owned + "'");
+  const std::vector<std::string> octets = split(text, '.');
+  if (octets.size() != 4) {
+    throw ParseError("Ipv4::parse: malformed address '" + std::string{text} +
+                     "'");
   }
-  return Ipv4{static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
-              static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d)};
+  try {
+    return Ipv4{parse_u8(octets[0], "octet"), parse_u8(octets[1], "octet"),
+                parse_u8(octets[2], "octet"), parse_u8(octets[3], "octet")};
+  } catch (const ParseError&) {
+    throw ParseError("Ipv4::parse: malformed address '" + std::string{text} +
+                     "'");
+  }
 }
 
 }  // namespace repro::net

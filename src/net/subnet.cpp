@@ -1,6 +1,7 @@
 #include "net/subnet.hpp"
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
 
 namespace repro::net {
 
@@ -20,8 +21,8 @@ Subnet Subnet::parse(std::string_view text) {
   const Ipv4 base = Ipv4::parse(text.substr(0, slash));
   int prefix = 0;
   try {
-    prefix = std::stoi(std::string{text.substr(slash + 1)});
-  } catch (const std::exception&) {
+    prefix = parse_i32(text.substr(slash + 1), "prefix");
+  } catch (const ParseError&) {
     throw ParseError("Subnet::parse: malformed prefix in '" +
                      std::string{text} + "'");
   }

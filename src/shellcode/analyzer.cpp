@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "util/error.hpp"
+#include "util/parse.hpp"
 #include "util/strings.hpp"
 
 namespace repro::shellcode {
@@ -18,10 +20,19 @@ bool parse_host_port(const std::string& text, DownloadIntent& intent) {
   if (colon == std::string::npos) return false;
   try {
     intent.host = net::Ipv4::parse(text.substr(0, colon));
-    const int port = std::stoi(text.substr(colon + 1));
-    if (port < 0 || port > 65535) return false;
-    intent.port = static_cast<std::uint16_t>(port);
-  } catch (const std::exception&) {
+    intent.port = parse_u16(text.substr(colon + 1), "port");
+  } catch (const ParseError&) {
+    return false;
+  }
+  return true;
+}
+
+/// Parses a bare decimal port; returns false on garbage or overflow
+/// (e.g. "99999", which std::stoi used to truncate into uint16_t).
+bool parse_port(const std::string& text, DownloadIntent& intent) {
+  try {
+    intent.port = parse_u16(text, "port");
+  } catch (const ParseError&) {
     return false;
   }
   return true;
@@ -37,12 +48,12 @@ std::optional<DownloadIntent> parse_body(const std::string& body) {
   const std::string& command = tokens[1];
   if (command == "BIND" && tokens.size() == 4) {
     intent.protocol = Protocol::kBind;
-    intent.port = static_cast<std::uint16_t>(std::stoi(tokens[2]));
+    if (!parse_port(tokens[2], intent)) return std::nullopt;
     return intent;
   }
   if (command == "CSEND" && tokens.size() == 4) {
     intent.protocol = Protocol::kCsend;
-    intent.port = static_cast<std::uint16_t>(std::stoi(tokens[2]));
+    if (!parse_port(tokens[2], intent)) return std::nullopt;
     return intent;
   }
   if (command == "CBCK" && tokens.size() == 4) {

@@ -21,8 +21,8 @@ namespace {
 namespace fs = std::filesystem;
 
 [[noreturn]] void throw_io(const std::string& action, const std::string& path) {
-  throw std::runtime_error("checkpoint: cannot " + action + " " + path + ": " +
-                           std::strerror(errno));
+  throw IoError("checkpoint: cannot " + action + " " + path + ": " +
+                std::strerror(errno));
 }
 
 /// Writes `bytes` to `path` atomically and durably: the data goes to

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "util/error.hpp"
+#include "util/sorted.hpp"
 
 namespace repro::snapshot {
 
@@ -776,10 +777,7 @@ void write_epm_result(ByteWriter& writer, const cluster::EpmResult& result) {
        ++feature) {
     // The table stores values unordered; serialize sorted so identical
     // results produce identical snapshot bytes.
-    std::vector<std::string> values{result.invariants.values(feature).begin(),
-                                    result.invariants.values(feature).end()};
-    std::sort(values.begin(), values.end());
-    put_string_vector(writer, values);
+    put_string_vector(writer, sorted_keys(result.invariants.values(feature)));
   }
   writer.u64(result.patterns.size());
   for (const cluster::Pattern& pattern : result.patterns) {

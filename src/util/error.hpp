@@ -25,4 +25,12 @@ class ConfigError : public std::logic_error {
   explicit ConfigError(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Raised when the operating system refuses an I/O operation (open,
+/// write, fsync, rename). Environment-dependent and retryable, unlike
+/// ParseError which indicates the bytes themselves are bad.
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
 }  // namespace repro

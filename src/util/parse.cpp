@@ -1,0 +1,59 @@
+#include "util/parse.hpp"
+
+#include <charconv>
+#include <string>
+#include <system_error>
+
+#include "util/error.hpp"
+
+namespace repro {
+
+namespace {
+
+template <typename T>
+T parse_number(std::string_view text, std::string_view what) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    throw ParseError(std::string{what} + " out of range: '" +
+                     std::string{text} + "'");
+  }
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw ParseError("malformed " + std::string{what} + ": '" +
+                     std::string{text} + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::uint8_t parse_u8(std::string_view text, std::string_view what) {
+  return parse_number<std::uint8_t>(text, what);
+}
+
+std::uint16_t parse_u16(std::string_view text, std::string_view what) {
+  return parse_number<std::uint16_t>(text, what);
+}
+
+std::uint32_t parse_u32(std::string_view text, std::string_view what) {
+  return parse_number<std::uint32_t>(text, what);
+}
+
+std::uint64_t parse_u64(std::string_view text, std::string_view what) {
+  return parse_number<std::uint64_t>(text, what);
+}
+
+std::int32_t parse_i32(std::string_view text, std::string_view what) {
+  return parse_number<std::int32_t>(text, what);
+}
+
+std::int64_t parse_i64(std::string_view text, std::string_view what) {
+  return parse_number<std::int64_t>(text, what);
+}
+
+double parse_f64(std::string_view text, std::string_view what) {
+  return parse_number<double>(text, what);
+}
+
+}  // namespace repro

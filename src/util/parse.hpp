@@ -1,0 +1,29 @@
+// Checked numeric parsing for externally supplied text.
+//
+// Every helper parses the WHOLE string or throws ParseError with the
+// caller-supplied context — no silent prefixes ("12abc" -> 12), no
+// leaked std::invalid_argument/std::out_of_range, no unchecked
+// narrowing. repro-lint rule RL001 bans the std::stoi/atoi/sscanf
+// family across src/ in favor of these wrappers.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace repro {
+
+[[nodiscard]] std::uint8_t parse_u8(std::string_view text,
+                                    std::string_view what);
+[[nodiscard]] std::uint16_t parse_u16(std::string_view text,
+                                      std::string_view what);
+[[nodiscard]] std::uint32_t parse_u32(std::string_view text,
+                                      std::string_view what);
+[[nodiscard]] std::uint64_t parse_u64(std::string_view text,
+                                      std::string_view what);
+[[nodiscard]] std::int32_t parse_i32(std::string_view text,
+                                     std::string_view what);
+[[nodiscard]] std::int64_t parse_i64(std::string_view text,
+                                     std::string_view what);
+[[nodiscard]] double parse_f64(std::string_view text, std::string_view what);
+
+}  // namespace repro

@@ -1,8 +1,11 @@
 #include "util/simtime.hpp"
 
 #include <cstdio>
+#include <vector>
 
 #include "util/error.hpp"
+#include "util/parse.hpp"
+#include "util/strings.hpp"
 
 namespace repro {
 
@@ -48,13 +51,22 @@ Date to_date(SimTime time) noexcept {
 }
 
 SimTime parse_date(std::string_view text) {
+  const std::vector<std::string> parts = split(text, '-');
   int y = 0;
   int m = 0;
   int d = 0;
-  const std::string owned{text};
-  if (std::sscanf(owned.c_str(), "%d-%d-%d", &y, &m, &d) != 3 || m < 1 ||
-      m > 12 || d < 1 || d > 31) {
-    throw ParseError("parse_date: expected YYYY-MM-DD, got '" + owned + "'");
+  try {
+    if (parts.size() != 3) throw ParseError("wrong field count");
+    y = parse_i32(parts[0], "year");
+    m = parse_i32(parts[1], "month");
+    d = parse_i32(parts[2], "day");
+  } catch (const ParseError&) {
+    throw ParseError("parse_date: expected YYYY-MM-DD, got '" +
+                     std::string{text} + "'");
+  }
+  if (m < 1 || m > 12 || d < 1 || d > 31) {
+    throw ParseError("parse_date: expected YYYY-MM-DD, got '" +
+                     std::string{text} + "'");
   }
   return from_date(Date{y, m, d});
 }

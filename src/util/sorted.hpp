@@ -1,0 +1,49 @@
+// Deterministic views over unordered associative containers.
+//
+// Iteration order of unordered_map/unordered_set depends on the hash
+// seed, bucket count and insertion history, so letting it reach any
+// serialized artifact (CSV exports, reports, snapshots) silently breaks
+// the bit-reproducibility the pipeline guarantees. repro-lint rule
+// RL003 bans range-for over unordered containers on export paths; these
+// helpers are the sanctioned escape hatch — copy once, sort, iterate.
+#pragma once
+
+#include <algorithm>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace repro {
+
+/// The container's keys, sorted ascending. Works for both map-like
+/// (pair values) and set-like (key values) containers.
+template <typename Assoc>
+[[nodiscard]] std::vector<typename Assoc::key_type> sorted_keys(
+    const Assoc& assoc) {
+  std::vector<typename Assoc::key_type> keys;
+  keys.reserve(assoc.size());
+  for (auto it = assoc.begin(); it != assoc.end(); ++it) {
+    if constexpr (std::is_same_v<typename Assoc::value_type,
+                                 typename Assoc::key_type>) {
+      keys.push_back(*it);
+    } else {
+      keys.push_back(it->first);
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// The map's (key, value) pairs as a vector sorted by key.
+template <typename Map>
+[[nodiscard]] std::vector<
+    std::pair<typename Map::key_type, typename Map::mapped_type>>
+sorted_items(const Map& map) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      items{map.begin(), map.end()};
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+}  // namespace repro

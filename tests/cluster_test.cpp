@@ -513,8 +513,8 @@ TEST(Metrics, CountsClusters) {
 }
 
 TEST(Metrics, ErrorsOnBadInput) {
-  EXPECT_THROW(evaluate_clustering({0, 1}, {0}), ConfigError);
-  EXPECT_THROW(evaluate_clustering({}, {}), ConfigError);
+  EXPECT_THROW((void)evaluate_clustering({0, 1}, {0}), ConfigError);
+  EXPECT_THROW((void)evaluate_clustering({}, {}), ConfigError);
 }
 
 // ---------------------------------------------------------------- features

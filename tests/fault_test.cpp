@@ -508,8 +508,12 @@ void check_pipeline_invariants(const PipelineRun& run) {
 
   // Sample-level degradation flags.
   for (const honeypot::MalwareSample& sample : run.db.samples()) {
-    if (!sample.intact()) ASSERT_FALSE(sample.profile.has_value());
-    if (sample.label_missing) ASSERT_TRUE(sample.av_label.empty());
+    if (!sample.intact()) {
+      ASSERT_FALSE(sample.profile.has_value());
+    }
+    if (sample.label_missing) {
+      ASSERT_TRUE(sample.av_label.empty());
+    }
   }
 
   // Every clustering is a partition of its (possibly reduced) rows.
@@ -595,7 +599,9 @@ TEST(FaultChaos, RandomPlansNeverBreakThePipeline) {
       (void)report::degradation(injector.report(), run.db, run.enrichment);
       // Healing re-executions never resurrect damaged samples.
       for (const honeypot::MalwareSample& sample : run.db.samples()) {
-        if (!sample.intact()) ASSERT_FALSE(sample.profile.has_value());
+        if (!sample.intact()) {
+          ASSERT_FALSE(sample.profile.has_value());
+        }
       }
     }) << "iteration " << iteration;
   }

@@ -382,7 +382,9 @@ TEST(Enrichment, ProfilesForExecutableSamplesOnly) {
   for (const MalwareSample& sample : db.samples()) {
     EXPECT_EQ(sample.profile.has_value(), !sample.truncated);
     EXPECT_FALSE(sample.av_label.empty());
-    if (sample.truncated) EXPECT_EQ(sample.av_label, "(corrupted)");
+    if (sample.truncated) {
+      EXPECT_EQ(sample.av_label, "(corrupted)");
+    }
   }
   EXPECT_EQ(db.analyzable_sample_count(), stats.executed);
 }

@@ -1,0 +1,22 @@
+// Golden corpus: the sanctioned idioms — checked parsing, ordered
+// containers on export paths, typed errors. Zero diagnostics expected.
+// Never compiled; consumed by tests/lint_test.cpp.
+#include <charconv>
+#include <map>
+#include <string>
+#include <vector>
+
+int checked_parse(const std::string& text) {
+  int value = 0;
+  std::from_chars(text.data(), text.data() + text.size(), value);
+  return value;
+}
+
+std::vector<std::string> export_sorted(
+    const std::map<std::string, int>& counts) {
+  std::vector<std::string> out;
+  for (const auto& [label, count] : counts) {
+    if (count > 0) out.push_back(label);
+  }
+  return out;
+}

@@ -1,0 +1,22 @@
+// Golden corpus: RL005 — floating-point equality in clustering
+// metrics. This file lives under a directory named cluster/ (mirroring
+// src/cluster), which the rule keys on: similarity scores are
+// input-perturbation-fragile, so exact == silently flips clusters.
+// Never compiled; consumed by tests/lint_test.cpp.
+#include <cstddef>
+
+double jaccard(double intersection, double unions) {
+  if (unions == 0.0) return 1.0;  // expect(RL005)
+  return intersection / unions;
+}
+
+bool scores_tie(double a, double b) {
+  return a == b;  // expect(RL005)
+}
+
+bool score_is_new(float score, float previous) {
+  return score != previous;  // expect(RL005)
+}
+
+// Integer equality stays legal:
+bool is_empty(std::size_t n) { return n == 0; }

@@ -1,0 +1,28 @@
+// Golden corpus: RL003 — unordered iteration on an export path. This
+// file lives under a directory named io/ (mirroring src/io), which the
+// rule keys on: hash-seed-dependent iteration order would leak into
+// serialized output. Never compiled; consumed by tests/lint_test.cpp.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+std::vector<std::string> export_labels(
+    const std::unordered_map<std::string, int>& counts,
+    const std::unordered_set<std::string>& seen) {
+  std::vector<std::string> out;
+  for (const auto& [label, count] : counts) {  // expect(RL003)
+    if (count > 0) out.push_back(label);
+  }
+  for (const std::string& label : seen) {  // expect(RL003)
+    out.push_back(label);
+  }
+  return out;
+}
+
+// Iterating a vector, or a sorted copy, is the sanctioned pattern:
+std::size_t count_rows(const std::vector<std::string>& rows) {
+  std::size_t total = 0;
+  for (const std::string& row : rows) total += row.size();
+  return total;
+}

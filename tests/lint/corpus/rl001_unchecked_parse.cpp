@@ -1,0 +1,30 @@
+// Golden corpus: RL001 — unchecked numeric parsing. Each marked line
+// reproduces the defect class repro-lint exists to catch: std::stoi
+// accepts "12abc" as 12 and leaks std::invalid_argument/out_of_range
+// on hostile input. Never compiled; consumed by tests/lint_test.cpp.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+int parse_port(const std::string& text) {
+  return std::stoi(text);  // expect(RL001)
+}
+
+long parse_offset(const char* text) {
+  return atol(text);  // expect(RL001)
+}
+
+double parse_scale(const std::string& text) {
+  return std::stod(text);  // expect(RL001)
+}
+
+unsigned parse_pair(const char* text) {
+  unsigned a = 0;
+  unsigned b = 0;
+  std::sscanf(text, "%u.%u", &a, &b);  // expect(RL001)
+  return a + b;
+}
+
+// Mentions inside strings and comments are data, not calls:
+const char* kDoc = "legacy importers used std::stoi(text) here";
+// std::stoi(text) discussed in a comment must not trip the rule.

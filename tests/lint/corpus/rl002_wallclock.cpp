@@ -1,0 +1,32 @@
+// Golden corpus: RL002 — wall-clock / global-RNG nondeterminism. Any
+// of these makes two runs of the pipeline diverge, which breaks the
+// byte-identical guarantee snapshots and exports rely on. Never
+// compiled; consumed by tests/lint_test.cpp.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long stamp_now() {
+  return std::time(nullptr);  // expect(RL002)
+}
+
+int roll_dice() {
+  return std::rand();  // expect(RL002)
+}
+
+unsigned hardware_seed() {
+  std::random_device device;  // expect(RL002)
+  return device();
+}
+
+long long monotonic_now() {
+  const auto t0 = std::chrono::steady_clock::now();  // expect(RL002)
+  return t0.time_since_epoch().count();
+}
+
+// A data member named `time` is not the libc call:
+struct Event {
+  long time;
+};
+long event_time(const Event& event) { return event.time; }

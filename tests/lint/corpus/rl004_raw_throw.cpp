@@ -1,0 +1,25 @@
+// Golden corpus: RL004 — raw std:: exception throws. Parse boundaries
+// across the repo dispatch on repro::ParseError / ConfigError /
+// IoError; a raw std::runtime_error sails past those handlers exactly
+// like the std::stoi leaks this tool bans. Never compiled; consumed by
+// tests/lint_test.cpp.
+#include <stdexcept>
+#include <string>
+
+void check_magic(const std::string& magic) {
+  if (magic != "MZ") {
+    throw std::runtime_error("bad magic: " + magic);  // expect(RL004)
+  }
+}
+
+void check_prefix(int prefix) {
+  if (prefix > 32) throw std::out_of_range("prefix");  // expect(RL004)
+}
+
+using std::invalid_argument;
+void check_unqualified(int value) {
+  if (value < 0) throw invalid_argument("negative");  // expect(RL004)
+}
+
+// Bare rethrow is fine; so are the repo's typed errors.
+void rethrow_current() { throw; }

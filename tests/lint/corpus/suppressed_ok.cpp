@@ -1,0 +1,20 @@
+// Golden corpus: inline suppressions. Every violation below carries a
+// `repro-lint: allow(...)` with a reason, so this file must produce
+// zero diagnostics. Never compiled; consumed by tests/lint_test.cpp.
+#include <cstdlib>
+#include <ctime>
+#include <string>
+
+int legacy_port(const std::string& text) {
+  // repro-lint: allow(RL001) comment-only line covers the next line
+  return std::stoi(text);
+}
+
+int legacy_base(const char* text) {
+  return atoi(text);  // repro-lint: allow(RL001) same-line form
+}
+
+long legacy_stamp() {
+  // repro-lint: allow(RL001, RL002) multi-rule form, one comment
+  return std::time(nullptr) + atol("7");
+}

@@ -1,0 +1,196 @@
+// Golden-corpus and engine tests for tools/repro_lint.
+//
+// Every file under tests/lint/corpus annotates its violations with
+// `// expect(RLxxx)` on the offending line; the walker test runs the
+// analyzer over each file and requires the diagnostics to match the
+// annotations exactly — nothing missing, nothing extra. Suppression
+// and clean files carry no annotations and must come back empty.
+#include "lint.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace repro::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+const fs::path kCorpusDir{LINT_CORPUS_DIR};
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+using Findings = std::multiset<std::pair<int, std::string>>;
+
+/// (line, rule) pairs promised by `// expect(RLxxx)` annotations.
+Findings expected_findings(const std::string& content) {
+  Findings out;
+  int line = 1;
+  std::size_t start = 0;
+  while (start <= content.size()) {
+    std::size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    const std::string_view text{content.data() + start, end - start};
+    std::size_t at = 0;
+    while ((at = text.find("expect(", at)) != std::string_view::npos) {
+      const std::size_t close = text.find(')', at);
+      if (close == std::string_view::npos) break;
+      out.emplace(line, std::string{text.substr(at + 7, close - at - 7)});
+      at = close;
+    }
+    start = end + 1;
+    ++line;
+  }
+  return out;
+}
+
+Findings actual_findings(const std::vector<Diagnostic>& diagnostics) {
+  Findings out;
+  for (const Diagnostic& d : diagnostics) out.emplace(d.line, d.rule);
+  return out;
+}
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(kCorpusDir)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".cpp") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(Corpus, EveryFileMatchesItsAnnotationsExactly) {
+  const std::vector<fs::path> files = corpus_files();
+  ASSERT_FALSE(files.empty()) << "corpus missing at " << kCorpusDir;
+  for (const fs::path& file : files) {
+    const std::string content = read_file(file);
+    const auto diagnostics = lint_source(file.generic_string(), content);
+    EXPECT_EQ(actual_findings(diagnostics), expected_findings(content))
+        << file;
+  }
+}
+
+TEST(Corpus, EveryRuleIsExercised) {
+  std::set<std::string> seen;
+  for (const fs::path& file : corpus_files()) {
+    const std::string content = read_file(file);
+    for (const auto& [line, rule] : expected_findings(content)) {
+      seen.insert(rule);
+    }
+  }
+  for (const auto& [id, summary] : rule_catalog()) {
+    EXPECT_TRUE(seen.count(id)) << id << " has no golden-corpus coverage";
+  }
+}
+
+TEST(Corpus, SuppressedFileIsClean) {
+  const fs::path file = kCorpusDir / "suppressed_ok.cpp";
+  const auto diagnostics = lint_source(file.generic_string(), read_file(file));
+  EXPECT_TRUE(diagnostics.empty());
+}
+
+TEST(Corpus, DirectoryWalkAggregatesAllFindings) {
+  std::size_t expected = 0;
+  for (const fs::path& file : corpus_files()) {
+    expected += expected_findings(read_file(file)).size();
+  }
+  EXPECT_EQ(lint_path(kCorpusDir).size(), expected);
+}
+
+TEST(Engine, OnlyFilterRestrictsRules) {
+  Options only_rl004;
+  only_rl004.only.insert("RL004");
+  const fs::path file = kCorpusDir / "rl001_unchecked_parse.cpp";
+  EXPECT_TRUE(
+      lint_source(file.generic_string(), read_file(file), only_rl004).empty());
+}
+
+TEST(Engine, EveryDiagnosticCarriesASuggestion) {
+  for (const Diagnostic& d : lint_path(kCorpusDir)) {
+    EXPECT_FALSE(d.suggestion.empty()) << d.file << ":" << d.line;
+  }
+}
+
+TEST(Engine, StringsCommentsAndRawStringsAreNotCode) {
+  const std::string source = R"lint(
+    const char* a = "std::stoi(text)";
+    // std::stoi(text) in a line comment
+    /* std::stoi(text) in a block comment */
+    const char* b = R"(std::stoi(text))";
+  )lint";
+  EXPECT_TRUE(lint_source("src/io/sample.cpp", source).empty());
+}
+
+TEST(Engine, SuppressionOnlySilencesTheNamedRule) {
+  const std::string source =
+      "int f(const char* t) {\n"
+      "  return atoi(t);  // repro-lint: allow(RL002) wrong rule\n"
+      "}\n";
+  const auto diagnostics = lint_source("src/net/sample.cpp", source);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "RL001");
+  EXPECT_EQ(diagnostics[0].line, 2);
+}
+
+TEST(Engine, StandaloneSuppressionDoesNotLeakPastNextLine) {
+  const std::string source =
+      "// repro-lint: allow(RL001) covers only the following line\n"
+      "int f(const char* t) { return atoi(t); }\n"
+      "int g(const char* t) { return atoi(t); }\n";
+  const auto diagnostics = lint_source("src/net/sample.cpp", source);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].line, 3);
+}
+
+TEST(Engine, Rl002ExemptsTheSanctionedClockAndRngModules) {
+  const std::string source = "int seed() { return rand(); }\n";
+  EXPECT_FALSE(lint_source("src/honeypot/gateway.cpp", source).empty());
+  EXPECT_TRUE(lint_source("src/util/rng.cpp", source).empty());
+  EXPECT_TRUE(lint_source("src/util/simtime.cpp", source).empty());
+}
+
+TEST(Engine, Rl003OnlyFiresOnExportPathDirectories) {
+  const std::string source =
+      "#include <unordered_set>\n"
+      "int count(const std::unordered_set<int>& seen) {\n"
+      "  int total = 0;\n"
+      "  for (const int id : seen) total += id;\n"
+      "  return total;\n"
+      "}\n";
+  EXPECT_FALSE(lint_source("src/io/export.cpp", source).empty());
+  EXPECT_FALSE(lint_source("src/report/table.cpp", source).empty());
+  EXPECT_FALSE(lint_source("src/snapshot/codec.cpp", source).empty());
+  EXPECT_TRUE(lint_source("src/cluster/feature.cpp", source).empty());
+}
+
+TEST(Engine, DiagnosticsAreOrderedByLine) {
+  const fs::path file = kCorpusDir / "rl001_unchecked_parse.cpp";
+  const auto diagnostics = lint_source(file.generic_string(), read_file(file));
+  for (std::size_t i = 1; i < diagnostics.size(); ++i) {
+    EXPECT_LE(diagnostics[i - 1].line, diagnostics[i].line);
+  }
+}
+
+TEST(Engine, RuleCatalogNamesFiveRules) {
+  const auto catalog = rule_catalog();
+  ASSERT_EQ(catalog.size(), 5u);
+  EXPECT_EQ(catalog.front().first, "RL001");
+  EXPECT_EQ(catalog.back().first, "RL005");
+}
+
+}  // namespace
+}  // namespace repro::lint

@@ -36,7 +36,7 @@ TEST(Ipv4, Slash24Grouping) {
 class Ipv4Malformed : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(Ipv4Malformed, ParseThrows) {
-  EXPECT_THROW(Ipv4::parse(GetParam()), ParseError);
+  EXPECT_THROW((void)Ipv4::parse(GetParam()), ParseError);
 }
 
 INSTANTIATE_TEST_SUITE_P(BadInputs, Ipv4Malformed,
@@ -69,9 +69,24 @@ TEST(Subnet, ZeroPrefixContainsEverything) {
 }
 
 TEST(Subnet, ParseErrors) {
-  EXPECT_THROW(Subnet::parse("1.2.3.4"), ParseError);
-  EXPECT_THROW(Subnet::parse("1.2.3.4/33"), ParseError);
-  EXPECT_THROW(Subnet::parse("1.2.3.4/x"), ParseError);
+  EXPECT_THROW((void)Subnet::parse("1.2.3.4"), ParseError);
+  EXPECT_THROW((void)Subnet::parse("1.2.3.4/33"), ParseError);
+  EXPECT_THROW((void)Subnet::parse("1.2.3.4/x"), ParseError);
+}
+
+TEST(Subnet, MalformedPrefixThrowsParseErrorNotStdExceptions) {
+  // Regression: std::stoi leaked std::invalid_argument for "xx" and
+  // std::out_of_range for prefixes past INT_MAX, and silently accepted
+  // the "12abc" prefix as 12.
+  for (const char* bad : {"1.2.3.4/xx", "1.2.3.4/", "1.2.3.4/12abc",
+                          "1.2.3.4/ 12", "1.2.3.4/+12", "1.2.3.4/4294967296",
+                          "1.2.3.4/99999999999999999999"}) {
+    EXPECT_THROW((void)Subnet::parse(bad), ParseError) << bad;
+  }
+}
+
+TEST(Subnet, NegativePrefixStillRejected) {
+  EXPECT_THROW((void)Subnet::parse("1.2.3.4/-1"), ParseError);
 }
 
 TEST(Subnet, PrefixOutOfRangeThrows) {

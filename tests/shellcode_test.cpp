@@ -130,6 +130,32 @@ TEST(Analyzer, RejectsTruncatedBody) {
   EXPECT_FALSE(analyze_shellcode(cut).has_value());
 }
 
+TEST(Analyzer, HostilePortsNeverThrowOrWrap) {
+  // Regression: "NEPO BIND 99999 END" used to pass std::stoi's result
+  // through an unchecked uint16_t cast (99999 -> 34463), and
+  // non-numeric ports leaked std::invalid_argument out of
+  // analyze_shellcode. Hostile bodies must come back as nullopt.
+  for (const char* body :
+       {"NEPO BIND 99999 END", "NEPO BIND abc END", "NEPO BIND 123abc END",
+        "NEPO BIND -1 END", "NEPO CSEND 70000 END", "NEPO CSEND port END",
+        "NEPO CBCK 1.2.3.4:99999 END", "NEPO CBCK 1.2.3.4:abc END",
+        "NEPO URL http://1.2.3.4:999999/a.exe END",
+        "NEPO TFTP 1.2.3.4:66000 GET a.exe END"}) {
+    const std::string text{body};
+    const std::vector<std::uint8_t> payload{text.begin(), text.end()};
+    EXPECT_FALSE(analyze_shellcode(payload).has_value()) << body;
+  }
+}
+
+TEST(Analyzer, MaxPortStillParses) {
+  const std::string text = "NEPO BIND 65535 END";
+  const std::vector<std::uint8_t> payload{text.begin(), text.end()};
+  const auto analyzed = analyze_shellcode(payload);
+  ASSERT_TRUE(analyzed.has_value());
+  EXPECT_EQ(analyzed->protocol, Protocol::kBind);
+  EXPECT_EQ(analyzed->port, 65535);
+}
+
 TEST(Analyzer, FindsStubAfterLongPrefix) {
   Rng rng{8};
   const DownloadIntent intent = sample_intent(Protocol::kFtp);

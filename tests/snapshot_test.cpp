@@ -421,7 +421,7 @@ TEST(Resume, RepeatedKillsStillConverge) {
   const fs::path dir = fresh_dir("kill-repeat");
   // Die after stage 1, then after stage 2 (resuming stage 1), then
   // mid-write of stage 4 (resuming 1-3), then finish.
-  for (const auto [stop, short_write] :
+  for (const auto& [stop, short_write] :
        {std::pair{1, 0}, std::pair{2, 0}, std::pair{0, 4}}) {
     scenario::ScenarioOptions options = small_options();
     options.checkpoint.directory = dir.string();

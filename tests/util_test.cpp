@@ -2,21 +2,93 @@
 // byte I/O and text rendering.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "util/byteio.hpp"
 #include "util/error.hpp"
 #include "util/hex.hpp"
 #include "util/histogram.hpp"
 #include "util/md5.hpp"
+#include "util/parse.hpp"
 #include "util/rng.hpp"
 #include "util/simtime.hpp"
+#include "util/sorted.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace repro {
 namespace {
+
+// ------------------------------------------------------------------- parse
+
+TEST(Parse, AcceptsWholeStringNumbersAtTheirBounds) {
+  EXPECT_EQ(parse_u8("0", "octet"), 0);
+  EXPECT_EQ(parse_u8("255", "octet"), 255);
+  EXPECT_EQ(parse_u16("65535", "port"), 65535);
+  EXPECT_EQ(parse_u32("4294967295", "value"), 4294967295u);
+  EXPECT_EQ(parse_u64("18446744073709551615", "value"),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(parse_i32("-2147483648", "value"),
+            std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(parse_i64("-9223372036854775808", "value"),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_DOUBLE_EQ(parse_f64("0.25", "scale"), 0.25);
+  EXPECT_DOUBLE_EQ(parse_f64("1e-3", "scale"), 0.001);
+}
+
+TEST(Parse, RejectsGarbagePrefixesAndPadding) {
+  // The from_chars wrappers must never accept what std::stoi accepts:
+  // numeric prefixes ("12abc" -> 12), leading whitespace, or '+'.
+  for (const char* bad : {"", "abc", "12abc", " 12", "12 ", "+12", "1.5"}) {
+    EXPECT_THROW((void)parse_i32(bad, "value"), ParseError) << bad;
+  }
+}
+
+TEST(Parse, RejectsOverflowPerWidth) {
+  EXPECT_THROW((void)parse_u8("256", "octet"), ParseError);
+  EXPECT_THROW((void)parse_u16("65536", "port"), ParseError);
+  EXPECT_THROW((void)parse_u16("99999", "port"), ParseError);
+  EXPECT_THROW((void)parse_u16("-1", "port"), ParseError);
+  EXPECT_THROW((void)parse_u32("4294967296", "value"), ParseError);
+  EXPECT_THROW((void)parse_u64("99999999999999999999", "value"), ParseError);
+  EXPECT_THROW((void)parse_i32("2147483648", "value"), ParseError);
+}
+
+TEST(Parse, ErrorMessagesCarryCallerContext) {
+  try {
+    (void)parse_u16("xx", "subnet prefix");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("subnet prefix"), std::string::npos) << what;
+    EXPECT_NE(what.find("xx"), std::string::npos) << what;
+  }
+}
+
+// ------------------------------------------------------------------ sorted
+
+TEST(Sorted, KeysOfMapsAndSetsComeBackOrdered) {
+  const std::unordered_map<std::string, int> counts{
+      {"beta", 2}, {"alpha", 1}, {"gamma", 3}};
+  EXPECT_EQ(sorted_keys(counts),
+            (std::vector<std::string>{"alpha", "beta", "gamma"}));
+  const std::unordered_set<int> ids{3, 1, 2};
+  EXPECT_EQ(sorted_keys(ids), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Sorted, ItemsPreserveValuesAndOrderByKey) {
+  const std::unordered_map<std::string, int> counts{
+      {"beta", 2}, {"alpha", 1}, {"gamma", 3}};
+  const auto items = sorted_items(counts);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0], (std::pair<std::string, int>{"alpha", 1}));
+  EXPECT_EQ(items[1], (std::pair<std::string, int>{"beta", 2}));
+  EXPECT_EQ(items[2], (std::pair<std::string, int>{"gamma", 3}));
+}
 
 // --------------------------------------------------------------------- Rng
 
@@ -335,9 +407,9 @@ TEST(SimTime, RoundTripProperty) {
 }
 
 TEST(SimTime, ParseRejectsGarbage) {
-  EXPECT_THROW(parse_date("not-a-date"), ParseError);
-  EXPECT_THROW(parse_date("2008-13-01"), ParseError);
-  EXPECT_THROW(parse_date("2008-00-10"), ParseError);
+  EXPECT_THROW((void)parse_date("not-a-date"), ParseError);
+  EXPECT_THROW((void)parse_date("2008-13-01"), ParseError);
+  EXPECT_THROW((void)parse_date("2008-00-10"), ParseError);
 }
 
 TEST(SimTime, WeekIndex) {
@@ -395,7 +467,7 @@ TEST(ByteIo, AlignPads) {
 TEST(ByteIo, ReadPastEndThrows) {
   const std::vector<std::uint8_t> data{1, 2};
   ByteReader r{data};
-  EXPECT_THROW(r.u32(), ParseError);
+  EXPECT_THROW((void)r.u32(), ParseError);
 }
 
 TEST(ByteIo, SeekAndCstring) {
@@ -427,7 +499,7 @@ TEST(ByteIo, HugeCountsThrowInsteadOfWrapping) {
   // wild span. Every access path must reject such counts cleanly.
   const std::vector<std::uint8_t> data{1, 2, 3, 4};
   ByteReader r{data};
-  r.u8();  // non-zero offset makes the additive form wrap
+  (void)r.u8();  // non-zero offset makes the additive form wrap
   EXPECT_THROW((void)r.bytes(SIZE_MAX), ParseError);
   EXPECT_THROW((void)r.bytes(SIZE_MAX - 1), ParseError);
   EXPECT_THROW((void)r.fixed_text(SIZE_MAX), ParseError);

@@ -1,0 +1,656 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+
+namespace repro::lint {
+
+namespace {
+
+// ----------------------------------------------------------------- lexer
+
+enum class TokKind { kIdentifier, kNumber, kString, kCharLit, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  /// line -> rule ids allowed on that line by inline suppressions.
+  std::map<int, std::set<std::string, std::less<>>> allows;
+};
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+std::string_view trimmed(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back())) != 0) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// Records `// repro-lint: allow(RL001, RL002) reason` suppressions.
+/// A comment sharing its line with code covers that line; a comment
+/// standing alone covers the next line too.
+void record_allows(LexedFile& out, std::string_view comment, int line,
+                   bool comment_only_line) {
+  const std::size_t tag = comment.find("repro-lint:");
+  if (tag == std::string_view::npos) return;
+  const std::size_t open = comment.find("allow(", tag);
+  if (open == std::string_view::npos) return;
+  const std::size_t close = comment.find(')', open);
+  if (close == std::string_view::npos) return;
+  std::string_view list = comment.substr(open + 6, close - open - 6);
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    const std::string_view rule =
+        trimmed(comma == std::string_view::npos ? list : list.substr(0, comma));
+    if (!rule.empty()) {
+      out.allows[line].emplace(rule);
+      if (comment_only_line) out.allows[line + 1].emplace(rule);
+    }
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+}
+
+/// Multi-char punctuators the rules care about; everything else lexes
+/// as single characters. `::` must be one token so a lone `:` reliably
+/// marks a range-for.
+constexpr std::string_view kPunct2[] = {
+    "::", "==", "!=", "<=", ">=", "->", "++", "--", "&&",
+    "||", "<<", ">>", "+=", "-=", "*=", "/=", "|=", "&=",
+};
+
+LexedFile lex(std::string_view src) {
+  LexedFile out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  const auto line_has_code = [&] {
+    return !out.tokens.empty() && out.tokens.back().line == line;
+  };
+  const auto push = [&](TokKind kind, std::string text) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Line comment (and suppression carrier).
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      record_allows(out, src.substr(i, end - i), line, !line_has_code());
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      end = (end == std::string_view::npos) ? n : end + 2;
+      for (std::size_t j = i; j < end; ++j) {
+        if (src[j] == '\n') ++line;
+      }
+      i = end;
+      continue;
+    }
+    // String literal (escapes honored); content never reaches rules.
+    if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '"') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      push(TokKind::kString, "\"\"");
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '\'') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      push(TokKind::kCharLit, "''");
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(src[j])) ++j;
+      std::string text{src.substr(i, j - i)};
+      // Raw string literal: R"( ... )" (also u8R, uR, UR, LR prefixes).
+      if (j < n && src[j] == '"' &&
+          (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+           text == "LR")) {
+        const std::size_t open = src.find('(', j);
+        if (open != std::string_view::npos) {
+          const std::string delim =
+              ")" + std::string{src.substr(j + 1, open - j - 1)} + "\"";
+          std::size_t end = src.find(delim, open);
+          end = (end == std::string_view::npos) ? n : end + delim.size();
+          for (std::size_t k = j; k < end; ++k) {
+            if (src[k] == '\n') ++line;
+          }
+          push(TokKind::kString, "\"\"");
+          i = end;
+          continue;
+        }
+      }
+      push(TokKind::kIdentifier, std::move(text));
+      i = j;
+      continue;
+    }
+    if (is_digit(c) || (c == '.' && i + 1 < n && is_digit(src[i + 1]))) {
+      std::size_t j = i;
+      while (j < n) {
+        const char d = src[j];
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      push(TokKind::kNumber, std::string{src.substr(i, j - i)});
+      i = j;
+      continue;
+    }
+    bool matched = false;
+    if (i + 1 < n) {
+      const std::string_view two = src.substr(i, 2);
+      for (const std::string_view op : kPunct2) {
+        if (two == op) {
+          push(TokKind::kPunct, std::string{two});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      push(TokKind::kPunct, std::string{c});
+      ++i;
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- rule engine
+
+struct RuleDef {
+  std::string_view id;
+  std::string_view summary;
+};
+
+constexpr RuleDef kRules[] = {
+    {"RL001",
+     "unchecked numeric parsing (stoi/atoi/strtol/sscanf family); use "
+     "repro::parse_* from util/parse.hpp"},
+    {"RL002",
+     "wall-clock or global-RNG nondeterminism (time/rand/random_device/"
+     "chrono clocks) outside util/rng and util/simtime"},
+    {"RL003",
+     "range-for over unordered containers on export paths (src/io, "
+     "src/report, src/snapshot); use repro::sorted_keys/sorted_items"},
+    {"RL004",
+     "raw std:: exception throw; translate to repro::ParseError / "
+     "ConfigError / IoError"},
+    {"RL005",
+     "floating-point == or != in clustering metrics (src/cluster); compare "
+     "against an epsilon"},
+};
+
+const std::set<std::string_view> kParseFns = {
+    "stoi",    "stol",    "stoll",   "stoul",   "stoull", "stof",
+    "stod",    "stold",   "atoi",    "atol",    "atoll",  "atof",
+    "strtol",  "strtoul", "strtoll", "strtoull", "strtof", "strtod",
+    "strtold", "sscanf",  "fscanf",  "scanf",
+};
+
+const std::set<std::string_view> kNondetIdents = {
+    "rand",          "srand",        "random_device",
+    "system_clock",  "steady_clock", "high_resolution_clock",
+    "gettimeofday",  "localtime",    "gmtime",
+};
+
+const std::set<std::string_view> kNondetCalls = {"time", "clock"};
+
+const std::set<std::string_view> kStdExceptions = {
+    "runtime_error", "logic_error",     "invalid_argument",
+    "out_of_range",  "domain_error",    "length_error",
+    "range_error",   "overflow_error",  "underflow_error",
+};
+
+const std::set<std::string_view> kUnorderedTypes = {
+    "unordered_map", "unordered_set", "unordered_multimap",
+    "unordered_multiset",
+};
+
+/// Normalizes to forward slashes so directory gating works on any host.
+std::string normalized(std::string_view path) {
+  std::string out{path};
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+bool in_dir(const std::string& path, std::string_view dir) {
+  return path.find(std::string{"/"} + std::string{dir} + "/") !=
+         std::string::npos;
+}
+
+struct Checker {
+  const std::string path;
+  const LexedFile& lx;
+  const Options& options;
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] bool rule_enabled(std::string_view rule) const {
+    return options.only.empty() || options.only.count(rule) > 0;
+  }
+
+  [[nodiscard]] bool suppressed(int line, std::string_view rule) const {
+    const auto it = lx.allows.find(line);
+    return it != lx.allows.end() && it->second.count(rule) > 0;
+  }
+
+  void emit(int line, std::string_view rule, std::string message,
+            std::string suggestion) {
+    if (!rule_enabled(rule) || suppressed(line, rule)) return;
+    diagnostics.push_back(Diagnostic{path, line, std::string{rule},
+                                     std::move(message),
+                                     std::move(suggestion)});
+  }
+
+  [[nodiscard]] const Token* at(std::size_t i) const {
+    return i < lx.tokens.size() ? &lx.tokens[i] : nullptr;
+  }
+
+  [[nodiscard]] bool punct_at(std::size_t i, std::string_view text) const {
+    const Token* t = at(i);
+    return t != nullptr && t->kind == TokKind::kPunct && t->text == text;
+  }
+
+  [[nodiscard]] bool member_access_before(std::size_t i) const {
+    if (i == 0) return false;
+    const Token& prev = lx.tokens[i - 1];
+    return prev.kind == TokKind::kPunct &&
+           (prev.text == "." || prev.text == "->");
+  }
+
+  // RL001 — unchecked numeric parsing.
+  void check_parse_calls() {
+    for (std::size_t i = 0; i < lx.tokens.size(); ++i) {
+      const Token& t = lx.tokens[i];
+      if (t.kind != TokKind::kIdentifier || kParseFns.count(t.text) == 0) {
+        continue;
+      }
+      if (!punct_at(i + 1, "(") || member_access_before(i)) continue;
+      emit(t.line, "RL001",
+           "unchecked numeric parsing via " + t.text +
+               "() — silently accepts prefixes and leaks "
+               "std::invalid_argument/out_of_range on hostile input",
+           "replace with repro::parse_u16/parse_u32/parse_i32/... "
+           "(util/parse.hpp): full-string match, throws ParseError with "
+           "context");
+    }
+  }
+
+  // RL002 — wall-clock / global-RNG nondeterminism.
+  void check_nondeterminism() {
+    if (in_dir(path, "util") &&
+        (path.find("/rng.") != std::string::npos ||
+         path.find("/simtime.") != std::string::npos)) {
+      return;
+    }
+    for (std::size_t i = 0; i < lx.tokens.size(); ++i) {
+      const Token& t = lx.tokens[i];
+      if (t.kind != TokKind::kIdentifier) continue;
+      const bool banned_ident = kNondetIdents.count(t.text) > 0;
+      const bool banned_call = kNondetCalls.count(t.text) > 0 &&
+                               punct_at(i + 1, "(") &&
+                               !member_access_before(i);
+      if (!banned_ident && !banned_call) continue;
+      emit(t.line, "RL002",
+           "nondeterminism source '" + t.text +
+               "' — wall-clock time and global RNG state make runs "
+               "non-reproducible",
+           "thread a seeded repro::Rng (util/rng.hpp) or SimTime "
+           "(util/simtime.hpp) through the call site instead");
+    }
+  }
+
+  // RL003 — unordered iteration on export paths.
+  void check_unordered_iteration() {
+    if (!in_dir(path, "io") && !in_dir(path, "report") &&
+        !in_dir(path, "snapshot")) {
+      return;
+    }
+    // Pass 1: names declared with an unordered_* type in this file.
+    std::set<std::string> unordered_names;
+    for (std::size_t i = 0; i < lx.tokens.size(); ++i) {
+      const Token& t = lx.tokens[i];
+      if (t.kind != TokKind::kIdentifier || kUnorderedTypes.count(t.text) == 0) {
+        continue;
+      }
+      std::size_t j = i + 1;
+      if (punct_at(j, "<")) {
+        int depth = 0;
+        for (; j < lx.tokens.size(); ++j) {
+          const Token& u = lx.tokens[j];
+          if (u.kind != TokKind::kPunct) continue;
+          if (u.text == "<") ++depth;
+          if (u.text == ">") --depth;
+          if (u.text == ">>") depth -= 2;
+          if (depth <= 0) {
+            ++j;
+            break;
+          }
+        }
+      }
+      while (j < lx.tokens.size()) {
+        const Token& u = lx.tokens[j];
+        if (u.kind == TokKind::kPunct && (u.text == "&" || u.text == "*")) {
+          ++j;
+        } else if (u.kind == TokKind::kIdentifier && u.text == "const") {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      const Token* name = at(j);
+      if (name != nullptr && name->kind == TokKind::kIdentifier) {
+        unordered_names.insert(name->text);
+      }
+    }
+    // Pass 2: range-fors whose range expression names one of them.
+    for (std::size_t i = 0; i < lx.tokens.size(); ++i) {
+      const Token& t = lx.tokens[i];
+      if (t.kind != TokKind::kIdentifier || t.text != "for" ||
+          !punct_at(i + 1, "(")) {
+        continue;
+      }
+      int depth = 0;
+      std::size_t colon = 0;
+      std::size_t close = 0;
+      for (std::size_t j = i + 1; j < lx.tokens.size(); ++j) {
+        const Token& u = lx.tokens[j];
+        if (u.kind != TokKind::kPunct) continue;
+        if (u.text == "(") ++depth;
+        if (u.text == ")") {
+          --depth;
+          if (depth == 0) {
+            close = j;
+            break;
+          }
+        }
+        if (u.text == ":" && depth == 1 && colon == 0) colon = j;
+      }
+      if (colon == 0 || close == 0) continue;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        const Token& u = lx.tokens[j];
+        if (u.kind != TokKind::kIdentifier) continue;
+        if (unordered_names.count(u.text) == 0 &&
+            kUnorderedTypes.count(u.text) == 0) {
+          continue;
+        }
+        emit(t.line, "RL003",
+             "range-for over unordered container '" + u.text +
+                 "' on an export path — hash-seed iteration order leaks "
+                 "into serialized output",
+             "iterate repro::sorted_keys(" + u.text + ") / sorted_items(" +
+                 u.text + ") (util/sorted.hpp), or store in std::map");
+        break;
+      }
+    }
+  }
+
+  // RL004 — raw std:: exception throws.
+  void check_raw_throws() {
+    for (std::size_t i = 0; i < lx.tokens.size(); ++i) {
+      const Token& t = lx.tokens[i];
+      if (t.kind != TokKind::kIdentifier || t.text != "throw") continue;
+      std::size_t j = i + 1;
+      const Token* next = at(j);
+      if (next != nullptr && next->kind == TokKind::kIdentifier &&
+          next->text == "std" && punct_at(j + 1, "::")) {
+        j += 2;
+      }
+      const Token* name = at(j);
+      if (name == nullptr || name->kind != TokKind::kIdentifier ||
+          kStdExceptions.count(name->text) == 0 || !punct_at(j + 1, "(")) {
+        continue;
+      }
+      emit(t.line, "RL004",
+           "raw std::" + name->text +
+               " thrown — callers at parse boundaries dispatch on the "
+               "repo's typed errors and will not recover from this",
+           "throw repro::ParseError (malformed input), repro::ConfigError "
+           "(inconsistent configuration) or repro::IoError (OS failure) "
+           "from util/error.hpp");
+    }
+  }
+
+  // RL005 — float equality in clustering metrics.
+  void check_float_equality() {
+    if (!in_dir(path, "cluster")) return;
+    const auto is_float_literal = [](const Token& t) {
+      if (t.kind != TokKind::kNumber) return false;
+      if (t.text.size() > 1 && (t.text[1] == 'x' || t.text[1] == 'X')) {
+        return false;
+      }
+      return t.text.find('.') != std::string::npos ||
+             t.text.find('e') != std::string::npos ||
+             t.text.find('E') != std::string::npos ||
+             t.text.back() == 'f' || t.text.back() == 'F';
+    };
+    std::set<std::string> float_names;
+    for (std::size_t i = 0; i + 1 < lx.tokens.size(); ++i) {
+      const Token& t = lx.tokens[i];
+      if (t.kind != TokKind::kIdentifier ||
+          (t.text != "double" && t.text != "float")) {
+        continue;
+      }
+      const Token& next = lx.tokens[i + 1];
+      if (next.kind == TokKind::kIdentifier && next.text != "const") {
+        float_names.insert(next.text);
+      }
+    }
+    for (std::size_t i = 0; i < lx.tokens.size(); ++i) {
+      const Token& t = lx.tokens[i];
+      if (t.kind != TokKind::kPunct || (t.text != "==" && t.text != "!=")) {
+        continue;
+      }
+      const auto is_float_operand = [&](const Token* side) {
+        if (side == nullptr) return false;
+        if (is_float_literal(*side)) return true;
+        return side->kind == TokKind::kIdentifier &&
+               float_names.count(side->text) > 0;
+      };
+      if (!is_float_operand(i > 0 ? &lx.tokens[i - 1] : nullptr) &&
+          !is_float_operand(at(i + 1))) {
+        continue;
+      }
+      emit(t.line, "RL005",
+           "floating-point '" + t.text +
+               "' in clustering metrics — exact equality on similarity "
+               "scores is input-perturbation-fragile",
+           "compare std::abs(a - b) against an explicit epsilon, or make "
+           "the sentinel an integer");
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> rule_catalog() {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const RuleDef& rule : kRules) {
+    out.emplace_back(std::string{rule.id}, std::string{rule.summary});
+  }
+  return out;
+}
+
+std::vector<Diagnostic> lint_source(const std::string& path,
+                                    std::string_view content,
+                                    const Options& options) {
+  const LexedFile lx = lex(content);
+  Checker checker{normalized(path), lx, options, {}};
+  checker.check_parse_calls();
+  checker.check_nondeterminism();
+  checker.check_unordered_iteration();
+  checker.check_raw_throws();
+  checker.check_float_equality();
+  std::stable_sort(checker.diagnostics.begin(), checker.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line != b.line ? a.line < b.line
+                                             : a.rule < b.rule;
+                   });
+  return std::move(checker.diagnostics);
+}
+
+namespace {
+
+bool lintable_extension(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    throw std::runtime_error("repro-lint: cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+std::vector<Diagnostic> lint_path(const std::filesystem::path& path,
+                                  const Options& options) {
+  std::vector<std::filesystem::path> files;
+  if (std::filesystem::is_directory(path)) {
+    for (const auto& entry :
+         std::filesystem::recursive_directory_iterator(path)) {
+      if (entry.is_regular_file() && lintable_extension(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+  } else {
+    files.push_back(path);
+  }
+  std::sort(files.begin(), files.end());
+  std::vector<Diagnostic> out;
+  for (const std::filesystem::path& file : files) {
+    std::vector<Diagnostic> found =
+        lint_source(file.generic_string(), read_file(file), options);
+    out.insert(out.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
+  }
+  return out;
+}
+
+int run_cli(int argc, const char* const* argv) {
+  Options options;
+  bool fix_suggestions = false;
+  std::vector<std::filesystem::path> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--fix-suggestions") {
+      fix_suggestions = true;
+    } else if (arg.rfind("--only=", 0) == 0) {
+      std::string_view list = arg.substr(7);
+      while (!list.empty()) {
+        const std::size_t comma = list.find(',');
+        const std::string_view rule = trimmed(
+            comma == std::string_view::npos ? list : list.substr(0, comma));
+        if (!rule.empty()) options.only.emplace(rule);
+        if (comma == std::string_view::npos) break;
+        list.remove_prefix(comma + 1);
+      }
+    } else if (arg == "--list-rules") {
+      for (const auto& [id, summary] : rule_catalog()) {
+        std::cout << id << "  " << summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: repro_lint [--fix-suggestions] [--only=RL001,...] "
+                   "[--list-rules] <file-or-dir>...\n";
+      return 0;
+    } else if (arg.rfind("-", 0) == 0) {
+      std::cerr << "repro-lint: unknown option '" << arg << "'\n";
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: repro_lint [--fix-suggestions] [--only=RL001,...] "
+                 "<file-or-dir>...\n";
+    return 2;
+  }
+  std::size_t total = 0;
+  std::size_t files = 0;
+  for (const std::filesystem::path& path : paths) {
+    std::vector<Diagnostic> diagnostics;
+    try {
+      diagnostics = lint_path(path, options);
+    } catch (const std::exception& error) {
+      std::cerr << error.what() << "\n";
+      return 2;
+    }
+    ++files;
+    for (const Diagnostic& d : diagnostics) {
+      std::cout << d.file << ":" << d.line << ": " << d.rule << ": "
+                << d.message << "\n";
+      if (fix_suggestions && !d.suggestion.empty()) {
+        std::cout << "    suggestion: " << d.suggestion << "\n";
+      }
+    }
+    total += diagnostics.size();
+  }
+  if (total == 0) {
+    std::cerr << "repro-lint: clean\n";
+    return 0;
+  }
+  std::cerr << "repro-lint: " << total << " diagnostic(s)\n";
+  return 1;
+}
+
+}  // namespace repro::lint

@@ -1,0 +1,68 @@
+// repro-lint: a repo-specific determinism & error-handling linter.
+//
+// The reproduction's value rests on bit-identical pipeline output, so a
+// handful of C++ constructs that are merely stylistic elsewhere are
+// correctness bugs here. This tool enforces them as named, suppressible
+// rules over a lexer-lite token stream (no libclang dependency):
+//
+//   RL001  unchecked numeric parsing (std::stoi/atoi/strtol/sscanf
+//          family) — use the checked repro::parse_* wrappers
+//          (util/parse.hpp) that throw ParseError.
+//   RL002  wall-clock / global-RNG nondeterminism (time(), rand(),
+//          std::random_device, std::chrono clocks) outside util/rng
+//          and util/simtime.
+//   RL003  range-for over unordered_{map,set} in export-path
+//          directories (src/io, src/report, src/snapshot) — iteration
+//          order leaks into serialized bytes; use
+//          repro::sorted_keys/sorted_items (util/sorted.hpp).
+//   RL004  raw std:: exception throws (std::runtime_error,
+//          std::invalid_argument, ...) — translate to ParseError /
+//          ConfigError / IoError so parse boundaries stay typed.
+//   RL005  floating-point == / != in clustering metrics (src/cluster)
+//          — compare against an epsilon.
+//
+// Inline suppression: `// repro-lint: allow(RL001) reason` silences the
+// named rule(s) on its own line, or on the next line when the comment
+// stands alone. Diagnostics are GCC-style `file:line: RLxxx: message`.
+#pragma once
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;        // "RL001" .. "RL005"
+  std::string message;
+  std::string suggestion;  // printed by --fix-suggestions
+};
+
+struct Options {
+  /// When non-empty, only these rule ids are checked.
+  std::set<std::string, std::less<>> only;
+};
+
+/// All rule ids this build knows, with a one-line description each.
+[[nodiscard]] std::vector<std::pair<std::string, std::string>> rule_catalog();
+
+/// Lints one in-memory translation unit. `path` supplies the directory
+/// context rules RL003/RL005 key on; it is not opened.
+[[nodiscard]] std::vector<Diagnostic> lint_source(const std::string& path,
+                                                  std::string_view content,
+                                                  const Options& options = {});
+
+/// Lints a file or directory tree (*.cpp, *.cc, *.hpp, *.h), reading
+/// from disk. Throws std::runtime_error when a file cannot be read.
+[[nodiscard]] std::vector<Diagnostic> lint_path(
+    const std::filesystem::path& path, const Options& options = {});
+
+/// The `repro_lint` CLI: returns 0 when clean, 1 when diagnostics were
+/// emitted, 2 on usage or I/O errors.
+int run_cli(int argc, const char* const* argv);
+
+}  // namespace repro::lint

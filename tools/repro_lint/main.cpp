@@ -1,0 +1,3 @@
+#include "lint.hpp"
+
+int main(int argc, char** argv) { return repro::lint::run_cli(argc, argv); }
