@@ -87,8 +87,11 @@ void print_summary() {
     BehavioralOptions lsh;
     lsh.use_lsh = true;
     const auto exact_clusters = repro::cluster::cluster_profiles(ptrs, exact);
-    const auto lsh_clusters = repro::cluster::cluster_profiles(ptrs, lsh);
-    const auto stats = repro::cluster::pair_stats(ptrs, lsh);
+    // One signature pass serves both the LSH clustering and its
+    // candidate-pair statistics.
+    const auto lsh_run = repro::cluster::cluster_profiles_with_stats(ptrs, lsh);
+    const auto& lsh_clusters = lsh_run.clusters;
+    const auto& stats = lsh_run.stats;
     std::printf(
         "n=%zu: exact clusters=%zu, lsh clusters=%zu, identical=%s, "
         "pairs evaluated: %zu exact vs %zu lsh (%.1fx fewer)\n",

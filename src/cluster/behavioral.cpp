@@ -1,9 +1,12 @@
 #include "cluster/behavioral.hpp"
 
+#include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "cluster/minhash.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace repro::cluster {
 
@@ -35,7 +38,7 @@ double jaccard_ids(const std::vector<std::uint64_t>& a,
 
 class UnionFind {
  public:
-  explicit UnionFind(std::size_t n) : parent_(n) {
+  explicit UnionFind(std::size_t n) : parent_(n), size_(n, 1) {
     std::iota(parent_.begin(), parent_.end(), 0);
   }
   std::size_t find(std::size_t x) {
@@ -45,68 +48,156 @@ class UnionFind {
     }
     return x;
   }
-  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+  /// Union by size: the larger tree's root absorbs the smaller, so
+  /// find paths stay near-constant even on adversarial unite orders
+  /// (a chain of buckets each attaching one new member used to build a
+  /// linear parent chain). Which root represents a component is an
+  /// internal detail — cluster ids are densified by first member, so
+  /// the output partition is unaffected.
+  void unite(std::size_t a, std::size_t b) {
+    std::size_t root_a = find(a);
+    std::size_t root_b = find(b);
+    if (root_a == root_b) return;
+    if (size_[root_a] < size_[root_b]) std::swap(root_a, root_b);
+    parent_[root_b] = root_a;
+    size_[root_a] += size_[root_b];
+  }
 
  private:
   std::vector<std::size_t> parent_;
+  std::vector<std::size_t> size_;
 };
 
 std::vector<std::vector<std::uint64_t>> id_sets(
-    const std::vector<const sandbox::BehavioralProfile*>& profiles) {
-  std::vector<std::vector<std::uint64_t>> ids;
-  ids.reserve(profiles.size());
-  for (const sandbox::BehavioralProfile* profile : profiles) {
-    if (profile == nullptr) {
-      throw ConfigError("cluster_profiles: null profile pointer");
+    const std::vector<const sandbox::BehavioralProfile*>& profiles,
+    ThreadPool* pool) {
+  std::vector<std::vector<std::uint64_t>> ids(profiles.size());
+  const auto fill = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (profiles[i] == nullptr) {
+        throw ConfigError("cluster_profiles: null profile pointer");
+      }
+      ids[i] = profiles[i]->feature_ids();
     }
-    ids.push_back(profile->feature_ids());
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(profiles.size(), 64, fill);
+  } else {
+    fill(0, profiles.size());
   }
   return ids;
 }
 
-}  // namespace
-
-std::size_t BehavioralClusters::singleton_count() const noexcept {
-  std::size_t count = 0;
-  for (const auto& cluster : members) count += cluster.size() == 1 ? 1 : 0;
-  return count;
+/// One MinHash signature pass over every id set, banded into an LSH
+/// index. The signature computation (the expensive part) fans out over
+/// the pool into disjoint slots; the bucket-map inserts stay serial so
+/// every bucket's item list is built in ascending index order.
+LshIndex build_lsh_index(const std::vector<std::vector<std::uint64_t>>& ids,
+                         const BehavioralOptions& options) {
+  const MinHasher hasher{options.lsh_bands * options.lsh_rows, options.seed};
+  LshIndex index{options.lsh_bands, options.lsh_rows};
+  std::vector<std::vector<std::uint64_t>> signatures(ids.size());
+  const auto compute = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      signatures[i] = hasher.signature(ids[i]);
+    }
+  };
+  if (options.pool != nullptr) {
+    options.pool->parallel_for(ids.size(), 64, compute);
+  } else {
+    compute(0, ids.size());
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    index.insert(i, signatures[i]);
+  }
+  return index;
 }
 
-BehavioralClusters cluster_profiles(
-    const std::vector<const sandbox::BehavioralProfile*>& profiles,
-    const BehavioralOptions& options) {
-  const std::size_t n = profiles.size();
-  BehavioralClusters result;
-  if (n == 0) return result;
-
-  const auto ids = id_sets(profiles);
-  UnionFind groups{n};
-
-  if (options.use_lsh) {
-    const MinHasher hasher{options.lsh_bands * options.lsh_rows, options.seed};
-    LshIndex index{options.lsh_bands, options.lsh_rows};
-    std::vector<std::vector<std::uint64_t>> signatures;
-    signatures.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      signatures.push_back(hasher.signature(ids[i]));
-      index.insert(i, signatures.back());
-    }
-    // Process buckets directly: within a bucket most items are near
-    // duplicates, so after the first successful unite the union-find
-    // short-circuits the remaining pairs in O(alpha) each — this is
-    // what keeps LSH clustering below the O(n^2) distance matrix.
-    for (const auto& bucket : index.multi_item_buckets()) {
-      for (std::size_t i = 1; i < bucket.size(); ++i) {
-        for (std::size_t j = 0; j < i; ++j) {
-          const std::size_t a = bucket[j];
-          const std::size_t b = bucket[i];
-          if (groups.find(a) == groups.find(b)) continue;
-          if (jaccard_ids(ids[a], ids[b]) >= options.threshold) {
-            groups.unite(a, b);
-          }
+/// Evaluates within-bucket pairs and unions those whose Jaccard
+/// similarity passes the threshold. Skipping a pair whose endpoints
+/// are already connected (globally in the serial path, task-locally in
+/// the parallel path) only suppresses edges that are redundant for the
+/// connected components, so both paths — at any pool width — produce
+/// the same partition. Within a bucket most items are near duplicates,
+/// so after the first successful unite the union-find short-circuits
+/// the remaining pairs in O(alpha) each — this is what keeps LSH
+/// clustering below the O(n^2) distance matrix.
+void unite_bucket_pairs(UnionFind& groups,
+                        const std::vector<std::vector<std::uint64_t>>& ids,
+                        const std::vector<std::vector<std::size_t>>& buckets,
+                        double threshold, ThreadPool* pool) {
+  using Edge = std::pair<std::size_t, std::size_t>;
+  const auto process = [&](const std::vector<std::size_t>& bucket,
+                           UnionFind& uf, std::vector<Edge>* edges) {
+    for (std::size_t i = 1; i < bucket.size(); ++i) {
+      for (std::size_t j = 0; j < i; ++j) {
+        const std::size_t a = bucket[j];
+        const std::size_t b = bucket[i];
+        if (uf.find(a) == uf.find(b)) continue;
+        if (jaccard_ids(ids[a], ids[b]) >= threshold) {
+          uf.unite(a, b);
+          if (edges != nullptr) edges->emplace_back(a, b);
         }
       }
     }
+  };
+
+  if (pool == nullptr || pool->width() == 1 || buckets.size() < 2) {
+    for (const auto& bucket : buckets) process(bucket, groups, nullptr);
+    return;
+  }
+
+  // Contiguous ranges of the (deterministically ordered) bucket list,
+  // weighted by worst-case pair count so one giant bucket lands in its
+  // own range instead of serializing everything behind it. Each range
+  // runs with a task-local union-find and records its passing pairs;
+  // the ranges' edge lists are then merged in range order.
+  std::size_t total_weight = 0;
+  for (const auto& bucket : buckets) {
+    total_weight += bucket.size() * (bucket.size() - 1) / 2;
+  }
+  const std::size_t target_tasks = pool->width() * 4;
+  const std::size_t per_task = std::max<std::size_t>(
+      1, (total_weight + target_tasks - 1) / target_tasks);
+  std::vector<std::size_t> bounds{0};
+  std::size_t accumulated = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    accumulated += buckets[i].size() * (buckets[i].size() - 1) / 2;
+    if (accumulated >= per_task && i + 1 < buckets.size()) {
+      bounds.push_back(i + 1);
+      accumulated = 0;
+    }
+  }
+  bounds.push_back(buckets.size());
+
+  const std::size_t tasks = bounds.size() - 1;
+  const std::size_t n = ids.size();
+  std::vector<std::vector<Edge>> edges(tasks);
+  pool->parallel_for(tasks, 1, [&](std::size_t task, std::size_t) {
+    UnionFind local{n};
+    for (std::size_t i = bounds[task]; i < bounds[task + 1]; ++i) {
+      process(buckets[i], local, &edges[task]);
+    }
+  });
+  for (const std::vector<Edge>& task_edges : edges) {
+    for (const auto& [a, b] : task_edges) groups.unite(a, b);
+  }
+}
+
+/// Shared core: unions qualifying pairs (from the index's buckets, or
+/// all pairs when exact) and densifies cluster ids in first-member
+/// order.
+BehavioralClusters cluster_from_ids(
+    const std::vector<std::vector<std::uint64_t>>& ids,
+    const BehavioralOptions& options, const LshIndex* index) {
+  const std::size_t n = ids.size();
+  BehavioralClusters result;
+  if (n == 0) return result;
+
+  UnionFind groups{n};
+  if (index != nullptr) {
+    unite_bucket_pairs(groups, ids, index->multi_item_buckets(),
+                       options.threshold, options.pool);
   } else {
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
@@ -134,20 +225,51 @@ BehavioralClusters cluster_profiles(
   return result;
 }
 
+}  // namespace
+
+std::size_t BehavioralClusters::singleton_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& cluster : members) count += cluster.size() == 1 ? 1 : 0;
+  return count;
+}
+
+BehavioralClusters cluster_profiles(
+    const std::vector<const sandbox::BehavioralProfile*>& profiles,
+    const BehavioralOptions& options) {
+  const auto ids = id_sets(profiles, options.pool);
+  if (ids.empty()) return {};
+  if (!options.use_lsh) return cluster_from_ids(ids, options, nullptr);
+  const LshIndex index = build_lsh_index(ids, options);
+  return cluster_from_ids(ids, options, &index);
+}
+
 PairStats pair_stats(
     const std::vector<const sandbox::BehavioralProfile*>& profiles,
     const BehavioralOptions& options) {
   PairStats stats;
   const std::size_t n = profiles.size();
   stats.exact_pairs = n * (n - 1) / 2;
-  const auto ids = id_sets(profiles);
-  const MinHasher hasher{options.lsh_bands * options.lsh_rows, options.seed};
-  LshIndex index{options.lsh_bands, options.lsh_rows};
-  for (std::size_t i = 0; i < n; ++i) {
-    index.insert(i, hasher.signature(ids[i]));
-  }
-  stats.lsh_candidate_pairs = index.candidate_pairs().size();
+  const auto ids = id_sets(profiles, options.pool);
+  stats.lsh_candidate_pairs = build_lsh_index(ids, options)
+                                  .candidate_pairs()
+                                  .size();
   return stats;
+}
+
+ClusteringRun cluster_profiles_with_stats(
+    const std::vector<const sandbox::BehavioralProfile*>& profiles,
+    const BehavioralOptions& options) {
+  ClusteringRun run;
+  const std::size_t n = profiles.size();
+  run.stats.exact_pairs = n * (n - 1) / 2;
+  const auto ids = id_sets(profiles, options.pool);
+  if (ids.empty()) return run;
+  // One signature pass feeds both artifacts.
+  const LshIndex index = build_lsh_index(ids, options);
+  run.stats.lsh_candidate_pairs = index.candidate_pairs().size();
+  run.clusters =
+      cluster_from_ids(ids, options, options.use_lsh ? &index : nullptr);
+  return run;
 }
 
 }  // namespace repro::cluster

@@ -8,12 +8,22 @@
 // work criticizes) or LSH-accelerated (the scalable variant Anubis
 // uses); both yield the same clusters whenever LSH proposes every
 // qualifying pair.
+//
+// Parallelism: when `BehavioralOptions::pool` is set, signature
+// computation and bucket evaluation are distributed over the pool.
+// Because the result is a connected-component partition, evaluation
+// order never changes it — output is byte-identical at every pool
+// width, including the serial pool == nullptr path.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "sandbox/profile.hpp"
+
+namespace repro {
+class ThreadPool;
+}  // namespace repro
 
 namespace repro::cluster {
 
@@ -25,6 +35,10 @@ struct BehavioralOptions {
   std::size_t lsh_bands = 20;
   std::size_t lsh_rows = 5;
   std::uint64_t seed = 0x6c5b'0001;
+  /// Optional worker pool (non-owning). Parallelizes the MinHash
+  /// signature pass and the per-bucket Jaccard evaluation; clusters
+  /// are identical at any width.
+  ThreadPool* pool = nullptr;
 };
 
 struct BehavioralClusters {
@@ -45,13 +59,25 @@ struct BehavioralClusters {
     const std::vector<const sandbox::BehavioralProfile*>& profiles,
     const BehavioralOptions& options = {});
 
-/// Number of similarity evaluations the last call would perform under
-/// each strategy — exposed for the scalability ablation bench.
+/// Number of similarity evaluations a run would perform under each
+/// strategy — exposed for the scalability ablation bench.
 struct PairStats {
   std::size_t exact_pairs = 0;
   std::size_t lsh_candidate_pairs = 0;
 };
 [[nodiscard]] PairStats pair_stats(
+    const std::vector<const sandbox::BehavioralProfile*>& profiles,
+    const BehavioralOptions& options = {});
+
+/// Clusters and pair statistics from one shared MinHash signature
+/// pass. Calling cluster_profiles + pair_stats separately computes
+/// every signature twice; this computes them once and derives both
+/// artifacts from the same index.
+struct ClusteringRun {
+  BehavioralClusters clusters;
+  PairStats stats;
+};
+[[nodiscard]] ClusteringRun cluster_profiles_with_stats(
     const std::vector<const sandbox::BehavioralProfile*>& profiles,
     const BehavioralOptions& options = {});
 

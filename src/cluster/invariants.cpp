@@ -1,6 +1,7 @@
 #include "cluster/invariants.hpp"
 
 #include "util/error.hpp"
+#include "util/sorted.hpp"
 
 namespace repro::cluster {
 
@@ -60,11 +61,17 @@ InvariantTable discover_invariants(const DimensionData& data,
 
   InvariantTable table{feature_count};
   for (std::size_t f = 0; f < feature_count; ++f) {
-    for (const auto& [value, value_stats] : stats[f]) {
+    // Sorted keys: the table content is order-independent, but walking
+    // the hash map directly would wire its iteration order into any
+    // consumer that enumerates the table — keep the whole path
+    // deterministic instead.
+    const std::vector<std::string> values = sorted_keys(stats[f]);
+    for (const std::string& value : values) {
       // A missing observation is not a value: it must never become an
       // invariant (truncated samples would otherwise cluster on their
       // unobservable PE fields).
       if (value == kNotAvailable) continue;
+      const ValueStats& value_stats = stats[f].at(value);
       if (value_stats.instances >= thresholds.min_instances &&
           value_stats.sources.size() >= thresholds.min_sources &&
           value_stats.destinations.size() >= thresholds.min_destinations) {

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "util/error.hpp"
+#include "util/sorted.hpp"
 
 namespace repro::cluster {
 
@@ -36,11 +37,20 @@ QualityMetrics evaluate_clustering(const std::vector<int>& assignment,
     best_in_cluster[cluster] = std::max(best_in_cluster[cluster], count);
     best_in_truth[label] = std::max(best_in_truth[label], count);
   }
+  // The marginal maps are iterated in sorted order below: the integer
+  // sums are order-independent, but the floating-point pairwise sums
+  // are not associative — hash-seed iteration order would make the
+  // metrics differ across stdlib implementations.
+  const auto cluster_marginals = sorted_items(cluster_size);
+  const auto truth_marginals = sorted_items(truth_size);
+  const auto cluster_best = sorted_items(best_in_cluster);
+  const auto truth_best = sorted_items(best_in_truth);
+
   QualityMetrics metrics;
   std::size_t precision_sum = 0;
-  for (const auto& [cluster, best] : best_in_cluster) precision_sum += best;
+  for (const auto& [cluster, best] : cluster_best) precision_sum += best;
   std::size_t recall_sum = 0;
-  for (const auto& [label, best] : best_in_truth) recall_sum += best;
+  for (const auto& [label, best] : truth_best) recall_sum += best;
   metrics.precision = static_cast<double>(precision_sum) / n;
   metrics.recall = static_cast<double>(recall_sum) / n;
   metrics.f_measure =
@@ -58,11 +68,13 @@ QualityMetrics evaluate_clustering(const std::vector<int>& assignment,
   double together_both = 0.0;
   for (const auto& [key, count] : joint) together_both += pairs(count);
   double together_cluster = 0.0;
-  for (const auto& [cluster, size] : cluster_size) {
+  for (const auto& [cluster, size] : cluster_marginals) {
     together_cluster += pairs(size);
   }
   double together_truth = 0.0;
-  for (const auto& [label, size] : truth_size) together_truth += pairs(size);
+  for (const auto& [label, size] : truth_marginals) {
+    together_truth += pairs(size);
+  }
   metrics.pairwise_precision =
       together_cluster > 0.0 ? together_both / together_cluster : 1.0;
   metrics.pairwise_recall =

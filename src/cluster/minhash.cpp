@@ -65,6 +65,17 @@ std::vector<std::vector<std::size_t>> LshIndex::multi_item_buckets() const {
       if (items.size() >= 2) out.push_back(items);
     }
   }
+  // The maps above yield buckets in hash-seed iteration order — stable
+  // within one binary but not across stdlib implementations, and a
+  // nondeterministic work partition once buckets are chunked across
+  // pool workers. Each bucket's item list is already ascending (items
+  // are inserted in index order), so lexicographic order sorts by
+  // smallest member with a deterministic tie-break, independent of the
+  // maps' internals. Near-duplicate profiles collide in many bands and
+  // produce identical member lists; adjacent duplicates are dropped so
+  // the consumer evaluates each distinct bucket once.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

@@ -53,9 +53,12 @@ class LshIndex {
   [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
   candidate_pairs() const;
 
-  /// The item lists of every bucket holding 2+ items, across all bands
-  /// (a pair of similar items typically appears in several bands; the
-  /// consumer is expected to deduplicate cheaply, e.g. via union-find).
+  /// The distinct item lists of every bucket holding 2+ items, across
+  /// all bands, in deterministic order (lexicographic — i.e. by
+  /// smallest member, with a stable tie-break): identical member lists
+  /// arising in several bands are returned once. A pair of similar
+  /// items can still appear in multiple *distinct* buckets; the
+  /// consumer deduplicates those cheaply, e.g. via union-find.
   [[nodiscard]] std::vector<std::vector<std::size_t>> multi_item_buckets()
       const;
 

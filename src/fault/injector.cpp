@@ -50,6 +50,7 @@ bool FaultInjector::sensor_down(int location, int week) {
   for (const SensorOutage& outage : plan_.sensor_outages) {
     if (outage.location == location && week >= outage.from_week &&
         week < outage.to_week) {
+      const std::lock_guard<std::mutex> lock{report_mutex_};
       ++report_.attacks_lost_to_outage;
       return true;
     }
@@ -60,37 +61,43 @@ bool FaultInjector::sensor_down(int location, int week) {
 FaultInjector::ProxyOutcome FaultInjector::try_proxy(std::uint64_t key) {
   ProxyOutcome outcome;
   outcome.attempts = 0;
+  std::size_t failures = 0;
+  bool abandoned = false;
   std::int64_t backoff = plan_.proxy_backoff_base_seconds;
+  outcome.refined = false;
   for (int attempt = 0; attempt <= plan_.proxy_max_retries; ++attempt) {
     ++outcome.attempts;
-    ++report_.proxy_attempts;
     if (!roll("proxy", mix64(key) + static_cast<std::uint64_t>(attempt),
               plan_.proxy_failure_probability)) {
       outcome.refined = true;
-      report_.proxy_backoff_seconds += outcome.backoff_seconds;
-      report_.proxy_retries +=
-          static_cast<std::size_t>(outcome.attempts - 1);
-      return outcome;
+      break;
     }
-    ++report_.proxy_failures;
+    ++failures;
     if (attempt < plan_.proxy_max_retries) {
       outcome.backoff_seconds += backoff;  // exponential backoff schedule
       backoff *= 2;
     }
   }
-  outcome.refined = false;
-  ++report_.refinements_abandoned;
-  report_.proxy_backoff_seconds += outcome.backoff_seconds;
-  report_.proxy_retries += static_cast<std::size_t>(outcome.attempts - 1);
+  abandoned = !outcome.refined;
+  {
+    const std::lock_guard<std::mutex> lock{report_mutex_};
+    report_.proxy_attempts += static_cast<std::size_t>(outcome.attempts);
+    report_.proxy_failures += failures;
+    if (abandoned) ++report_.refinements_abandoned;
+    report_.proxy_backoff_seconds += outcome.backoff_seconds;
+    report_.proxy_retries += static_cast<std::size_t>(outcome.attempts - 1);
+  }
   return outcome;
 }
 
 DownloadFault FaultInjector::download_fault(std::uint64_t key) {
   if (roll("download.refused", key, plan_.download_refused_probability)) {
+    const std::lock_guard<std::mutex> lock{report_mutex_};
     ++report_.downloads_refused;
     return DownloadFault::kRefused;
   }
   if (roll("download.corrupt", key, plan_.download_corruption_probability)) {
+    const std::lock_guard<std::mutex> lock{report_mutex_};
     ++report_.downloads_corrupted;
     return DownloadFault::kCorrupted;
   }
@@ -114,6 +121,7 @@ void FaultInjector::corrupt(std::vector<std::uint8_t>& bytes,
 
 bool FaultInjector::sandbox_fails(std::uint64_t key) {
   if (roll("sandbox", key, plan_.sandbox_failure_probability)) {
+    const std::lock_guard<std::mutex> lock{report_mutex_};
     ++report_.sandbox_failures;
     return true;
   }
@@ -122,6 +130,7 @@ bool FaultInjector::sandbox_fails(std::uint64_t key) {
 
 bool FaultInjector::av_label_gap(std::uint64_t key) {
   if (roll("avlabel", key, plan_.av_label_gap_probability)) {
+    const std::lock_guard<std::mutex> lock{report_mutex_};
     ++report_.av_label_gaps;
     return true;
   }

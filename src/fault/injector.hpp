@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -46,6 +47,8 @@ class FaultInjector {
   explicit FaultInjector(FaultPlan plan);
 
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  /// Only meaningful between pipeline stages: the counters mutate while
+  /// decision methods run (possibly from several enrichment workers).
   [[nodiscard]] const FaultReport& report() const noexcept { return report_; }
 
   /// True when `location`'s sensors are dark during `week`; bumps the
@@ -81,6 +84,12 @@ class FaultInjector {
                           double p) const noexcept;
 
   FaultPlan plan_;
+  /// Decisions are pure hashes, but the report counters are shared
+  /// mutable state; enrichment calls sandbox_fails/av_label_gap from
+  /// pool workers, so every counter bump takes this lock. The decision
+  /// itself never depends on the counters — concurrency cannot change
+  /// outcomes, only the bookkeeping needs the mutex.
+  std::mutex report_mutex_;
   FaultReport report_;
 };
 

@@ -18,6 +18,10 @@
 #include "malware/landscape.hpp"
 #include "sandbox/environment.hpp"
 
+namespace repro {
+class ThreadPool;
+}  // namespace repro
+
 namespace repro::honeypot {
 
 struct EnrichmentStats {
@@ -37,10 +41,13 @@ struct EnrichmentStats {
 /// the real binary; the *environment at first-seen time* decides what
 /// the profile records. `faults` (optional) injects sandbox failures
 /// and AV-label gaps; submitted == executed + failed + sandbox_faults
-/// always holds.
+/// always holds. `pool` (optional) fans per-sample work out over the
+/// pool; every sample's enrichment is a pure function of the sample
+/// itself, so the result is identical at any width.
 EnrichmentStats enrich_database(EventDatabase& db,
                                 const malware::Landscape& landscape,
                                 const sandbox::Environment& environment,
-                                fault::FaultInjector* faults = nullptr);
+                                fault::FaultInjector* faults = nullptr,
+                                ThreadPool* pool = nullptr);
 
 }  // namespace repro::honeypot

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/rng.hpp"
+#include "util/sorted.hpp"
 
 namespace repro::sandbox {
 
@@ -12,8 +13,11 @@ std::vector<std::uint64_t> BehavioralProfile::feature_ids() const {
   for (const std::string& feature : features_) {
     ids.push_back(fnv1a64(feature));
   }
-  std::sort(ids.begin(), ids.end());
-  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  // Dedup is load-bearing, not cosmetic: distinct features whose FNV-1a
+  // ids collide must collapse to one id, or the Jaccard merge-walk in
+  // cluster/behavioral (which requires sorted *unique* input) would
+  // double-count the colliding id on one side.
+  sorted_unique(ids);
   return ids;
 }
 

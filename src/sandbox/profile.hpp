@@ -33,8 +33,10 @@ class BehavioralProfile {
     return features_.count(feature) > 0;
   }
 
-  /// Stable 64-bit ids of the features (FNV-1a), sorted — the form the
-  /// clustering algorithms consume.
+  /// Stable 64-bit ids of the features (FNV-1a), sorted and unique —
+  /// the contract the clustering algorithms' merge-walks rely on. Two
+  /// distinct features hashing to the same id (an FNV collision)
+  /// deliberately collapse to one entry.
   [[nodiscard]] std::vector<std::uint64_t> feature_ids() const;
 
   friend bool operator==(const BehavioralProfile&,

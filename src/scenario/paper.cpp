@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <functional>
 #include <set>
 #include <string_view>
 #include <tuple>
@@ -13,6 +14,7 @@
 #include "util/byteio.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace repro::scenario {
 
@@ -797,6 +799,10 @@ Dataset build_paper_dataset(const ScenarioOptions& options) {
   snapshot::CheckpointStore store{options.checkpoint,
                                   scenario_fingerprint(options)};
   Dataset dataset;
+  // One pool for the whole build; every consumer produces output
+  // byte-identical to the serial path, so the width is a pure
+  // throughput knob (and deliberately absent from the fingerprint).
+  ThreadPool pool{options.threads};
 
   // Stage 1 — ground truth. The environment is a pure function of the
   // landscape, so it is rebuilt rather than snapshotted.
@@ -831,7 +837,7 @@ Dataset build_paper_dataset(const ScenarioOptions& options) {
     snapshot::DatabaseStage stage;
     stage.db = deployment.run();
     stage.enrichment = honeypot::enrich_database(
-        stage.db, dataset.landscape, dataset.environment, faults);
+        stage.db, dataset.landscape, dataset.environment, faults, &pool);
     stage.fault_report = injector.report();
     store.save_database(stage);
     dataset.db = std::move(stage.db);
@@ -839,29 +845,55 @@ Dataset build_paper_dataset(const ScenarioOptions& options) {
     dataset.fault_report = stage.fault_report;
   }
 
-  // Stage 3 — E/P/M clustering.
-  if (auto loaded = store.load_epm()) {
-    dataset.e = std::move(loaded->e);
-    dataset.p = std::move(loaded->p);
-    dataset.m = std::move(loaded->m);
-  } else {
-    snapshot::EpmStage stage;
-    stage.e = cluster::epm_cluster(cluster::build_epsilon_data(dataset.db));
-    stage.p = cluster::epm_cluster(cluster::build_pi_data(dataset.db));
-    stage.m = cluster::epm_cluster(cluster::build_mu_data(dataset.db));
-    store.save_epm(stage);
-    dataset.e = std::move(stage.e);
-    dataset.p = std::move(stage.p);
-    dataset.m = std::move(stage.m);
-  }
+  // Stages 3 and 4 — the four clusterings (E, P, M, B) are mutually
+  // independent views of the same immutable database, so whichever are
+  // not restored from checkpoints run as concurrent pool tasks. The
+  // snapshots are still written afterwards in stage order (EPM before
+  // behavioral) so a crash can never leave a later checkpoint without
+  // its predecessor.
+  auto loaded_epm = store.load_epm();
+  auto loaded_behavioral = store.load_behavioral();
 
-  // Stage 4 — behavioral clustering.
-  if (auto loaded = store.load_behavioral()) {
-    dataset.b = std::move(*loaded);
+  snapshot::EpmStage epm_stage;
+  std::vector<std::function<void()>> cluster_tasks;
+  if (!loaded_epm) {
+    cluster_tasks.emplace_back([&] {
+      epm_stage.e =
+          cluster::epm_cluster(cluster::build_epsilon_data(dataset.db));
+    });
+    cluster_tasks.emplace_back([&] {
+      epm_stage.p = cluster::epm_cluster(cluster::build_pi_data(dataset.db));
+    });
+    cluster_tasks.emplace_back([&] {
+      epm_stage.m = cluster::epm_cluster(cluster::build_mu_data(dataset.db));
+    });
+  }
+  if (!loaded_behavioral) {
+    cluster_tasks.emplace_back([&] {
+      cluster::BehavioralOptions behavioral;
+      behavioral.threshold = options.b_threshold;
+      // The behavioral task additionally parallelizes internally
+      // (nested submission): idle workers from the cheaper EPM tasks
+      // drain its signature and bucket chunks.
+      behavioral.pool = &pool;
+      dataset.b = analysis::BehavioralView::build(dataset.db, behavioral);
+    });
+  }
+  pool.run_tasks(cluster_tasks);
+
+  if (loaded_epm) {
+    dataset.e = std::move(loaded_epm->e);
+    dataset.p = std::move(loaded_epm->p);
+    dataset.m = std::move(loaded_epm->m);
   } else {
-    cluster::BehavioralOptions behavioral;
-    behavioral.threshold = options.b_threshold;
-    dataset.b = analysis::BehavioralView::build(dataset.db, behavioral);
+    store.save_epm(epm_stage);
+    dataset.e = std::move(epm_stage.e);
+    dataset.p = std::move(epm_stage.p);
+    dataset.m = std::move(epm_stage.m);
+  }
+  if (loaded_behavioral) {
+    dataset.b = std::move(*loaded_behavioral);
+  } else {
     store.save_behavioral(dataset.b);
   }
 

@@ -29,6 +29,12 @@ struct ScenarioOptions {
   double scale = 1.0;
   /// Jaccard threshold of the behavioral clustering.
   double b_threshold = 0.70;
+  /// Worker-pool width for the processing pipeline (enrichment and the
+  /// four clusterings). 0 = hardware_concurrency, 1 = the bit-exact
+  /// legacy serial path. Output is byte-identical at every width, so —
+  /// like the checkpoint knobs — this never enters the scenario
+  /// fingerprint.
+  std::size_t threads = 0;
   /// Fault-injection plan. The default (empty) plan is guaranteed to
   /// produce a dataset bit-identical to a run without any injector.
   fault::FaultPlan faults;
@@ -42,9 +48,9 @@ struct ScenarioOptions {
 };
 
 /// Stable 64-bit digest of every dataset-shaping option (seed, scale,
-/// threshold and the full fault plan — not the checkpoint knobs).
-/// Embedded in snapshots so stale checkpoints never leak across
-/// configurations.
+/// threshold and the full fault plan — not the checkpoint knobs, and
+/// not `threads`, which never changes the dataset). Embedded in
+/// snapshots so stale checkpoints never leak across configurations.
 [[nodiscard]] std::uint64_t scenario_fingerprint(
     const ScenarioOptions& options);
 

@@ -34,6 +34,18 @@ template <typename Assoc>
   return keys;
 }
 
+/// Sorts the vector and drops duplicates in place — the canonical
+/// "sorted unique" contract the clustering layer's merge-walk
+/// algorithms (jaccard_ids and friends) require of their inputs.
+/// Hashed feature ids go through this so an FNV-1a collision between
+/// two distinct features collapses to one id instead of skewing
+/// intersection/union counts.
+template <typename T>
+void sorted_unique(std::vector<T>& values) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+}
+
 /// The map's (key, value) pairs as a vector sorted by key.
 template <typename Map>
 [[nodiscard]] std::vector<

@@ -1,0 +1,113 @@
+#include "util/thread_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace repro {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t width = threads;
+  if (width == 0) {
+    width = std::thread::hardware_concurrency();
+    if (width == 0) width = 1;
+  }
+  workers_.reserve(width - 1);
+  for (std::size_t i = 0; i + 1 < width; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock{queue_mutex_};
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock{queue_mutex_};
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to help
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    work_on(*job);
+  }
+}
+
+void ThreadPool::work_on(Job& job) {
+  for (;;) {
+    const std::size_t index = job.next.fetch_add(1);
+    if (index >= job.total_chunks) return;
+    const std::size_t begin = index * job.chunk;
+    const std::size_t end = std::min(job.count, begin + job.chunk);
+    try {
+      (*job.fn)(begin, end);
+    } catch (...) {
+      // Every chunk still runs; the lowest-indexed failure wins so the
+      // exception the caller sees is scheduling-independent.
+      const std::lock_guard<std::mutex> lock{job.mutex};
+      if (index < job.error_chunk) {
+        job.error_chunk = index;
+        job.error = std::current_exception();
+      }
+    }
+    if (job.done.fetch_add(1) + 1 == job.total_chunks) {
+      {
+        const std::lock_guard<std::mutex> lock{job.mutex};
+        job.finished = true;
+      }
+      job.finished_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (chunk == 0) {
+    throw ConfigError("ThreadPool::parallel_for: chunk must be positive");
+  }
+  if (count == 0) return;
+  const std::size_t total_chunks = (count + chunk - 1) / chunk;
+  if (workers_.empty() || total_chunks == 1) {
+    // Inline serial path (also the width-1 legacy mode): identical
+    // chunk boundaries, ascending order.
+    for (std::size_t index = 0; index < total_chunks; ++index) {
+      const std::size_t begin = index * chunk;
+      fn(begin, std::min(count, begin + chunk));
+    }
+    return;
+  }
+
+  const auto job = std::make_shared<Job>();
+  job->count = count;
+  job->chunk = chunk;
+  job->total_chunks = total_chunks;
+  job->fn = &fn;
+  {
+    const std::lock_guard<std::mutex> lock{queue_mutex_};
+    // One helper ticket per worker that could usefully join; extra
+    // tickets drain instantly once the chunks run out.
+    const std::size_t helpers = std::min(workers_.size(), total_chunks - 1);
+    for (std::size_t i = 0; i < helpers; ++i) queue_.push_back(job);
+  }
+  queue_cv_.notify_all();
+
+  work_on(*job);  // the caller participates — guarantees progress
+
+  std::unique_lock<std::mutex> lock{job->mutex};
+  job->finished_cv.wait(lock, [&] { return job->finished; });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::run_tasks(const std::vector<std::function<void()>>& tasks) {
+  parallel_for(tasks.size(), 1,
+               [&](std::size_t begin, std::size_t) { tasks[begin](); });
+}
+
+}  // namespace repro

@@ -1,0 +1,107 @@
+// Deterministic fixed-size worker pool.
+//
+// The pipeline's parallelism primitive: `parallel_for` splits an index
+// range into fixed-size chunks that workers claim atomically, and
+// `map_chunks` writes every chunk's result into its own slot and
+// returns the slots in index order, so any reduction the caller
+// performs is independent of scheduling. Nothing here draws randomness
+// or reads a clock (RL002-clean by construction); combined with
+// per-chunk-deterministic work functions this makes pipeline output
+// byte-identical at every pool width.
+//
+// Scheduling properties:
+//  - The calling thread participates in its own job, so a `parallel_for`
+//    issued from inside a worker (nested submission) always makes
+//    progress even when every other worker is busy.
+//  - Exceptions thrown by chunk functions are captured and rethrown on
+//    the calling thread after the job drains; when several chunks
+//    throw, the lowest-indexed chunk's exception wins, so even failure
+//    is deterministic.
+//  - A pool of width 1 owns no worker threads and runs everything
+//    inline — the bit-exact legacy serial path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace repro {
+
+class ThreadPool {
+ public:
+  /// `threads` = total width including the calling thread; 0 picks
+  /// hardware_concurrency, 1 runs everything inline.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total width (worker threads + the participating caller), >= 1.
+  [[nodiscard]] std::size_t width() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  /// Runs fn(begin, end) over [0, count) in chunks of `chunk` indices.
+  /// Blocks until every chunk finished; rethrows the lowest-indexed
+  /// chunk's exception. `chunk` must be positive.
+  void parallel_for(std::size_t count, std::size_t chunk,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Runs every task (index order defines identity); blocks until all
+  /// finished, rethrowing the lowest-indexed task's exception.
+  void run_tasks(const std::vector<std::function<void()>>& tasks);
+
+  /// Ordered reduce: maps every chunk [begin, end) to a value and
+  /// returns the values ordered by chunk index — merging them
+  /// left-to-right is scheduling-independent.
+  template <typename T, typename Map>
+  std::vector<T> map_chunks(std::size_t count, std::size_t chunk, Map&& map) {
+    if (chunk == 0) {
+      // parallel_for performs the same validation; call it for the
+      // uniform ConfigError before sizing the slot vector.
+      parallel_for(count, chunk, [](std::size_t, std::size_t) {});
+    }
+    std::vector<T> slots(count == 0 ? 0 : (count + chunk - 1) / chunk);
+    parallel_for(count, chunk,
+                 [&](std::size_t begin, std::size_t end) {
+                   slots[begin / chunk] = map(begin, end);
+                 });
+    return slots;
+  }
+
+ private:
+  /// One parallel_for in flight: workers and the caller claim chunk
+  /// indices from `next` until exhausted.
+  struct Job {
+    std::size_t count = 0;
+    std::size_t chunk = 1;
+    std::size_t total_chunks = 0;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable finished_cv;
+    bool finished = false;
+    std::exception_ptr error;                  // guarded by mutex
+    std::size_t error_chunk = ~std::size_t{0};  // guarded by mutex
+  };
+
+  void worker_loop();
+  static void work_on(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<Job>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace repro

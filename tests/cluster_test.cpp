@@ -3,6 +3,7 @@
 // clustering, peHash baseline, quality metrics.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "cluster/behavioral.hpp"
@@ -16,6 +17,7 @@
 #include "pe/builder.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace repro::cluster {
 namespace {
@@ -410,6 +412,96 @@ TEST(Behavioral, PairStatsLshPrunes) {
   EXPECT_EQ(stats.exact_pairs, 40u * 39u / 2);
   EXPECT_LT(stats.lsh_candidate_pairs, stats.exact_pairs);
   EXPECT_GE(stats.lsh_candidate_pairs, 2u * (20u * 19u / 2));
+}
+
+/// Two tight families of near-duplicates — the shape that makes
+/// identical member lists recur across many LSH bands.
+std::vector<sandbox::BehavioralProfile> dense_profiles(int per_family) {
+  std::vector<sandbox::BehavioralProfile> profiles;
+  for (int i = 0; i < 2 * per_family; ++i) {
+    sandbox::BehavioralProfile p;
+    const std::string prefix = i < per_family ? "A" : "B";
+    for (int f = 0; f < 12; ++f) p.add(prefix + std::to_string(f));
+    p.add("u" + std::to_string(i));
+    profiles.push_back(std::move(p));
+  }
+  return profiles;
+}
+
+TEST(Lsh, MultiItemBucketsAreSortedAndDeduped) {
+  const auto profiles = dense_profiles(15);
+  const MinHasher hasher{20 * 5, 7};
+  LshIndex index{20, 5};
+  std::vector<std::vector<std::uint64_t>> ids;
+  for (const auto& p : profiles) {
+    ids.push_back(p.feature_ids());
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    index.insert(i, hasher.signature(ids[i]));
+  }
+  const auto buckets = index.multi_item_buckets();
+  ASSERT_FALSE(buckets.empty());
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    EXPECT_GE(buckets[b].size(), 2u);
+    // Members ascend within a bucket (inserted in index order)...
+    EXPECT_TRUE(std::is_sorted(buckets[b].begin(), buckets[b].end()));
+    // ...and the bucket list itself is strictly increasing
+    // lexicographically: deterministic order, no duplicate lists even
+    // when several bands produced the same membership.
+    if (b > 0) {
+      EXPECT_LT(buckets[b - 1], buckets[b]);
+    }
+  }
+}
+
+TEST(Behavioral, ClusterIdsDensifiedByFirstMember) {
+  // Union-by-size reworked the internal root choice; the public ids
+  // must still be densified by first member: each new id is exactly
+  // one past the largest id seen so far.
+  const auto profiles = family_profiles();
+  for (const bool use_lsh : {false, true}) {
+    BehavioralOptions options;
+    options.use_lsh = use_lsh;
+    const auto clusters = cluster_profiles(pointers(profiles), options);
+    ASSERT_FALSE(clusters.assignment.empty());
+    EXPECT_EQ(clusters.assignment[0], 0u);
+    std::size_t max_seen = 0;
+    for (const std::size_t id : clusters.assignment) {
+      EXPECT_LE(id, max_seen + 1) << "use_lsh=" << use_lsh;
+      max_seen = std::max(max_seen, id);
+    }
+  }
+}
+
+TEST(Behavioral, PoolWidthsProduceIdenticalAssignments) {
+  const auto profiles = dense_profiles(30);
+  BehavioralOptions serial;
+  const auto baseline = cluster_profiles(pointers(profiles), serial);
+  for (const std::size_t width : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{8}}) {
+    ThreadPool pool{width};
+    BehavioralOptions pooled = serial;
+    pooled.pool = &pool;
+    const auto clusters = cluster_profiles(pointers(profiles), pooled);
+    EXPECT_EQ(clusters.assignment, baseline.assignment)
+        << "width " << width;
+  }
+}
+
+TEST(Behavioral, WithStatsMatchesSeparateCalls) {
+  // One signature pass must reproduce what the two separate entry
+  // points compute.
+  const auto profiles = dense_profiles(20);
+  ThreadPool pool{4};
+  BehavioralOptions options;
+  options.pool = &pool;
+  const ClusteringRun run =
+      cluster_profiles_with_stats(pointers(profiles), options);
+  EXPECT_EQ(run.clusters.assignment,
+            cluster_profiles(pointers(profiles), options).assignment);
+  const PairStats expected = pair_stats(pointers(profiles), options);
+  EXPECT_EQ(run.stats.exact_pairs, expected.exact_pairs);
+  EXPECT_EQ(run.stats.lsh_candidate_pairs, expected.lsh_candidate_pairs);
 }
 
 // ------------------------------------------------------------------ pehash

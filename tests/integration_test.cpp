@@ -196,6 +196,35 @@ TEST_F(Pipeline, TruncatedSamplesNeverCarryProfiles) {
   }
 }
 
+/// Every exported artifact of a dataset, as one byte string.
+std::string all_exports(const scenario::Dataset& ds) {
+  std::ostringstream out;
+  io::write_events_csv(out, ds.db, ds.e, ds.p, ds.m, ds.b);
+  io::write_samples_csv(out, ds.db, ds.b);
+  io::write_clusters_csv(out, ds.e);
+  io::write_clusters_csv(out, ds.p);
+  io::write_clusters_csv(out, ds.m);
+  io::write_profiles_jsonl(out, ds.db);
+  return std::move(out).str();
+}
+
+TEST(Determinism, ThreadWidthNeverChangesExportedBytes) {
+  // The ScenarioOptions::threads contract: width 1 is the bit-exact
+  // legacy serial path, and every other width exports the same bytes.
+  scenario::ScenarioOptions options;
+  options.scale = 0.08;
+  options.seed = 41;
+  options.threads = 1;
+  const std::string baseline =
+      all_exports(scenario::build_paper_dataset(options));
+  ASSERT_FALSE(baseline.empty());
+  for (const std::size_t width : {std::size_t{2}, std::size_t{8}}) {
+    options.threads = width;
+    EXPECT_EQ(all_exports(scenario::build_paper_dataset(options)), baseline)
+        << "width " << width;
+  }
+}
+
 TEST_F(Pipeline, EventTimesInsideObservationWindow) {
   const SimTime start = ds().landscape.start_time;
   const SimTime end = add_weeks(start, ds().landscape.weeks);

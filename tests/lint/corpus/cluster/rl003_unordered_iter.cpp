@@ -1,0 +1,42 @@
+// Golden corpus: RL003 — unordered iteration on a clustering path.
+// This file lives under a directory named cluster/ (mirroring
+// src/cluster), gated since the clustering stages went parallel:
+// hash-order walks there decide tie-breaks (metric sums, candidate
+// ordering) that must be identical at every thread width. Never
+// compiled; consumed by tests/lint_test.cpp.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+double purity_sum(const std::unordered_map<std::string, double>& best) {
+  double total = 0.0;
+  for (const auto& [label, value] : best) {  // expect(RL003)
+    total += value;
+  }
+  return total;
+}
+
+std::size_t candidate_count(const std::unordered_set<std::size_t>& pairs) {
+  std::size_t n = 0;
+  for (const std::size_t pair : pairs) {  // expect(RL003)
+    n += pair;
+  }
+  return n;
+}
+
+// The sanctioned fix: hoist a sorted copy to its own declaration, then
+// walk the copy. Mentioning the unordered name inside the range
+// expression — even wrapped in sorted_items(...) — still fires, so the
+// copy must be a separate statement.
+std::vector<std::pair<std::string, double>> sorted_items(
+    const std::unordered_map<std::string, double>& best);
+
+double purity_sum_sorted(const std::unordered_map<std::string, double>& best) {
+  double total = 0.0;
+  const auto items = sorted_items(best);
+  for (const auto& [label, value] : items) {
+    total += value;
+  }
+  return total;
+}

@@ -174,7 +174,38 @@ TEST(Engine, Rl003OnlyFiresOnExportPathDirectories) {
   EXPECT_FALSE(lint_source("src/io/export.cpp", source).empty());
   EXPECT_FALSE(lint_source("src/report/table.cpp", source).empty());
   EXPECT_FALSE(lint_source("src/snapshot/codec.cpp", source).empty());
-  EXPECT_TRUE(lint_source("src/cluster/feature.cpp", source).empty());
+  // src/cluster joined the gated set when the clustering stages went
+  // parallel: hash-order walks there decide tie-breaks that must not
+  // vary with thread width.
+  EXPECT_FALSE(lint_source("src/cluster/feature.cpp", source).empty());
+  EXPECT_TRUE(lint_source("src/malware/landscape.cpp", source).empty());
+}
+
+TEST(Engine, Rl003SanctionsHoistedSortedCopiesInCluster) {
+  // The fix the rule suggests — hoist a sorted copy to its own
+  // declaration, then range-for over the copy — must itself be clean.
+  const std::string clean =
+      "#include <unordered_map>\n"
+      "#include \"util/sorted.hpp\"\n"
+      "double sum(const std::unordered_map<std::string, double>& m) {\n"
+      "  double total = 0.0;\n"
+      "  const auto items = repro::sorted_items(m);\n"
+      "  for (const auto& [key, value] : items) total += value;\n"
+      "  return total;\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("src/cluster/metrics.cpp", clean).empty());
+  // ...while mentioning the unordered name inside the range expression
+  // still fires, even wrapped in the sorting helper call.
+  const std::string inline_call =
+      "#include <unordered_map>\n"
+      "#include \"util/sorted.hpp\"\n"
+      "double sum(const std::unordered_map<std::string, double>& m) {\n"
+      "  double total = 0.0;\n"
+      "  for (const auto& [key, value] : repro::sorted_items(m)) "
+      "total += value;\n"
+      "  return total;\n"
+      "}\n";
+  EXPECT_FALSE(lint_source("src/cluster/metrics.cpp", inline_call).empty());
 }
 
 TEST(Engine, DiagnosticsAreOrderedByLine) {

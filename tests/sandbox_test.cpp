@@ -55,6 +55,11 @@ TEST(Profile, FeatureIdsSortedUnique) {
   const auto ids = profile_of({"x", "y", "z"}).feature_ids();
   EXPECT_EQ(ids.size(), 3u);
   EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+  // Strictly sorted — adjacent duplicates would survive a plain sort,
+  // so this doubles as the hash-collision regression: even if two
+  // distinct features collide to one 64-bit id, the id set carries it
+  // once (set semantics the clustering merge-walks rely on).
+  EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
 }
 
 TEST(Profile, AddIsIdempotent) {

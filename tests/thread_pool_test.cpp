@@ -1,0 +1,196 @@
+// Torture tests for the deterministic worker pool (util/thread_pool).
+//
+// The pool's contract is stronger than "runs things concurrently": every
+// chunk always runs (even when a sibling throws), exceptions surface
+// deterministically (the lowest-indexed failing chunk wins regardless of
+// scheduling), map_chunks reduces in index order, and width 1 is the
+// bit-exact serial loop. These tests hammer each clause, including
+// nested submission from inside a running task — the shape the scenario
+// pipeline uses when the behavioral task fans out its own chunks.
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/error.hpp"
+
+namespace repro {
+namespace {
+
+TEST(ThreadPool, WidthOneHasNoWorkers) {
+  ThreadPool pool{1};
+  EXPECT_EQ(pool.width(), 1u);
+}
+
+TEST(ThreadPool, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool{0};
+  EXPECT_GE(pool.width(), 1u);
+}
+
+TEST(ThreadPool, EveryIndexVisitedExactlyOnce) {
+  for (const std::size_t width : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool{width};
+    constexpr std::size_t kCount = 1013;  // prime: ragged final chunk
+    std::vector<std::atomic<int>> visits(kCount);
+    pool.parallel_for(kCount, 7, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+    });
+    for (std::size_t i = 0; i < kCount; ++i) {
+      EXPECT_EQ(visits[i].load(), 1) << "index " << i << " width " << width;
+    }
+  }
+}
+
+TEST(ThreadPool, ZeroLengthRangeIsANoOp) {
+  ThreadPool pool{4};
+  bool ran = false;
+  pool.parallel_for(0, 16, [&](std::size_t, std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ZeroChunkIsAConfigError) {
+  ThreadPool pool{2};
+  EXPECT_THROW(pool.parallel_for(10, 0, [](std::size_t, std::size_t) {}),
+               ConfigError);
+}
+
+TEST(ThreadPool, LowestIndexedExceptionWinsAndAllChunksStillRun) {
+  ThreadPool pool{4};
+  constexpr std::size_t kCount = 64;
+  std::vector<std::atomic<int>> visits(kCount);
+  try {
+    pool.parallel_for(kCount, 1, [&](std::size_t begin, std::size_t) {
+      visits[begin].fetch_add(1);
+      // Chunks 5, 20 and 40 all throw; whichever thread runs them, the
+      // surviving exception must be chunk 5's.
+      if (begin == 5 || begin == 20 || begin == 40) {
+        throw std::runtime_error("chunk " + std::to_string(begin));
+      }
+    });
+    FAIL() << "parallel_for swallowed the exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 5");
+  }
+  // Graceful degradation clause: a throwing sibling never cancels the
+  // rest of the range.
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(visits[i].load(), 1) << "chunk " << i << " was skipped";
+  }
+}
+
+TEST(ThreadPool, SerialWidthReportsTheSameException) {
+  ThreadPool pool{1};
+  try {
+    pool.parallel_for(8, 1, [&](std::size_t begin, std::size_t) {
+      if (begin >= 3) throw std::runtime_error("chunk " + std::to_string(begin));
+    });
+    FAIL() << "parallel_for swallowed the exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 3");
+  }
+}
+
+TEST(ThreadPool, MapChunksReducesInIndexOrder) {
+  ThreadPool pool{4};
+  constexpr std::size_t kCount = 100;
+  const std::vector<std::size_t> slots = pool.map_chunks<std::size_t>(
+      kCount, 9, [](std::size_t begin, std::size_t end) {
+        std::size_t sum = 0;
+        for (std::size_t i = begin; i < end; ++i) sum += i;
+        return sum;
+      });
+  ASSERT_EQ(slots.size(), (kCount + 8) / 9);
+  // Slot k must hold exactly chunk k's sum — ordered, not first-done.
+  std::size_t total = 0;
+  for (std::size_t k = 0; k < slots.size(); ++k) {
+    const std::size_t begin = k * 9;
+    const std::size_t end = std::min(kCount, begin + 9);
+    std::size_t expected = 0;
+    for (std::size_t i = begin; i < end; ++i) expected += i;
+    EXPECT_EQ(slots[k], expected) << "slot " << k;
+    total += slots[k];
+  }
+  EXPECT_EQ(total, kCount * (kCount - 1) / 2);
+}
+
+TEST(ThreadPool, NestedSubmissionMakesProgress) {
+  // The scenario pipeline submits the behavioral clustering as one task
+  // of run_tasks, and that task issues its own parallel_for on the same
+  // pool. Caller participation guarantees progress even when every
+  // worker is parked inside outer tasks.
+  ThreadPool pool{4};
+  std::atomic<std::size_t> inner_total{0};
+  std::vector<std::function<void()>> tasks;
+  for (int t = 0; t < 4; ++t) {
+    tasks.emplace_back([&pool, &inner_total] {
+      pool.parallel_for(32, 4, [&](std::size_t begin, std::size_t end) {
+        inner_total.fetch_add(end - begin);
+      });
+    });
+  }
+  pool.run_tasks(tasks);
+  EXPECT_EQ(inner_total.load(), 4u * 32u);
+}
+
+TEST(ThreadPool, RunTasksPropagatesLowestTaskException) {
+  ThreadPool pool{2};
+  std::vector<std::function<void()>> tasks;
+  for (int t = 0; t < 6; ++t) {
+    tasks.emplace_back([t] {
+      if (t == 2 || t == 4) {
+        throw std::runtime_error("task " + std::to_string(t));
+      }
+    });
+  }
+  try {
+    pool.run_tasks(tasks);
+    FAIL() << "run_tasks swallowed the exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 2");
+  }
+}
+
+TEST(ThreadPool, WidthOneMatchesSerialLoopExactly) {
+  // Width 1 is the legacy serial path: same traversal order, same
+  // floating-point accumulation, bit for bit.
+  std::vector<double> values(257);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 3);
+  }
+  double serial = 0.0;
+  for (const double v : values) serial += v;
+
+  ThreadPool pool{1};
+  double pooled = 0.0;
+  pool.parallel_for(values.size(), 1000,
+                    [&](std::size_t begin, std::size_t end) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        pooled += values[i];
+                      }
+                    });
+  EXPECT_EQ(serial, pooled);  // bitwise: single chunk, same order
+}
+
+TEST(ThreadPool, ReuseAcrossManyRounds) {
+  // The same pool instance serves every pipeline stage; hammer it with
+  // back-to-back jobs to shake out ticket/queue lifetime bugs.
+  ThreadPool pool{4};
+  std::size_t grand_total = 0;
+  for (int round = 0; round < 200; ++round) {
+    const std::vector<std::size_t> counts = pool.map_chunks<std::size_t>(
+        64, 8,
+        [](std::size_t begin, std::size_t end) { return end - begin; });
+    grand_total +=
+        std::accumulate(counts.begin(), counts.end(), std::size_t{0});
+  }
+  EXPECT_EQ(grand_total, 200u * 64u);
+}
+
+}  // namespace
+}  // namespace repro

@@ -90,6 +90,31 @@ TEST(Sorted, ItemsPreserveValuesAndOrderByKey) {
   EXPECT_EQ(items[2], (std::pair<std::string, int>{"gamma", 3}));
 }
 
+TEST(Sorted, UniqueSortsAndCollapsesDuplicates) {
+  // Regression shape for feature-id hash collisions: two distinct
+  // feature strings hashing to the same 64-bit id must contribute ONE
+  // set element, or Jaccard denominators drift between the merge-walk
+  // (set semantics) and signature (multiset) paths.
+  std::vector<std::uint64_t> ids{42, 7, 42, 42, 7, 1};
+  sorted_unique(ids);
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 7, 42}));
+}
+
+TEST(Sorted, UniqueOnEmptyAndSingleton) {
+  std::vector<int> empty;
+  sorted_unique(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{5};
+  sorted_unique(one);
+  EXPECT_EQ(one, (std::vector<int>{5}));
+}
+
+TEST(Sorted, UniqueAlreadySortedIsIdentity) {
+  std::vector<std::string> names{"a", "b", "c"};
+  sorted_unique(names);
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
 // --------------------------------------------------------------------- Rng
 
 TEST(Rng, DeterministicForSeed) {

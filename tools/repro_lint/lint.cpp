@@ -225,8 +225,9 @@ constexpr RuleDef kRules[] = {
      "wall-clock or global-RNG nondeterminism (time/rand/random_device/"
      "chrono clocks) outside util/rng and util/simtime"},
     {"RL003",
-     "range-for over unordered containers on export paths (src/io, "
-     "src/report, src/snapshot); use repro::sorted_keys/sorted_items"},
+     "range-for over unordered containers on export or clustering paths "
+     "(src/io, src/report, src/snapshot, src/cluster); use "
+     "repro::sorted_keys/sorted_items"},
     {"RL004",
      "raw std:: exception throw; translate to repro::ParseError / "
      "ConfigError / IoError"},
@@ -354,10 +355,13 @@ struct Checker {
     }
   }
 
-  // RL003 — unordered iteration on export paths.
+  // RL003 — unordered iteration on export paths, and since the
+  // clustering stages went parallel, on src/cluster too: a hash-order
+  // walk there decides tie-breaks (metric sums, candidate ordering)
+  // that must not vary run to run or with thread width.
   void check_unordered_iteration() {
     if (!in_dir(path, "io") && !in_dir(path, "report") &&
-        !in_dir(path, "snapshot")) {
+        !in_dir(path, "snapshot") && !in_dir(path, "cluster")) {
       return;
     }
     // Pass 1: names declared with an unordered_* type in this file.
