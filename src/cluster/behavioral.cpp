@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "cluster/minhash.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -110,6 +111,7 @@ LshIndex build_lsh_index(const std::vector<std::vector<std::uint64_t>>& ids,
   for (std::size_t i = 0; i < ids.size(); ++i) {
     index.insert(i, signatures[i]);
   }
+  obs::add_counter(options.metrics, "cluster.b.signatures", ids.size());
   return index;
 }
 
@@ -125,15 +127,36 @@ LshIndex build_lsh_index(const std::vector<std::vector<std::uint64_t>>& ids,
 void unite_bucket_pairs(UnionFind& groups,
                         const std::vector<std::vector<std::uint64_t>>& ids,
                         const std::vector<std::vector<std::size_t>>& buckets,
-                        double threshold, ThreadPool* pool) {
+                        const BehavioralOptions& options) {
+  const double threshold = options.threshold;
+  ThreadPool* pool = options.pool;
+  if (options.metrics != nullptr) {
+    // Worst-case pair count is a property of the bucket contents, not
+    // of the schedule — deterministic. The *performed* evaluation
+    // count below is not: the union-find short-circuit depends on the
+    // order (and task-locality) of earlier unions.
+    std::size_t bucket_pairs = 0;
+    for (const auto& bucket : buckets) {
+      bucket_pairs += bucket.size() * (bucket.size() - 1) / 2;
+    }
+    obs::add_counter(options.metrics, "cluster.b.bucket_pairs", bucket_pairs);
+  }
+  obs::Counter* evaluations =
+      options.metrics == nullptr
+          ? nullptr
+          : &options.metrics->counter("cluster.b.jaccard_evaluations",
+                                      obs::Channel::kRuntime);
+
   using Edge = std::pair<std::size_t, std::size_t>;
   const auto process = [&](const std::vector<std::size_t>& bucket,
-                           UnionFind& uf, std::vector<Edge>* edges) {
+                           UnionFind& uf, std::vector<Edge>* edges,
+                           std::uint64_t& evaluated) {
     for (std::size_t i = 1; i < bucket.size(); ++i) {
       for (std::size_t j = 0; j < i; ++j) {
         const std::size_t a = bucket[j];
         const std::size_t b = bucket[i];
         if (uf.find(a) == uf.find(b)) continue;
+        ++evaluated;
         if (jaccard_ids(ids[a], ids[b]) >= threshold) {
           uf.unite(a, b);
           if (edges != nullptr) edges->emplace_back(a, b);
@@ -143,7 +166,11 @@ void unite_bucket_pairs(UnionFind& groups,
   };
 
   if (pool == nullptr || pool->width() == 1 || buckets.size() < 2) {
-    for (const auto& bucket : buckets) process(bucket, groups, nullptr);
+    std::uint64_t evaluated = 0;
+    for (const auto& bucket : buckets) {
+      process(bucket, groups, nullptr, evaluated);
+    }
+    if (evaluations != nullptr) evaluations->add(evaluated);
     return;
   }
 
@@ -175,9 +202,11 @@ void unite_bucket_pairs(UnionFind& groups,
   std::vector<std::vector<Edge>> edges(tasks);
   pool->parallel_for(tasks, 1, [&](std::size_t task, std::size_t) {
     UnionFind local{n};
+    std::uint64_t evaluated = 0;
     for (std::size_t i = bounds[task]; i < bounds[task + 1]; ++i) {
-      process(buckets[i], local, &edges[task]);
+      process(buckets[i], local, &edges[task], evaluated);
     }
+    if (evaluations != nullptr) evaluations->add(evaluated);
   });
   for (const std::vector<Edge>& task_edges : edges) {
     for (const auto& [a, b] : task_edges) groups.unite(a, b);
@@ -196,16 +225,24 @@ BehavioralClusters cluster_from_ids(
 
   UnionFind groups{n};
   if (index != nullptr) {
-    unite_bucket_pairs(groups, ids, index->multi_item_buckets(),
-                       options.threshold, options.pool);
+    unite_bucket_pairs(groups, ids, index->multi_item_buckets(), options);
   } else {
+    std::uint64_t evaluated = 0;
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
         if (groups.find(i) == groups.find(j)) continue;
+        ++evaluated;
         if (jaccard_ids(ids[i], ids[j]) >= options.threshold) {
           groups.unite(i, j);
         }
       }
+    }
+    obs::add_counter(options.metrics, "cluster.b.exact_pairs",
+                     n * (n - 1) / 2);
+    if (options.metrics != nullptr) {
+      options.metrics
+          ->counter("cluster.b.jaccard_evaluations", obs::Channel::kRuntime)
+          .add(evaluated);
     }
   }
 
@@ -222,6 +259,11 @@ BehavioralClusters cluster_from_ids(
     result.assignment[i] = cluster;
     result.members[static_cast<std::size_t>(cluster)].push_back(i);
   }
+  // A partition of n items into k components took exactly n - k
+  // effective unions regardless of which redundant edges were skipped —
+  // deterministic even though the edge set explored is not.
+  obs::add_counter(options.metrics, "cluster.b.union_ops",
+                   n - result.members.size());
   return result;
 }
 

@@ -25,6 +25,10 @@ namespace repro {
 class ThreadPool;
 }  // namespace repro
 
+namespace repro::obs {
+class MetricsRegistry;
+}  // namespace repro::obs
+
 namespace repro::cluster {
 
 struct BehavioralOptions {
@@ -39,6 +43,13 @@ struct BehavioralOptions {
   /// signature pass and the per-bucket Jaccard evaluation; clusters
   /// are identical at any width.
   ThreadPool* pool = nullptr;
+  /// Optional metrics sink (non-owning). Work counts that are pure
+  /// functions of the input (signatures, bucket pairs, union
+  /// operations) land on the deterministic channel; the number of
+  /// Jaccard evaluations actually performed depends on how the
+  /// task-local union-find short-circuited, i.e. on pool width, so it
+  /// lands on the runtime channel.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct BehavioralClusters {

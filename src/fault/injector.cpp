@@ -34,6 +34,29 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
   plan_.validate();
 }
 
+FaultReport FaultInjector::report() const noexcept {
+  const auto sz = [](const std::atomic<std::uint64_t>& c) noexcept {
+    return static_cast<std::size_t>(c.load(std::memory_order_relaxed));
+  };
+  FaultReport report;
+  report.attacks_lost_to_outage = sz(counters_.attacks_lost_to_outage);
+  report.sensor_checks = sz(counters_.sensor_checks);
+  report.proxy_attempts = sz(counters_.proxy_attempts);
+  report.proxy_failures = sz(counters_.proxy_failures);
+  report.proxy_retries = sz(counters_.proxy_retries);
+  report.refinements_abandoned = sz(counters_.refinements_abandoned);
+  report.proxy_backoff_seconds =
+      counters_.proxy_backoff_seconds.load(std::memory_order_relaxed);
+  report.download_checks = sz(counters_.download_checks);
+  report.downloads_refused = sz(counters_.downloads_refused);
+  report.downloads_corrupted = sz(counters_.downloads_corrupted);
+  report.sandbox_checks = sz(counters_.sandbox_checks);
+  report.sandbox_failures = sz(counters_.sandbox_failures);
+  report.av_label_checks = sz(counters_.av_label_checks);
+  report.av_label_gaps = sz(counters_.av_label_gaps);
+  return report;
+}
+
 bool FaultInjector::roll(std::string_view stage, std::uint64_t key,
                          double p) const noexcept {
   if (p <= 0.0) return false;
@@ -47,11 +70,12 @@ bool FaultInjector::roll(std::string_view stage, std::uint64_t key,
 }
 
 bool FaultInjector::sensor_down(int location, int week) {
+  counters_.sensor_checks.fetch_add(1, std::memory_order_relaxed);
   for (const SensorOutage& outage : plan_.sensor_outages) {
     if (outage.location == location && week >= outage.from_week &&
         week < outage.to_week) {
-      const std::lock_guard<std::mutex> lock{report_mutex_};
-      ++report_.attacks_lost_to_outage;
+      counters_.attacks_lost_to_outage.fetch_add(1,
+                                                 std::memory_order_relaxed);
       return true;
     }
   }
@@ -61,8 +85,7 @@ bool FaultInjector::sensor_down(int location, int week) {
 FaultInjector::ProxyOutcome FaultInjector::try_proxy(std::uint64_t key) {
   ProxyOutcome outcome;
   outcome.attempts = 0;
-  std::size_t failures = 0;
-  bool abandoned = false;
+  std::uint64_t failures = 0;
   std::int64_t backoff = plan_.proxy_backoff_base_seconds;
   outcome.refined = false;
   for (int attempt = 0; attempt <= plan_.proxy_max_retries; ++attempt) {
@@ -78,27 +101,28 @@ FaultInjector::ProxyOutcome FaultInjector::try_proxy(std::uint64_t key) {
       backoff *= 2;
     }
   }
-  abandoned = !outcome.refined;
-  {
-    const std::lock_guard<std::mutex> lock{report_mutex_};
-    report_.proxy_attempts += static_cast<std::size_t>(outcome.attempts);
-    report_.proxy_failures += failures;
-    if (abandoned) ++report_.refinements_abandoned;
-    report_.proxy_backoff_seconds += outcome.backoff_seconds;
-    report_.proxy_retries += static_cast<std::size_t>(outcome.attempts - 1);
+  counters_.proxy_attempts.fetch_add(
+      static_cast<std::uint64_t>(outcome.attempts), std::memory_order_relaxed);
+  counters_.proxy_failures.fetch_add(failures, std::memory_order_relaxed);
+  if (!outcome.refined) {
+    counters_.refinements_abandoned.fetch_add(1, std::memory_order_relaxed);
   }
+  counters_.proxy_backoff_seconds.fetch_add(outcome.backoff_seconds,
+                                            std::memory_order_relaxed);
+  counters_.proxy_retries.fetch_add(
+      static_cast<std::uint64_t>(outcome.attempts - 1),
+      std::memory_order_relaxed);
   return outcome;
 }
 
 DownloadFault FaultInjector::download_fault(std::uint64_t key) {
+  counters_.download_checks.fetch_add(1, std::memory_order_relaxed);
   if (roll("download.refused", key, plan_.download_refused_probability)) {
-    const std::lock_guard<std::mutex> lock{report_mutex_};
-    ++report_.downloads_refused;
+    counters_.downloads_refused.fetch_add(1, std::memory_order_relaxed);
     return DownloadFault::kRefused;
   }
   if (roll("download.corrupt", key, plan_.download_corruption_probability)) {
-    const std::lock_guard<std::mutex> lock{report_mutex_};
-    ++report_.downloads_corrupted;
+    counters_.downloads_corrupted.fetch_add(1, std::memory_order_relaxed);
     return DownloadFault::kCorrupted;
   }
   return DownloadFault::kNone;
@@ -120,18 +144,18 @@ void FaultInjector::corrupt(std::vector<std::uint8_t>& bytes,
 }
 
 bool FaultInjector::sandbox_fails(std::uint64_t key) {
+  counters_.sandbox_checks.fetch_add(1, std::memory_order_relaxed);
   if (roll("sandbox", key, plan_.sandbox_failure_probability)) {
-    const std::lock_guard<std::mutex> lock{report_mutex_};
-    ++report_.sandbox_failures;
+    counters_.sandbox_failures.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;
 }
 
 bool FaultInjector::av_label_gap(std::uint64_t key) {
+  counters_.av_label_checks.fetch_add(1, std::memory_order_relaxed);
   if (roll("avlabel", key, plan_.av_label_gap_probability)) {
-    const std::lock_guard<std::mutex> lock{report_mutex_};
-    ++report_.av_label_gaps;
+    counters_.av_label_gaps.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;

@@ -6,12 +6,14 @@
 // the pipeline never perturbs the simulation's own random draws — an
 // injector holding an *empty* plan yields output bit-identical to a
 // run without any injector at all. The injector also accumulates a
-// FaultReport of per-stage failure counters so every bench can print a
-// degradation summary.
+// FaultReport of per-site checked/injected counters — lock-free
+// atomics internally, snapshotted into a plain FaultReport by
+// report() — so every bench can print a degradation summary and the
+// observability layer can export per-site decision totals.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,17 +22,25 @@
 
 namespace repro::fault {
 
-/// Per-stage failure counters accumulated by a FaultInjector.
+/// Per-stage failure counters accumulated by a FaultInjector. The
+/// `*_checks` fields count decisions *made* (checked), the remaining
+/// fields count faults actually injected; checked counters are pure
+/// functions of the input like everything else here, which is what
+/// lets the obs layer export fault.<site>.checked deterministically.
 struct FaultReport {
   std::size_t attacks_lost_to_outage = 0;
+  std::size_t sensor_checks = 0;
   std::size_t proxy_attempts = 0;
   std::size_t proxy_failures = 0;
   std::size_t proxy_retries = 0;
   std::size_t refinements_abandoned = 0;
   std::int64_t proxy_backoff_seconds = 0;
+  std::size_t download_checks = 0;
   std::size_t downloads_refused = 0;
   std::size_t downloads_corrupted = 0;
+  std::size_t sandbox_checks = 0;
   std::size_t sandbox_failures = 0;
+  std::size_t av_label_checks = 0;
   std::size_t av_label_gaps = 0;
 
   [[nodiscard]] bool any() const noexcept;
@@ -47,9 +57,10 @@ class FaultInjector {
   explicit FaultInjector(FaultPlan plan);
 
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
-  /// Only meaningful between pipeline stages: the counters mutate while
-  /// decision methods run (possibly from several enrichment workers).
-  [[nodiscard]] const FaultReport& report() const noexcept { return report_; }
+  /// Snapshot of the counters. Relaxed loads: call between pipeline
+  /// stages (after the workers mutating the counters have joined) for
+  /// a coherent picture.
+  [[nodiscard]] FaultReport report() const noexcept;
 
   /// True when `location`'s sensors are dark during `week`; bumps the
   /// outage-loss counter when they are.
@@ -84,13 +95,28 @@ class FaultInjector {
                           double p) const noexcept;
 
   FaultPlan plan_;
-  /// Decisions are pure hashes, but the report counters are shared
-  /// mutable state; enrichment calls sandbox_fails/av_label_gap from
-  /// pool workers, so every counter bump takes this lock. The decision
-  /// itself never depends on the counters — concurrency cannot change
-  /// outcomes, only the bookkeeping needs the mutex.
-  std::mutex report_mutex_;
-  FaultReport report_;
+  /// Decisions are pure hashes; only the bookkeeping is shared mutable
+  /// state. Enrichment calls the decision methods from pool workers,
+  /// so each counter is a relaxed atomic — no lock, no ordering
+  /// dependence, and the decision itself never reads a counter, so
+  /// concurrency cannot change outcomes.
+  struct Counters {
+    std::atomic<std::uint64_t> attacks_lost_to_outage{0};
+    std::atomic<std::uint64_t> sensor_checks{0};
+    std::atomic<std::uint64_t> proxy_attempts{0};
+    std::atomic<std::uint64_t> proxy_failures{0};
+    std::atomic<std::uint64_t> proxy_retries{0};
+    std::atomic<std::uint64_t> refinements_abandoned{0};
+    std::atomic<std::int64_t> proxy_backoff_seconds{0};
+    std::atomic<std::uint64_t> download_checks{0};
+    std::atomic<std::uint64_t> downloads_refused{0};
+    std::atomic<std::uint64_t> downloads_corrupted{0};
+    std::atomic<std::uint64_t> sandbox_checks{0};
+    std::atomic<std::uint64_t> sandbox_failures{0};
+    std::atomic<std::uint64_t> av_label_checks{0};
+    std::atomic<std::uint64_t> av_label_gaps{0};
+  };
+  Counters counters_;
 };
 
 }  // namespace repro::fault

@@ -1,0 +1,240 @@
+#include "obs/metrics.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace repro::obs {
+
+namespace {
+
+/// Metric names are plain identifiers, but escape defensively so a
+/// hostile name can never break the JSON framing.
+std::string json_escaped(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view channel_name(Channel channel) {
+  return channel == Channel::kDeterministic ? "deterministic" : "runtime";
+}
+
+void Gauge::raise_to(std::int64_t v) noexcept {
+  std::int64_t current = value_.load(std::memory_order_relaxed);
+  while (current < v && !value_.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw ConfigError("Histogram: bounds must be non-empty");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw ConfigError("Histogram: bounds must be strictly ascending");
+    }
+  }
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  std::size_t bucket = bounds_.size();  // overflow by default
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (v <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Channel channel) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (gauges_.count(name) > 0 || histograms_.count(name) > 0) {
+    throw ConfigError("MetricsRegistry: '" + std::string{name} +
+                      "' already registered as a different metric kind");
+  }
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) {
+    if (it->second.channel != channel) {
+      throw ConfigError("MetricsRegistry: counter '" + std::string{name} +
+                        "' re-registered on a different channel");
+    }
+    return *it->second.metric;
+  }
+  auto& entry = counters_[std::string{name}];
+  entry.channel = channel;
+  entry.metric = std::make_unique<Counter>();
+  return *entry.metric;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Channel channel) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (counters_.count(name) > 0 || histograms_.count(name) > 0) {
+    throw ConfigError("MetricsRegistry: '" + std::string{name} +
+                      "' already registered as a different metric kind");
+  }
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) {
+    if (it->second.channel != channel) {
+      throw ConfigError("MetricsRegistry: gauge '" + std::string{name} +
+                        "' re-registered on a different channel");
+    }
+    return *it->second.metric;
+  }
+  auto& entry = gauges_[std::string{name}];
+  entry.channel = channel;
+  entry.metric = std::make_unique<Gauge>();
+  return *entry.metric;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<std::uint64_t> bounds,
+                                      Channel channel) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (counters_.count(name) > 0 || gauges_.count(name) > 0) {
+    throw ConfigError("MetricsRegistry: '" + std::string{name} +
+                      "' already registered as a different metric kind");
+  }
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) {
+    if (it->second.channel != channel ||
+        it->second.metric->bounds() != bounds) {
+      throw ConfigError("MetricsRegistry: histogram '" + std::string{name} +
+                        "' re-registered with different channel or bounds");
+    }
+    return *it->second.metric;
+  }
+  auto& entry = histograms_[std::string{name}];
+  entry.channel = channel;
+  entry.metric = std::make_unique<Histogram>(std::move(bounds));
+  return *entry.metric;
+}
+
+std::string MetricsRegistry::to_json(Channel channel) const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::ostringstream out;
+  out << "{\n  \"channel\": \"" << channel_name(channel) << "\",\n";
+
+  out << "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, entry] : counters_) {
+    if (entry.channel != channel) continue;
+    out << (first ? "\n" : ",\n") << "    \"" << json_escaped(name)
+        << "\": " << entry.metric->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+
+  out << "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, entry] : gauges_) {
+    if (entry.channel != channel) continue;
+    out << (first ? "\n" : ",\n") << "    \"" << json_escaped(name)
+        << "\": " << entry.metric->value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+
+  out << "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, entry] : histograms_) {
+    if (entry.channel != channel) continue;
+    out << (first ? "\n" : ",\n") << "    \"" << json_escaped(name)
+        << "\": {\"bounds\": [";
+    const auto& bounds = entry.metric->bounds();
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << bounds[i];
+    }
+    out << "], \"counts\": [";
+    const auto counts = entry.metric->counts();
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << counts[i];
+    }
+    out << "], \"count\": " << entry.metric->count()
+        << ", \"sum\": " << entry.metric->sum() << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counter_values(Channel channel) const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [name, entry] : counters_) {
+    if (entry.channel == channel) {
+      out.emplace_back(name, entry.metric->value());
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::render_summary() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  TextTable table{{"metric", "kind", "channel", "value"}};
+  for (const auto& [name, entry] : counters_) {
+    table.add_row({name, "counter", std::string{channel_name(entry.channel)},
+                   std::to_string(entry.metric->value())});
+  }
+  for (const auto& [name, entry] : gauges_) {
+    table.add_row({name, "gauge", std::string{channel_name(entry.channel)},
+                   std::to_string(entry.metric->value())});
+  }
+  for (const auto& [name, entry] : histograms_) {
+    table.add_row({name, "histogram",
+                   std::string{channel_name(entry.channel)},
+                   "count=" + std::to_string(entry.metric->count()) +
+                       " sum=" + std::to_string(entry.metric->sum())});
+  }
+  return "--- observability summary ---\n" + table.render();
+}
+
+}  // namespace repro::obs

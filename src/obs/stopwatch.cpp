@@ -1,0 +1,13 @@
+#include "obs/stopwatch.hpp"
+
+#include <chrono>
+
+namespace repro::obs {
+
+std::int64_t monotonic_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace repro::obs

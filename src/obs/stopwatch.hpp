@@ -1,0 +1,38 @@
+// The repository's single audited wall-clock seam.
+//
+// Deterministic output is the repo's core guarantee, so reading a real
+// clock is quarantined to exactly one translation unit: stopwatch.cpp.
+// repro-lint enforces the boundary (RL006: no `<chrono>` outside
+// src/obs and util/simtime; RL002 additionally bans the clock
+// identifiers themselves). Everything timing-related — trace spans,
+// bench wall times — funnels through these two entry points, which
+// keeps the "wall-clock channel" trivially auditable: if a value came
+// from here, it must never feed back into dataset bytes or the
+// deterministic metrics channel.
+#pragma once
+
+#include <cstdint>
+
+namespace repro::obs {
+
+/// Monotonic nanoseconds since an arbitrary process-local epoch. The
+/// only function in the repo that reads a real clock.
+[[nodiscard]] std::int64_t monotonic_now_ns();
+
+/// Interval timer over the monotonic clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_ns_(monotonic_now_ns()) {}
+
+  /// Nanoseconds since construction (or the last restart), >= 0.
+  [[nodiscard]] std::int64_t elapsed_ns() const {
+    return monotonic_now_ns() - start_ns_;
+  }
+
+  void restart() { start_ns_ = monotonic_now_ns(); }
+
+ private:
+  std::int64_t start_ns_;
+};
+
+}  // namespace repro::obs

@@ -1,0 +1,75 @@
+#include "obs/trace.hpp"
+
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/stopwatch.hpp"
+#include "util/error.hpp"
+
+namespace repro::obs {
+
+TraceRecorder::SpanId TraceRecorder::begin_span(std::string name,
+                                                SpanId parent) {
+  const std::int64_t now = monotonic_now_ns();
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (parent != kNoParent && parent >= spans_.size()) {
+    throw ConfigError("TraceRecorder: parent span id out of range");
+  }
+  Span span;
+  span.name = std::move(name);
+  span.parent = parent;
+  span.start_ns = now;
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void TraceRecorder::end_span(SpanId id) {
+  const std::int64_t now = monotonic_now_ns();
+  const std::lock_guard<std::mutex> lock{mutex_};
+  if (id >= spans_.size()) {
+    throw ConfigError("TraceRecorder: span id out of range");
+  }
+  Span& span = spans_[id];
+  // Clamp so every closed span has a strictly positive duration even
+  // when the clock did not tick between begin and end.
+  span.end_ns = now > span.start_ns ? now : span.start_ns + 1;
+}
+
+std::vector<TraceRecorder::Span> TraceRecorder::spans() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  return spans_;
+}
+
+std::string TraceRecorder::to_json(
+    const MetricsRegistry* runtime_metrics) const {
+  const std::vector<Span> snapshot = spans();
+  std::ostringstream out;
+  out << "{\n  \"spans\": [";
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const Span& span = snapshot[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << span.name
+        << "\", \"parent\": "
+        << (span.parent == kNoParent
+                ? std::string{"-1"}
+                : std::to_string(span.parent))
+        << ", \"start_ns\": " << span.start_ns
+        << ", \"duration_ns\": " << span.duration_ns() << "}";
+  }
+  out << (snapshot.empty() ? "" : "\n  ") << "]";
+  if (runtime_metrics != nullptr) {
+    // Indent the embedded object to keep the file readable; the trace
+    // file is wall-clock data, so byte stability is a non-goal here.
+    std::istringstream embedded{runtime_metrics->to_json(Channel::kRuntime)};
+    out << ",\n  \"runtime_metrics\": ";
+    std::string line;
+    bool first = true;
+    while (std::getline(embedded, line)) {
+      out << (first ? "" : "\n  ") << line;
+      first = false;
+    }
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace repro::obs

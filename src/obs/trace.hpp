@@ -1,0 +1,91 @@
+// Hierarchical stage/task tracing on the wall-clock channel.
+//
+// A TraceRecorder collects spans — named (start, end) intervals with an
+// optional parent — from any thread. Timing comes exclusively from the
+// obs/stopwatch seam, and the recorder lives strictly on the runtime
+// side of the observability split: trace output is never byte-stable
+// and must never be mixed into deterministic exports. Span identity is
+// the creation index, so concurrent stage tasks can attach their spans
+// to a parent created on another thread.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace repro::obs {
+
+class MetricsRegistry;
+
+class TraceRecorder {
+ public:
+  using SpanId = std::size_t;
+  static constexpr SpanId kNoParent = ~SpanId{0};
+
+  struct Span {
+    std::string name;
+    SpanId parent = kNoParent;
+    std::int64_t start_ns = 0;
+    std::int64_t end_ns = 0;  // 0 while the span is still open
+
+    [[nodiscard]] std::int64_t duration_ns() const noexcept {
+      return end_ns - start_ns;
+    }
+  };
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Opens a span; the id is stable and safe to hand to other threads.
+  [[nodiscard]] SpanId begin_span(std::string name,
+                                  SpanId parent = kNoParent);
+  /// Closes a span. Durations are clamped to >= 1 ns so "strictly
+  /// positive" holds even when the clock's granularity is coarser than
+  /// the work.
+  void end_span(SpanId id);
+
+  /// Snapshot of every span recorded so far, in creation order.
+  [[nodiscard]] std::vector<Span> spans() const;
+
+  /// Spans as JSON (creation order, parent = -1 for roots). When
+  /// `runtime_metrics` is given, its *runtime-channel* metrics are
+  /// embedded — they are scheduling artifacts and belong with the
+  /// trace, not with the deterministic export.
+  [[nodiscard]] std::string to_json(
+      const MetricsRegistry* runtime_metrics = nullptr) const;
+
+  /// RAII span covering one scope. A null recorder makes every
+  /// operation a no-op, so call sites never branch on "is tracing on".
+  class Scoped {
+   public:
+    Scoped(TraceRecorder* recorder, std::string name,
+           SpanId parent = kNoParent)
+        : recorder_(recorder) {
+      if (recorder_ != nullptr) {
+        id_ = recorder_->begin_span(std::move(name), parent);
+      }
+    }
+    ~Scoped() {
+      if (recorder_ != nullptr) recorder_->end_span(id_);
+    }
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+
+    /// kNoParent when tracing is off — safe to pass as another span's
+    /// parent either way.
+    [[nodiscard]] SpanId id() const noexcept { return id_; }
+
+   private:
+    TraceRecorder* recorder_;
+    SpanId id_ = kNoParent;
+  };
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace repro::obs

@@ -10,6 +10,8 @@
 
 #include "cluster/feature.hpp"
 #include "malware/binary.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pe/builder.hpp"
 #include "util/byteio.hpp"
 #include "util/error.hpp"
@@ -794,6 +796,84 @@ std::uint64_t scenario_fingerprint(const ScenarioOptions& options) {
       writer.data().size()});
 }
 
+namespace {
+
+/// Publishes the pipeline's outcome counts from the *final* Dataset,
+/// so fresh and resumed runs export the same values (restored stages
+/// contribute through their snapshots, not by re-running).
+void publish_dataset_metrics(obs::MetricsRegistry& metrics,
+                             const Dataset& dataset) {
+  const auto set = [&](std::string_view name, std::size_t value) {
+    metrics.counter(name).add(static_cast<std::uint64_t>(value));
+  };
+  set("landscape.families", dataset.landscape.families.size());
+  set("landscape.variants", dataset.landscape.variants.size());
+  set("landscape.exploits", dataset.landscape.exploits.size());
+  set("environment.dns_entries", dataset.environment.dns().size());
+  set("environment.servers", dataset.environment.servers().size());
+  set("pipeline.events", dataset.db.events().size());
+  set("pipeline.samples", dataset.db.samples().size());
+
+  set("enrich.submitted", dataset.enrichment.submitted);
+  set("enrich.executed", dataset.enrichment.executed);
+  set("enrich.failed", dataset.enrichment.failed);
+  set("enrich.parse_failures", dataset.enrichment.parse_failures);
+  set("enrich.sandbox_faults", dataset.enrichment.sandbox_faults);
+  set("enrich.label_gaps", dataset.enrichment.label_gaps);
+
+  set("cluster.e.clusters", dataset.e.cluster_count());
+  set("cluster.p.clusters", dataset.p.cluster_count());
+  set("cluster.m.clusters", dataset.m.cluster_count());
+  set("cluster.b.clusters", dataset.b.cluster_count());
+  set("cluster.b.singletons", dataset.b.singleton_count());
+  auto& sizes = metrics.histogram("cluster.b.size", {1, 2, 4, 8, 16, 64});
+  for (const auto& members : dataset.b.clusters().members) {
+    sizes.observe(static_cast<std::uint64_t>(members.size()));
+  }
+
+  const fault::FaultReport& faults = dataset.fault_report;
+  set("fault.sensor.checked", faults.sensor_checks);
+  set("fault.sensor.injected", faults.attacks_lost_to_outage);
+  set("fault.proxy.checked", faults.proxy_attempts);
+  set("fault.proxy.injected", faults.proxy_failures);
+  set("fault.download.checked", faults.download_checks);
+  set("fault.download.injected",
+      faults.downloads_refused + faults.downloads_corrupted);
+  set("fault.sandbox.checked", faults.sandbox_checks);
+  set("fault.sandbox.injected", faults.sandbox_failures);
+  set("fault.avlabel.checked", faults.av_label_checks);
+  set("fault.avlabel.injected", faults.av_label_gaps);
+
+  const snapshot::CheckpointStore::Activity& snap =
+      dataset.checkpoint_activity;
+  set("snapshot.saved", snap.saved);
+  set("snapshot.restored", snap.restored);
+  set("snapshot.quarantined", snap.quarantined);
+  set("snapshot.stale", snap.stale);
+  set("snapshot.bytes_written", snap.bytes_written);
+}
+
+/// Copies the pool's scheduling telemetry into the registry. Strictly
+/// runtime-channel: at width 1 the serial fast paths bypass the pool
+/// entirely, so none of these counts can be width-stable.
+void publish_pool_metrics(obs::MetricsRegistry& metrics,
+                          const ThreadPool& pool,
+                          const ThreadPoolMetrics& counters) {
+  constexpr auto kRuntime = obs::Channel::kRuntime;
+  metrics.gauge("pool.width", kRuntime)
+      .set(static_cast<std::int64_t>(pool.width()));
+  metrics.counter("pool.jobs", kRuntime).add(counters.jobs.load());
+  metrics.counter("pool.chunks", kRuntime).add(counters.chunks.load());
+  metrics.counter("pool.caller_chunks", kRuntime)
+      .add(counters.caller_chunks.load());
+  metrics.counter("pool.helper_chunks", kRuntime)
+      .add(counters.helper_chunks.load());
+  metrics.gauge("pool.max_queue_depth", kRuntime)
+      .raise_to(static_cast<std::int64_t>(counters.max_queue_depth.load()));
+}
+
+}  // namespace
+
 Dataset build_paper_dataset(const ScenarioOptions& options) {
   options.faults.validate();
   snapshot::CheckpointStore store{options.checkpoint,
@@ -803,16 +883,28 @@ Dataset build_paper_dataset(const ScenarioOptions& options) {
   // byte-identical to the serial path, so the width is a pure
   // throughput knob (and deliberately absent from the fingerprint).
   ThreadPool pool{options.threads};
+  ThreadPoolMetrics pool_metrics;
+  if (options.metrics != nullptr) pool.attach_metrics(&pool_metrics);
+
+  const obs::TraceRecorder::Scoped pipeline_span{options.trace, "pipeline"};
 
   // Stage 1 — ground truth. The environment is a pure function of the
   // landscape, so it is rebuilt rather than snapshotted.
-  if (auto loaded = store.load_landscape()) {
-    dataset.landscape = std::move(*loaded);
-  } else {
-    dataset.landscape = make_paper_landscape(options);
-    store.save_landscape(dataset.landscape);
+  {
+    const obs::TraceRecorder::Scoped span{options.trace, "stage.landscape",
+                                          pipeline_span.id()};
+    if (auto loaded = store.load_landscape()) {
+      dataset.landscape = std::move(*loaded);
+    } else {
+      dataset.landscape = make_paper_landscape(options);
+      store.save_landscape(dataset.landscape);
+    }
   }
-  dataset.environment = make_paper_environment(dataset.landscape);
+  {
+    const obs::TraceRecorder::Scoped span{options.trace, "stage.environment",
+                                          pipeline_span.id()};
+    dataset.environment = make_paper_environment(dataset.landscape);
+  }
 
   // Stage 2 — deployment + enrichment. The fault report travels with
   // the snapshot: the injector is not re-exercised on resume, so its
@@ -835,9 +927,17 @@ Dataset build_paper_dataset(const ScenarioOptions& options) {
     config.faults = faults;
     honeypot::Deployment deployment{dataset.landscape, config};
     snapshot::DatabaseStage stage;
-    stage.db = deployment.run();
-    stage.enrichment = honeypot::enrich_database(
-        stage.db, dataset.landscape, dataset.environment, faults, &pool);
+    {
+      const obs::TraceRecorder::Scoped span{
+          options.trace, "stage.deployment", pipeline_span.id()};
+      stage.db = deployment.run();
+    }
+    {
+      const obs::TraceRecorder::Scoped span{
+          options.trace, "stage.enrichment", pipeline_span.id()};
+      stage.enrichment = honeypot::enrich_database(
+          stage.db, dataset.landscape, dataset.environment, faults, &pool);
+    }
     stage.fault_report = injector.report();
     store.save_database(stage);
     dataset.db = std::move(stage.db);
@@ -855,31 +955,48 @@ Dataset build_paper_dataset(const ScenarioOptions& options) {
   auto loaded_behavioral = store.load_behavioral();
 
   snapshot::EpmStage epm_stage;
-  std::vector<std::function<void()>> cluster_tasks;
-  if (!loaded_epm) {
-    cluster_tasks.emplace_back([&] {
-      epm_stage.e =
-          cluster::epm_cluster(cluster::build_epsilon_data(dataset.db));
-    });
-    cluster_tasks.emplace_back([&] {
-      epm_stage.p = cluster::epm_cluster(cluster::build_pi_data(dataset.db));
-    });
-    cluster_tasks.emplace_back([&] {
-      epm_stage.m = cluster::epm_cluster(cluster::build_mu_data(dataset.db));
-    });
+  {
+    const obs::TraceRecorder::Scoped clustering_span{
+        options.trace, "stage.clustering", pipeline_span.id()};
+    // Task spans attach to the clustering span by id: the Scoped
+    // handles below are created on whichever pool thread runs the
+    // task, while the parent was opened on this one.
+    const auto parent = clustering_span.id();
+    std::vector<std::function<void()>> cluster_tasks;
+    if (!loaded_epm) {
+      cluster_tasks.emplace_back([&, parent] {
+        const obs::TraceRecorder::Scoped span{options.trace, "cluster.e",
+                                              parent};
+        epm_stage.e =
+            cluster::epm_cluster(cluster::build_epsilon_data(dataset.db));
+      });
+      cluster_tasks.emplace_back([&, parent] {
+        const obs::TraceRecorder::Scoped span{options.trace, "cluster.p",
+                                              parent};
+        epm_stage.p = cluster::epm_cluster(cluster::build_pi_data(dataset.db));
+      });
+      cluster_tasks.emplace_back([&, parent] {
+        const obs::TraceRecorder::Scoped span{options.trace, "cluster.m",
+                                              parent};
+        epm_stage.m = cluster::epm_cluster(cluster::build_mu_data(dataset.db));
+      });
+    }
+    if (!loaded_behavioral) {
+      cluster_tasks.emplace_back([&, parent] {
+        const obs::TraceRecorder::Scoped span{options.trace, "cluster.b",
+                                              parent};
+        cluster::BehavioralOptions behavioral;
+        behavioral.threshold = options.b_threshold;
+        // The behavioral task additionally parallelizes internally
+        // (nested submission): idle workers from the cheaper EPM tasks
+        // drain its signature and bucket chunks.
+        behavioral.pool = &pool;
+        behavioral.metrics = options.metrics;
+        dataset.b = analysis::BehavioralView::build(dataset.db, behavioral);
+      });
+    }
+    pool.run_tasks(cluster_tasks);
   }
-  if (!loaded_behavioral) {
-    cluster_tasks.emplace_back([&] {
-      cluster::BehavioralOptions behavioral;
-      behavioral.threshold = options.b_threshold;
-      // The behavioral task additionally parallelizes internally
-      // (nested submission): idle workers from the cheaper EPM tasks
-      // drain its signature and bucket chunks.
-      behavioral.pool = &pool;
-      dataset.b = analysis::BehavioralView::build(dataset.db, behavioral);
-    });
-  }
-  pool.run_tasks(cluster_tasks);
 
   if (loaded_epm) {
     dataset.e = std::move(loaded_epm->e);
@@ -898,6 +1015,10 @@ Dataset build_paper_dataset(const ScenarioOptions& options) {
   }
 
   dataset.checkpoint_activity = store.activity();
+  if (options.metrics != nullptr) {
+    publish_dataset_metrics(*options.metrics, dataset);
+    publish_pool_metrics(*options.metrics, pool, pool_metrics);
+  }
   return dataset;
 }
 

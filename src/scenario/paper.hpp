@@ -20,6 +20,11 @@
 #include "sandbox/environment.hpp"
 #include "snapshot/checkpoint.hpp"
 
+namespace repro::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace repro::obs
+
 namespace repro::scenario {
 
 struct ScenarioOptions {
@@ -45,6 +50,14 @@ struct ScenarioOptions {
   /// different options (seed, scale, threshold, fault plan) are
   /// rejected by fingerprint and recomputed.
   snapshot::CheckpointOptions checkpoint;
+  /// Optional observability sinks (non-owning). Purely observational:
+  /// attaching them never changes a single dataset byte, and — like
+  /// `threads` and the checkpoint knobs — they are excluded from the
+  /// scenario fingerprint. Deterministic-channel metrics come out
+  /// byte-identical at every pool width; the trace (and the runtime
+  /// channel it carries) is wall-clock data and is not.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Stable 64-bit digest of every dataset-shaping option (seed, scale,

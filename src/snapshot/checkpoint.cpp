@@ -235,6 +235,7 @@ void CheckpointStore::save_stage(Stage stage,
                                 std::string{stage_name(stage)});
   }
   ++activity_.saved;
+  activity_.bytes_written += bytes.size();
   if (options_.stop_after_stage == static_cast<int>(stage)) {
     throw CheckpointInterrupted("simulated crash after stage " +
                                 std::string{stage_name(stage)});

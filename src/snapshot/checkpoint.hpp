@@ -40,7 +40,10 @@ namespace repro::snapshot {
 
 inline constexpr std::uint32_t kSnapshotMagic = 0x53'47'4e'53;  // "SNGS"
 inline constexpr std::uint32_t kSnapshotEndMagic = 0x44'4e'45'53;  // "SEND"
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// Version 2: FaultReport gained the four checked-decision counters.
+// Version-1 files are quarantined as unreadable and their stages
+// recomputed — the normal graceful-degradation path, not an error.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// The pipeline's checkpointable stage boundaries, in execution order.
 enum class Stage : std::uint8_t {
@@ -142,10 +145,11 @@ class CheckpointStore {
   /// a stage was restored or recomputed, and whether files were thrown
   /// out.
   struct Activity {
-    std::size_t saved = 0;        // snapshots durably written
-    std::size_t restored = 0;     // stages loaded from disk
-    std::size_t quarantined = 0;  // corrupt/truncated files set aside
-    std::size_t stale = 0;        // of quarantined: fingerprint mismatch
+    std::size_t saved = 0;          // snapshots durably written
+    std::size_t restored = 0;       // stages loaded from disk
+    std::size_t quarantined = 0;    // corrupt/truncated files set aside
+    std::size_t stale = 0;          // of quarantined: fingerprint mismatch
+    std::size_t bytes_written = 0;  // encoded snapshot bytes persisted
   };
   [[nodiscard]] const Activity& activity() const noexcept {
     return activity_;

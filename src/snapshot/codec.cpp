@@ -752,6 +752,14 @@ void write_fault_report(ByteWriter& writer, const fault::FaultReport& report) {
   writer.u64(report.downloads_corrupted);
   writer.u64(report.sandbox_failures);
   writer.u64(report.av_label_gaps);
+  // Checked-decision counters (format version 2): on resume the
+  // injector is never re-exercised, so fault.<site>.checked metrics
+  // are only uniform across fresh and resumed runs if the snapshot
+  // carries them.
+  writer.u64(report.sensor_checks);
+  writer.u64(report.download_checks);
+  writer.u64(report.sandbox_checks);
+  writer.u64(report.av_label_checks);
 }
 
 fault::FaultReport read_fault_report(ByteReader& reader) {
@@ -766,6 +774,10 @@ fault::FaultReport read_fault_report(ByteReader& reader) {
   report.downloads_corrupted = reader.u64();
   report.sandbox_failures = reader.u64();
   report.av_label_gaps = reader.u64();
+  report.sensor_checks = reader.u64();
+  report.download_checks = reader.u64();
+  report.sandbox_checks = reader.u64();
+  report.av_label_checks = reader.u64();
   return report;
 }
 

@@ -51,8 +51,15 @@ std::string sparkline(const std::vector<double>& values) {
       out += kLevels[0];
       continue;
     }
-    const int level = std::min(
-        7, 1 + static_cast<int>(v / max_value * 6.999));
+    // Even 7-way partition of (0, max]: level k covers
+    // ((k-1)/7, k/7] of max. Comparing v*7 against max*k (instead of
+    // dividing) keeps the bucket boundaries exact for integer-friendly
+    // values; the old 1 + int(v/max*6.999) form gave the top glyph a
+    // bucket ~7x narrower than the rest.
+    int level = 1;
+    while (level < 7 && v * 7.0 > max_value * static_cast<double>(level)) {
+      ++level;
+    }
     out += kLevels[level];
   }
   return out;

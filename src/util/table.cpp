@@ -55,7 +55,9 @@ std::string to_csv_row(const std::vector<std::string>& cells) {
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i > 0) out += ",";
     const std::string& cell = cells[i];
-    if (cell.find_first_of(",\"\n") != std::string::npos) {
+    // A bare CR is as framing-hostile as LF: RFC 4180 line ends are
+    // CRLF, so an unquoted "\r" splits the record on re-import.
+    if (cell.find_first_of(",\"\n\r") != std::string::npos) {
       out += "\"";
       for (const char c : cell) {
         if (c == '"') out += "\"\"";

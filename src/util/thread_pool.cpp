@@ -1,8 +1,29 @@
 #include "util/thread_pool.hpp"
 
+#include <system_error>
+
 #include "util/error.hpp"
 
 namespace repro {
+
+namespace {
+
+/// Armed worker index for fail_spawn_at_for_testing; ~0 = disarmed.
+std::atomic<std::size_t> g_fail_spawn_at{~std::size_t{0}};
+
+/// Raises a monotonic-max gauge implemented as a bare atomic.
+void raise_to(std::atomic<std::uint64_t>& slot, std::uint64_t v) noexcept {
+  std::uint64_t current = slot.load(std::memory_order_relaxed);
+  while (current < v && !slot.compare_exchange_weak(
+                            current, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void ThreadPool::fail_spawn_at_for_testing(std::size_t index) noexcept {
+  g_fail_spawn_at.store(index, std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   std::size_t width = threads;
@@ -11,8 +32,30 @@ ThreadPool::ThreadPool(std::size_t threads) {
     if (width == 0) width = 1;
   }
   workers_.reserve(width - 1);
-  for (std::size_t i = 0; i + 1 < width; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+  try {
+    for (std::size_t i = 0; i + 1 < width; ++i) {
+      if (g_fail_spawn_at.load(std::memory_order_relaxed) == i) {
+        g_fail_spawn_at.store(~std::size_t{0}, std::memory_order_relaxed);
+        throw std::system_error(
+            std::make_error_code(std::errc::resource_unavailable_try_again),
+            "ThreadPool: injected spawn failure");
+      }
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  } catch (...) {
+    // A std::thread constructor can throw after some workers already
+    // run; without this cleanup those threads would outlive the
+    // half-constructed pool (the destructor never runs) and the
+    // process would terminate. Stop and join the spawned prefix, then
+    // let the original exception propagate.
+    {
+      const std::lock_guard<std::mutex> lock{queue_mutex_};
+      stop_ = true;
+    }
+    queue_cv_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+    workers_.clear();
+    throw;
   }
 }
 
@@ -35,14 +78,16 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    work_on(*job);
+    work_on(*job, metrics_, /*caller=*/false);
   }
 }
 
-void ThreadPool::work_on(Job& job) {
+void ThreadPool::work_on(Job& job, ThreadPoolMetrics* metrics, bool caller) {
+  std::uint64_t executed = 0;
   for (;;) {
     const std::size_t index = job.next.fetch_add(1);
-    if (index >= job.total_chunks) return;
+    if (index >= job.total_chunks) break;
+    ++executed;
     const std::size_t begin = index * job.chunk;
     const std::size_t end = std::min(job.count, begin + job.chunk);
     try {
@@ -64,6 +109,13 @@ void ThreadPool::work_on(Job& job) {
       job.finished_cv.notify_all();
     }
   }
+  if (metrics != nullptr && executed > 0) {
+    // One batched add per participant, not per chunk, so telemetry
+    // costs nothing measurable on the claim loop.
+    metrics->chunks.fetch_add(executed, std::memory_order_relaxed);
+    (caller ? metrics->caller_chunks : metrics->helper_chunks)
+        .fetch_add(executed, std::memory_order_relaxed);
+  }
 }
 
 void ThreadPool::parallel_for(
@@ -81,6 +133,12 @@ void ThreadPool::parallel_for(
       const std::size_t begin = index * chunk;
       fn(begin, std::min(count, begin + chunk));
     }
+    if (metrics_ != nullptr) {
+      metrics_->jobs.fetch_add(1, std::memory_order_relaxed);
+      metrics_->chunks.fetch_add(total_chunks, std::memory_order_relaxed);
+      metrics_->caller_chunks.fetch_add(total_chunks,
+                                        std::memory_order_relaxed);
+    }
     return;
   }
 
@@ -95,10 +153,17 @@ void ThreadPool::parallel_for(
     // tickets drain instantly once the chunks run out.
     const std::size_t helpers = std::min(workers_.size(), total_chunks - 1);
     for (std::size_t i = 0; i < helpers; ++i) queue_.push_back(job);
+    if (metrics_ != nullptr) {
+      metrics_->jobs.fetch_add(1, std::memory_order_relaxed);
+      raise_to(metrics_->max_queue_depth,
+               static_cast<std::uint64_t>(queue_.size()));
+    }
   }
   queue_cv_.notify_all();
 
-  work_on(*job);  // the caller participates — guarantees progress
+  // The caller participates — guarantees progress even under nested
+  // submission from inside a worker.
+  work_on(*job, metrics_, /*caller=*/true);
 
   std::unique_lock<std::mutex> lock{job->mutex};
   job->finished_cv.wait(lock, [&] { return job->finished; });

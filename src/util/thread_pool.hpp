@@ -24,6 +24,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -34,10 +35,29 @@
 
 namespace repro {
 
+/// Scheduling telemetry for one pool. Every field is a runtime-channel
+/// artifact: which thread claimed a chunk and how deep the queue got
+/// depend on pool width and OS scheduling, and the serial fast path at
+/// width 1 bypasses job accounting entirely — so none of these values
+/// may ever feed a deterministic export. Kept as a plain struct of
+/// atomics (not an obs::MetricsRegistry) so util stays dependency-free;
+/// the scenario layer copies the values into its registry after a run.
+struct ThreadPoolMetrics {
+  std::atomic<std::uint64_t> jobs{0};            // parallel_for jobs queued
+  std::atomic<std::uint64_t> chunks{0};          // chunks executed, all paths
+  std::atomic<std::uint64_t> caller_chunks{0};   // chunks run by submitters
+  std::atomic<std::uint64_t> helper_chunks{0};   // chunks run by pool workers
+  std::atomic<std::uint64_t> max_queue_depth{0};  // high-water helper tickets
+};
+
 class ThreadPool {
  public:
   /// `threads` = total width including the calling thread; 0 picks
   /// hardware_concurrency, 1 runs everything inline.
+  ///
+  /// Exception-safe: if spawning worker `k` throws, workers `0..k-1`
+  /// are stopped and joined before the exception propagates — a
+  /// half-built pool never leaks running threads.
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
@@ -48,6 +68,17 @@ class ThreadPool {
   [[nodiscard]] std::size_t width() const noexcept {
     return workers_.size() + 1;
   }
+
+  /// Points the pool at a telemetry sink (null detaches). Not
+  /// synchronised with in-flight jobs: attach before submitting work.
+  void attach_metrics(ThreadPoolMetrics* metrics) noexcept {
+    metrics_ = metrics;
+  }
+
+  /// Test hook: makes the constructor's spawn loop throw when it would
+  /// create worker `index` (std::system_error, EAGAIN), once. Resets
+  /// itself after firing; pass ~0 to disarm.
+  static void fail_spawn_at_for_testing(std::size_t index) noexcept;
 
   /// Runs fn(begin, end) over [0, count) in chunks of `chunk` indices.
   /// Blocks until every chunk finished; rethrows the lowest-indexed
@@ -95,13 +126,14 @@ class ThreadPool {
   };
 
   void worker_loop();
-  static void work_on(Job& job);
+  static void work_on(Job& job, ThreadPoolMetrics* metrics, bool caller);
 
   std::vector<std::thread> workers_;
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<std::shared_ptr<Job>> queue_;
   bool stop_ = false;
+  ThreadPoolMetrics* metrics_ = nullptr;
 };
 
 }  // namespace repro

@@ -14,6 +14,8 @@
 #include "analysis/healing.hpp"
 #include "io/csv_export.hpp"
 #include "io/csv_import.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scenario/paper.hpp"
 
 namespace repro {
@@ -223,6 +225,54 @@ TEST(Determinism, ThreadWidthNeverChangesExportedBytes) {
     EXPECT_EQ(all_exports(scenario::build_paper_dataset(options)), baseline)
         << "width " << width;
   }
+}
+
+TEST(Determinism, MetricsIdenticalAcrossThreadWidths) {
+  // The observability split's core promise: the deterministic metrics
+  // channel is a pure function of (seed, scale, faults) and exports
+  // byte-identical JSON at every pool width, while the wall-clock trace
+  // stays strictly positive (real time passed) but is never compared.
+  scenario::ScenarioOptions options;
+  options.scale = 0.08;
+  options.seed = 41;
+
+  std::string metrics_baseline;
+  std::string exports_baseline;
+  for (const std::size_t width :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    obs::MetricsRegistry metrics;
+    obs::TraceRecorder trace;
+    options.threads = width;
+    options.metrics = &metrics;
+    options.trace = &trace;
+    const scenario::Dataset dataset = scenario::build_paper_dataset(options);
+
+    const std::string json = metrics.to_json(obs::Channel::kDeterministic);
+    ASSERT_NE(json.find("pipeline.events"), std::string::npos);
+    if (width == 1) {
+      metrics_baseline = json;
+      exports_baseline = all_exports(dataset);
+    } else {
+      EXPECT_EQ(json, metrics_baseline) << "width " << width;
+      // Attaching the recorders never perturbs the dataset itself.
+      EXPECT_EQ(all_exports(dataset), exports_baseline) << "width " << width;
+    }
+
+    const auto spans = trace.spans();
+    ASSERT_FALSE(spans.empty()) << "width " << width;
+    for (const auto& span : spans) {
+      EXPECT_GT(span.duration_ns(), 0)
+          << "span " << span.name << " width " << width;
+    }
+  }
+
+  // And the instrumented run exports the same dataset bytes as a bare
+  // run with no registry attached.
+  options.threads = 1;
+  options.metrics = nullptr;
+  options.trace = nullptr;
+  EXPECT_EQ(all_exports(scenario::build_paper_dataset(options)),
+            exports_baseline);
 }
 
 TEST_F(Pipeline, EventTimesInsideObservationWindow) {

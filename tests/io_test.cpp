@@ -1,6 +1,7 @@
 // Unit tests for the io module: CSV/JSONL export and CSV re-import.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 
 #include "io/csv_export.hpp"
@@ -45,6 +46,45 @@ TEST(CsvRow, RoundTripsThroughWriter) {
   const std::vector<std::string> cells{"plain", "with,comma", "with\"quote",
                                        ""};
   EXPECT_EQ(parse_csv_row(to_csv_row(cells)), cells);
+}
+
+TEST(CsvRow, RoundTripsCarriageReturns) {
+  // Regression for the writer's quote set missing '\r': the bare CR
+  // survived the writer unquoted and the round trip lost cell framing.
+  const std::vector<std::string> cells{"a\rb", "c\r\nd", "\r"};
+  EXPECT_EQ(parse_csv_row(to_csv_row(cells)), cells);
+}
+
+TEST(CsvRow, RoundTripFuzzOverHostileCells) {
+  // Deterministic property fuzz: rows assembled from every CSV
+  // metacharacter must survive write -> parse unchanged.
+  constexpr char kAlphabet[] = {',', '"', '\n', '\r', 'a', 'Z', ' ', '\t'};
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;  // fixed seed, splitmix64
+  const auto next = [&state]() {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  };
+  for (int round = 0; round < 500; ++round) {
+    std::vector<std::string> cells(1 + next() % 5);
+    for (std::string& cell : cells) {
+      cell.resize(next() % 8);
+      for (char& c : cell) c = kAlphabet[next() % sizeof(kAlphabet)];
+    }
+    const std::string row = to_csv_row(cells);
+    // Outside quotes the row must never contain a bare CR or LF — that
+    // is the exact bug class this guards against.
+    for (std::size_t i = 0, quoted = 0; i < row.size(); ++i) {
+      if (row[i] == '"') quoted ^= 1;
+      if (quoted == 0) {
+        EXPECT_NE(row[i], '\n') << "bare LF in: " << row;
+        EXPECT_NE(row[i], '\r') << "bare CR in: " << row;
+      }
+    }
+    EXPECT_EQ(parse_csv_row(row), cells) << "row: " << row;
+  }
 }
 
 TEST(Export, EventsCsvRoundTrips) {

@@ -1,0 +1,16 @@
+// Golden corpus: the obs/ directory is RL006's sanctioned home — this
+// mirror of the real stopwatch seam must lint clean even though it
+// includes <chrono> and names a clock (the path also carries the
+// RL002 stopwatch exemption). Never compiled; consumed by
+// tests/lint_test.cpp.
+#include <chrono>
+
+namespace repro::obs {
+
+long long monotonic_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace repro::obs

@@ -2,7 +2,7 @@
 // of these makes two runs of the pipeline diverge, which breaks the
 // byte-identical guarantee snapshots and exports rely on. Never
 // compiled; consumed by tests/lint_test.cpp.
-#include <chrono>
+#include <chrono>  // expect(RL006)
 #include <cstdlib>
 #include <ctime>
 #include <random>
@@ -21,7 +21,7 @@ unsigned hardware_seed() {
 }
 
 long long monotonic_now() {
-  const auto t0 = std::chrono::steady_clock::now();  // expect(RL002)
+  const auto t0 = std::chrono::steady_clock::now();  // expect(RL002) expect(RL006)
   return t0.time_since_epoch().count();
 }
 

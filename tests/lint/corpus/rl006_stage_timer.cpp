@@ -1,0 +1,28 @@
+// Golden corpus: RL006 — direct <chrono> use outside the sanctioned
+// modules. Even without naming a banned clock (RL002's job), pulling
+// in <chrono> or spelling a chrono-qualified name gives code its own
+// private timing channel around the audited obs/stopwatch seam. Never
+// compiled; consumed by tests/lint_test.cpp.
+#include <chrono>  // expect(RL006)
+
+long long stage_budget_ns() {
+  // Pure duration arithmetic — no clock identifier for RL002 to see,
+  // but still chrono-qualified and therefore quarantined.
+  const auto budget = std::chrono::nanoseconds{500};  // expect(RL006)
+  return budget.count();
+}
+
+namespace chrono_free {
+// An identifier merely *containing* "chrono" is fine:
+int chronology = 3;
+int chrono = 4;  // bare name without :: is fine too
+}  // namespace chrono_free
+
+long long elapsed_check() {
+  using namespace std;
+  return chrono::milliseconds{7}.count();  // expect(RL006)
+}
+
+// Suppressible like every rule:
+// repro-lint: allow(RL006) bench harness measures its own wall time
+long long suppressed = std::chrono::hours{1}.count();

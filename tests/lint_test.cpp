@@ -216,11 +216,29 @@ TEST(Engine, DiagnosticsAreOrderedByLine) {
   }
 }
 
-TEST(Engine, RuleCatalogNamesFiveRules) {
+TEST(Engine, RuleCatalogNamesSixRules) {
   const auto catalog = rule_catalog();
-  ASSERT_EQ(catalog.size(), 5u);
+  ASSERT_EQ(catalog.size(), 6u);
   EXPECT_EQ(catalog.front().first, "RL001");
-  EXPECT_EQ(catalog.back().first, "RL005");
+  EXPECT_EQ(catalog.back().first, "RL006");
+}
+
+TEST(Engine, Rl006OnlyFiresOutsideTheStopwatchSeam) {
+  const std::string source =
+      "#include <chrono>\n"
+      "long long dt() { return std::chrono::nanoseconds{1}.count(); }\n";
+  // Anywhere in the pipeline: both the include and the qualified use.
+  const auto diagnostics = lint_source("src/report/timing.cpp", source);
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_EQ(diagnostics[0].rule, "RL006");
+  EXPECT_EQ(diagnostics[0].line, 1);
+  EXPECT_EQ(diagnostics[1].line, 2);
+  // The sanctioned homes: the whole obs module and util/simtime.
+  EXPECT_TRUE(lint_source("src/obs/stopwatch.cpp", source).empty());
+  EXPECT_TRUE(lint_source("src/obs/trace.cpp", source).empty());
+  EXPECT_TRUE(lint_source("src/util/simtime.cpp", source).empty());
+  // util files other than simtime are not exempt.
+  EXPECT_FALSE(lint_source("src/util/thread_pool.cpp", source).empty());
 }
 
 }  // namespace

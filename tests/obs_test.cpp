@@ -1,0 +1,212 @@
+// Unit tests for the observability layer: metric semantics, registry
+// collision rules, channel-separated JSON export, trace span
+// hierarchy, and the stopwatch seam's monotonicity.
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.hpp"
+#include "obs/stopwatch.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace repro::obs {
+namespace {
+
+TEST(Counter, AddsAndDefaultsToOne) {
+  Counter counter;
+  EXPECT_EQ(counter.value(), 0u);
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+}
+
+TEST(Gauge, SetAndRaiseToKeepMaximum) {
+  Gauge gauge;
+  gauge.set(7);
+  gauge.raise_to(3);
+  EXPECT_EQ(gauge.value(), 7);
+  gauge.raise_to(11);
+  EXPECT_EQ(gauge.value(), 11);
+  gauge.set(-2);  // set is last-write-wins, not monotonic
+  EXPECT_EQ(gauge.value(), -2);
+}
+
+TEST(Histogram, BucketsByInclusiveUpperBoundWithOverflow) {
+  Histogram hist{{10, 100}};
+  hist.observe(10);   // first bucket (inclusive bound)
+  hist.observe(11);   // second bucket
+  hist.observe(101);  // overflow
+  EXPECT_EQ(hist.counts(), (std::vector<std::uint64_t>{1, 1, 1}));
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.sum(), 122u);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram{std::vector<std::uint64_t>{}}, ConfigError);
+  EXPECT_THROW(Histogram({5, 5}), ConfigError);
+  EXPECT_THROW(Histogram({5, 4}), ConfigError);
+}
+
+TEST(Registry, HandlesAreStableAndIdempotent) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("pipeline.events");
+  Counter& b = registry.counter("pipeline.events");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST(Registry, RejectsKindAndChannelCollisions) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), ConfigError);
+  EXPECT_THROW(registry.histogram("x", {1}), ConfigError);
+  EXPECT_THROW(registry.counter("x", Channel::kRuntime), ConfigError);
+  registry.histogram("h", {1, 2});
+  EXPECT_THROW(registry.histogram("h", {1, 3}), ConfigError);
+}
+
+TEST(Registry, JsonSeparatesChannelsAndSortsByName) {
+  MetricsRegistry registry;
+  registry.counter("zeta").add(1);
+  registry.counter("alpha").add(2);
+  registry.counter("sched.chunks", Channel::kRuntime).add(99);
+  const std::string deterministic = registry.to_json(Channel::kDeterministic);
+  EXPECT_NE(deterministic.find("\"alpha\": 2"), std::string::npos);
+  EXPECT_NE(deterministic.find("\"zeta\": 1"), std::string::npos);
+  EXPECT_EQ(deterministic.find("sched.chunks"), std::string::npos);
+  EXPECT_LT(deterministic.find("\"alpha\""), deterministic.find("\"zeta\""));
+  const std::string runtime = registry.to_json(Channel::kRuntime);
+  EXPECT_NE(runtime.find("\"sched.chunks\": 99"), std::string::npos);
+  EXPECT_EQ(runtime.find("alpha"), std::string::npos);
+}
+
+TEST(Registry, JsonIsByteStableAcrossInsertionOrderAndRepeatedExport) {
+  MetricsRegistry first;
+  first.counter("a").add(1);
+  first.counter("b").add(2);
+  MetricsRegistry second;
+  second.counter("b").add(2);
+  second.counter("a").add(1);
+  EXPECT_EQ(first.to_json(Channel::kDeterministic),
+            second.to_json(Channel::kDeterministic));
+  EXPECT_EQ(first.to_json(Channel::kDeterministic),
+            first.to_json(Channel::kDeterministic));
+}
+
+TEST(Registry, CounterValuesFilterByChannel) {
+  MetricsRegistry registry;
+  registry.counter("det").add(5);
+  registry.counter("run", Channel::kRuntime).add(6);
+  const auto values = registry.counter_values(Channel::kDeterministic);
+  ASSERT_EQ(values.size(), 1u);
+  EXPECT_EQ(values[0].first, "det");
+  EXPECT_EQ(values[0].second, 5u);
+}
+
+TEST(Registry, RenderSummaryListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("events").add(10);
+  registry.gauge("depth", Channel::kRuntime).set(4);
+  registry.histogram("sizes", {1, 8}).observe(3);
+  const std::string summary = registry.render_summary();
+  EXPECT_NE(summary.find("observability summary"), std::string::npos);
+  EXPECT_NE(summary.find("events"), std::string::npos);
+  EXPECT_NE(summary.find("depth"), std::string::npos);
+  EXPECT_NE(summary.find("runtime"), std::string::npos);
+  EXPECT_NE(summary.find("count=1"), std::string::npos);
+}
+
+TEST(Registry, ConcurrentUpdatesLoseNothing) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("hits");
+  Histogram& hist = registry.histogram("values", {100});
+  ThreadPool pool{4};
+  pool.parallel_for(1000, 7, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      counter.add();
+      hist.observe(i % 128);
+      registry.gauge("peak", Channel::kRuntime)
+          .raise_to(static_cast<std::int64_t>(i));
+    }
+  });
+  EXPECT_EQ(counter.value(), 1000u);
+  EXPECT_EQ(hist.count(), 1000u);
+  EXPECT_EQ(registry.gauge("peak", Channel::kRuntime).value(), 999);
+}
+
+TEST(Stopwatch, MonotonicAndNonNegative) {
+  const std::int64_t t0 = monotonic_now_ns();
+  const std::int64_t t1 = monotonic_now_ns();
+  EXPECT_GE(t1, t0);
+  Stopwatch watch;
+  EXPECT_GE(watch.elapsed_ns(), 0);
+  watch.restart();
+  EXPECT_GE(watch.elapsed_ns(), 0);
+}
+
+TEST(Trace, SpansNestAndHaveStrictlyPositiveDurations) {
+  TraceRecorder trace;
+  const auto root = trace.begin_span("pipeline");
+  const auto child = trace.begin_span("stage.landscape", root);
+  trace.end_span(child);
+  trace.end_span(root);
+  const auto spans = trace.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "pipeline");
+  EXPECT_EQ(spans[0].parent, TraceRecorder::kNoParent);
+  EXPECT_EQ(spans[1].parent, root);
+  // Strictly positive even when the clock did not visibly tick.
+  EXPECT_GT(spans[0].duration_ns(), 0);
+  EXPECT_GT(spans[1].duration_ns(), 0);
+}
+
+TEST(Trace, RejectsOutOfRangeIds) {
+  TraceRecorder trace;
+  EXPECT_THROW(trace.end_span(0), ConfigError);
+  EXPECT_THROW(static_cast<void>(trace.begin_span("x", 7)), ConfigError);
+}
+
+TEST(Trace, ScopedIsANoOpOnNullRecorder) {
+  const TraceRecorder::Scoped scoped{nullptr, "anything"};
+  EXPECT_EQ(scoped.id(), TraceRecorder::kNoParent);
+}
+
+TEST(Trace, JsonEmbedsRuntimeMetricsOnRequest) {
+  TraceRecorder trace;
+  trace.end_span(trace.begin_span("pipeline"));
+  MetricsRegistry registry;
+  registry.counter("det").add(1);
+  registry.counter("sched.jobs", Channel::kRuntime).add(2);
+  const std::string bare = trace.to_json();
+  EXPECT_NE(bare.find("\"pipeline\""), std::string::npos);
+  EXPECT_EQ(bare.find("runtime_metrics"), std::string::npos);
+  const std::string with_metrics = trace.to_json(&registry);
+  EXPECT_NE(with_metrics.find("runtime_metrics"), std::string::npos);
+  EXPECT_NE(with_metrics.find("\"sched.jobs\": 2"), std::string::npos);
+  // The deterministic channel never leaks into the trace file.
+  EXPECT_EQ(with_metrics.find("\"det\""), std::string::npos);
+}
+
+TEST(Trace, ConcurrentSpansFromPoolWorkersAllRecorded) {
+  TraceRecorder trace;
+  const auto root = trace.begin_span("pipeline");
+  ThreadPool pool{4};
+  pool.parallel_for(64, 1, [&](std::size_t begin, std::size_t) {
+    const TraceRecorder::Scoped scoped{
+        &trace, "task." + std::to_string(begin), root};
+  });
+  trace.end_span(root);
+  const auto spans = trace.spans();
+  EXPECT_EQ(spans.size(), 65u);
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].parent, root);
+    EXPECT_GT(spans[i].duration_ns(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace repro::obs

@@ -15,6 +15,7 @@
 #include <numeric>
 #include <stdexcept>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -175,6 +176,60 @@ TEST(ThreadPool, WidthOneMatchesSerialLoopExactly) {
                       }
                     });
   EXPECT_EQ(serial, pooled);  // bitwise: single chunk, same order
+}
+
+TEST(ThreadPool, CtorSpawnFailureThrowsInsteadOfTerminating) {
+  // Regression: a std::thread constructor throwing mid-spawn
+  // (resource exhaustion) used to escape the ThreadPool constructor
+  // with already-started workers still attached, so the std::thread
+  // destructors called std::terminate. The constructor must stop and
+  // join the partial crew, then rethrow.
+  ThreadPool::fail_spawn_at_for_testing(2);
+  EXPECT_THROW(ThreadPool{4}, std::system_error);
+  // The hook disarms itself after firing: construction works again and
+  // the new pool is fully functional.
+  ThreadPool pool{4};
+  EXPECT_EQ(pool.width(), 4u);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(100, 3, [&](std::size_t begin, std::size_t end) {
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), 100u);
+}
+
+TEST(ThreadPool, CtorSpawnFailureOnFirstWorker) {
+  ThreadPool::fail_spawn_at_for_testing(0);
+  EXPECT_THROW(ThreadPool{3}, std::system_error);
+  ThreadPool::fail_spawn_at_for_testing(~std::size_t{0});  // disarm
+}
+
+TEST(ThreadPool, MetricsCountJobsAndAttributeEveryChunk) {
+  ThreadPoolMetrics metrics;
+  ThreadPool pool{4};
+  pool.attach_metrics(&metrics);
+  constexpr std::size_t kCount = 1013;
+  constexpr std::size_t kChunk = 7;
+  constexpr std::uint64_t kChunks = (kCount + kChunk - 1) / kChunk;
+  pool.parallel_for(kCount, kChunk, [](std::size_t, std::size_t) {});
+  EXPECT_EQ(metrics.jobs.load(), 1u);
+  EXPECT_EQ(metrics.chunks.load(), kChunks);
+  // Attribution is scheduling-dependent, but the split always sums to
+  // the whole and the caller always participates.
+  EXPECT_EQ(metrics.caller_chunks.load() + metrics.helper_chunks.load(),
+            kChunks);
+  EXPECT_GE(metrics.max_queue_depth.load(), 1u);
+}
+
+TEST(ThreadPool, MetricsSerialPathCreditsTheCaller) {
+  ThreadPoolMetrics metrics;
+  ThreadPool pool{1};
+  pool.attach_metrics(&metrics);
+  pool.parallel_for(20, 5, [](std::size_t, std::size_t) {});
+  EXPECT_EQ(metrics.jobs.load(), 1u);
+  EXPECT_EQ(metrics.chunks.load(), 4u);
+  EXPECT_EQ(metrics.caller_chunks.load(), 4u);
+  EXPECT_EQ(metrics.helper_chunks.load(), 0u);
+  EXPECT_EQ(metrics.max_queue_depth.load(), 0u);
 }
 
 TEST(ThreadPool, ReuseAcrossManyRounds) {

@@ -569,6 +569,15 @@ TEST(Table, CsvEscaping) {
   EXPECT_EQ(to_csv_row({"a", "b,c", "d\"e"}), "a,\"b,c\",\"d\"\"e\"");
 }
 
+TEST(Table, CsvQuotesEveryRfc4180SpecialCharacter) {
+  // Regression: '\r' was missing from the quote set, so a cell holding
+  // a carriage return leaked it bare into the row and corrupted the
+  // record framing for CRLF-aware readers.
+  EXPECT_EQ(to_csv_row({"a\rb"}), "\"a\rb\"");
+  EXPECT_EQ(to_csv_row({"a\nb"}), "\"a\nb\"");
+  EXPECT_EQ(to_csv_row({"a\r\nb"}), "\"a\r\nb\"");
+}
+
 // --------------------------------------------------------------- histogram
 
 TEST(Histogram, BarChartSortAndTruncate) {
@@ -588,6 +597,22 @@ TEST(Histogram, SparklineShape) {
   EXPECT_EQ(line.size(), 3u);
   EXPECT_EQ(line[0], '_');
   EXPECT_EQ(line[2], '#');
+}
+
+TEST(Histogram, SparklineBucketsArePartitionedEvenly) {
+  // Regression: the top glyph '#' used to own only the exact maximum
+  // (its "bucket" was a single point), so 8572 vs 10000 rendered as
+  // "*#" even though both sit in the top seventh of the range.
+  EXPECT_EQ(sparkline({8572.0, 10000.0}), "##");
+  // With max 7, value v maps to glyph ceil(v * 7 / max) — each of the
+  // seven glyphs covers exactly one unit of this range.
+  EXPECT_EQ(sparkline({1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0}), ".:-=+*#");
+}
+
+TEST(Histogram, SparklineEdgeCases) {
+  EXPECT_EQ(sparkline({}), "");
+  EXPECT_EQ(sparkline({0.0, 0.0, 0.0}), "___");
+  EXPECT_EQ(sparkline({42.0}), "#");  // the lone maximum is full height
 }
 
 TEST(Histogram, EmptyChart) {

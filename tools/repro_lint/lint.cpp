@@ -234,6 +234,9 @@ constexpr RuleDef kRules[] = {
     {"RL005",
      "floating-point == or != in clustering metrics (src/cluster); compare "
      "against an epsilon"},
+    {"RL006",
+     "direct <chrono> use outside src/obs and util/simtime; all wall-clock "
+     "access goes through the audited obs/stopwatch seam"},
 };
 
 const std::set<std::string_view> kParseFns = {
@@ -336,6 +339,12 @@ struct Checker {
     if (in_dir(path, "util") &&
         (path.find("/rng.") != std::string::npos ||
          path.find("/simtime.") != std::string::npos)) {
+      return;
+    }
+    // obs/stopwatch is the audited wall-clock seam: the one place a
+    // real clock identifier may legitimately appear.
+    if (in_dir(path, "obs") &&
+        path.find("/stopwatch.") != std::string::npos) {
       return;
     }
     for (std::size_t i = 0; i < lx.tokens.size(); ++i) {
@@ -443,6 +452,37 @@ struct Checker {
     }
   }
 
+  // RL006 — direct <chrono> use outside the sanctioned modules. RL002
+  // catches the clock *identifiers*; this rule catches the header and
+  // any chrono-qualified name (duration arithmetic, literals scopes),
+  // so timing code cannot creep in under aliases the identifier list
+  // does not know about.
+  void check_chrono_quarantine() {
+    if (in_dir(path, "obs")) return;
+    if (in_dir(path, "util") &&
+        path.find("/simtime.") != std::string::npos) {
+      return;
+    }
+    for (std::size_t i = 0; i < lx.tokens.size(); ++i) {
+      const Token& t = lx.tokens[i];
+      if (t.kind != TokKind::kIdentifier || t.text != "chrono") continue;
+      const bool include_directive =
+          i >= 3 && punct_at(i - 1, "<") && at(i - 2)->text == "include" &&
+          punct_at(i - 3, "#") && punct_at(i + 1, ">");
+      const bool qualified_use = punct_at(i + 1, "::");
+      if (!include_directive && !qualified_use) continue;
+      emit(t.line, "RL006",
+           include_directive
+               ? std::string{"direct #include <chrono> — wall-clock access "
+                             "is quarantined to the obs/stopwatch seam"}
+               : std::string{"chrono:: qualified name — wall-clock access "
+                             "is quarantined to the obs/stopwatch seam"},
+           "take timings via obs::monotonic_now_ns()/obs::Stopwatch "
+           "(src/obs/stopwatch.hpp), or simulated time via SimTime "
+           "(util/simtime.hpp)");
+    }
+  }
+
   // RL004 — raw std:: exception throws.
   void check_raw_throws() {
     for (std::size_t i = 0; i < lx.tokens.size(); ++i) {
@@ -536,6 +576,7 @@ std::vector<Diagnostic> lint_source(const std::string& path,
   Checker checker{normalized(path), lx, options, {}};
   checker.check_parse_calls();
   checker.check_nondeterminism();
+  checker.check_chrono_quarantine();
   checker.check_unordered_iteration();
   checker.check_raw_throws();
   checker.check_float_equality();

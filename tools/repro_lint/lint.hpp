@@ -20,6 +20,10 @@
 //          ConfigError / IoError so parse boundaries stay typed.
 //   RL005  floating-point == / != in clustering metrics (src/cluster)
 //          — compare against an epsilon.
+//   RL006  direct <chrono> use (the include itself, or any chrono::
+//          qualified name) outside src/obs and util/simtime — all wall-
+//          clock access goes through the audited obs/stopwatch seam so
+//          timing can never leak into deterministic output.
 //
 // Inline suppression: `// repro-lint: allow(RL001) reason` silences the
 // named rule(s) on its own line, or on the next line when the comment
@@ -37,7 +41,7 @@ namespace repro::lint {
 struct Diagnostic {
   std::string file;
   int line = 0;
-  std::string rule;        // "RL001" .. "RL005"
+  std::string rule;        // "RL001" .. "RL006"
   std::string message;
   std::string suggestion;  // printed by --fix-suggestions
 };
