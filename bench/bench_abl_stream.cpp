@@ -1,0 +1,282 @@
+// ABL-10 — cost and equivalence of the durable streaming ingest path.
+//
+// Builds the same dataset three ways: the one-shot batch build, the
+// streaming epoch loop writing a cold WAL + epoch checkpoints, and a
+// warm rerun restoring the final epoch cut. Reports wall time per
+// mode, the WAL's on-disk footprint, and the ingest work counters
+// (appends, rotations, recovery, backpressure), verifies all three
+// exports are byte-identical, and writes BENCH_STREAM.json. The
+// ingest counters are pure functions of (seed, scale, epochs), so —
+// like ABL-9 — they double as a drift gate:
+//
+//   $ bench_abl_stream --check ../EXPERIMENTS.md
+//
+// fails (exit 1) when the measured `ingest.*` / `fault.delivery.*`
+// counters differ from the ABL-10 table, forcing a committed
+// EXPERIMENTS.md update alongside any streaming-path change.
+//
+//   REPRO_BENCH_SCALE=0.25 ./bench_abl_stream [--check <EXPERIMENTS.md>]
+//                                             [--out <file.json>]
+#include <cctype>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "io/csv_export.hpp"
+#include "obs/metrics.hpp"
+#include "scenario/stream.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using repro::obs::Channel;
+using repro::obs::MetricsRegistry;
+
+std::string all_csv(const repro::scenario::Dataset& ds) {
+  std::ostringstream out;
+  repro::io::write_events_csv(out, ds.db, ds.e, ds.p, ds.m, ds.b);
+  repro::io::write_samples_csv(out, ds.db, ds.b);
+  repro::io::write_clusters_csv(out, ds.e);
+  repro::io::write_clusters_csv(out, ds.p);
+  repro::io::write_clusters_csv(out, ds.m);
+  return out.str();
+}
+
+/// The streaming-layer counters the ABL-10 gate is stated over; the
+/// rest of the deterministic channel is already pinned by ABL-9.
+bool gated(const std::string& name) {
+  return name.rfind("ingest.", 0) == 0 ||
+         name.rfind("fault.delivery.", 0) == 0;
+}
+
+/// The `| `name` | value |` rows of the ABL-10 section of EXPERIMENTS.md.
+std::map<std::string, std::uint64_t> read_abl10_table(
+    const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    throw repro::IoError("bench_abl_stream: cannot open " + path);
+  }
+  std::map<std::string, std::uint64_t> table;
+  std::string line;
+  bool in_section = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("#", 0) == 0) {
+      in_section = line.find("ABL-10") != std::string::npos;
+      continue;
+    }
+    if (!in_section || line.rfind("|", 0) != 0) continue;
+    const std::size_t tick_open = line.find('`');
+    if (tick_open == std::string::npos) continue;
+    const std::size_t tick_close = line.find('`', tick_open + 1);
+    if (tick_close == std::string::npos) continue;
+    const std::string name =
+        line.substr(tick_open + 1, tick_close - tick_open - 1);
+    const std::size_t bar = line.find('|', tick_close);
+    if (bar == std::string::npos) continue;
+    std::size_t begin = bar + 1;
+    while (begin < line.size() && line[begin] == ' ') ++begin;
+    std::size_t end = begin;
+    while (end < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[end])) != 0) {
+      ++end;
+    }
+    if (end == begin) continue;
+    table[name] = repro::parse_u64(line.substr(begin, end - begin),
+                                   "ABL-10 counter " + name);
+  }
+  return table;
+}
+
+bool counters_match_table(
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters,
+    const std::map<std::string, std::uint64_t>& table) {
+  bool ok = true;
+  std::map<std::string, std::uint64_t> measured;
+  for (const auto& [name, value] : counters) {
+    if (gated(name)) measured[name] = value;
+  }
+  for (const auto& [name, value] : measured) {
+    const auto it = table.find(name);
+    if (it == table.end()) {
+      std::cerr << "ABL-10 gate: counter '" << name << "' (= " << value
+                << ") is missing from the table\n";
+      ok = false;
+    } else if (it->second != value) {
+      std::cerr << "ABL-10 gate: counter '" << name << "' measured " << value
+                << " but the table says " << it->second << "\n";
+      ok = false;
+    }
+  }
+  for (const auto& [name, value] : table) {
+    if (measured.count(name) == 0) {
+      std::cerr << "ABL-10 gate: table row '" << name
+                << "' was not produced by this run\n";
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  namespace fs = std::filesystem;
+  using clock = std::chrono::steady_clock;
+
+  std::string check_path;
+  std::string out_path = "BENCH_STREAM.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--check" && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_abl_stream [--check <EXPERIMENTS.md>] "
+                   "[--out <file.json>]\n";
+      return 2;
+    }
+  }
+
+  try {
+    const scenario::ScenarioOptions base = bench::options_from_env();
+    std::cout << "### ABL-10: streaming ingest vs one-shot batch\n"
+              << "(seed " << base.seed << ", scale " << base.scale
+              << (base.faults.empty() ? "" : ", fault injection ON")
+              << "; batch build, then the WAL + epoch loop...)\n\n";
+
+    const fs::path root = fs::temp_directory_path() / "repro-abl-stream";
+    fs::remove_all(root);
+
+    struct Timed {
+      double seconds = 0.0;
+      scenario::Dataset dataset;
+    };
+    const auto timed = [](auto&& build) {
+      const clock::time_point start = clock::now();
+      Timed result{0.0, build()};
+      result.seconds =
+          std::chrono::duration<double>(clock::now() - start).count();
+      return result;
+    };
+
+    const Timed batch =
+        timed([&] { return scenario::build_paper_dataset(base); });
+
+    scenario::ScenarioOptions streamed = base;
+    streamed.checkpoint.directory = (root / "ckpt").string();
+    scenario::StreamOptions stream;
+    stream.wal_dir = (root / "wal").string();
+    MetricsRegistry cold_metrics;
+    streamed.metrics = &cold_metrics;
+    const Timed cold = timed(
+        [&] { return scenario::build_streaming_dataset(streamed, stream); });
+    streamed.metrics = nullptr;
+    const Timed warm = timed(
+        [&] { return scenario::build_streaming_dataset(streamed, stream); });
+
+    TextTable modes{{"mode", "wall time", "vs batch", "epochs run",
+                     "epochs restored"}};
+    const auto add_mode = [&](const char* name, const Timed& mode) {
+      std::ostringstream secs, ratio;
+      secs.precision(2);
+      secs << std::fixed << mode.seconds << " s";
+      ratio.precision(2);
+      ratio << std::fixed << mode.seconds / batch.seconds << "x";
+      modes.add_row({name, secs.str(), ratio.str(),
+                     std::to_string(mode.dataset.ingest.epochs_run),
+                     std::to_string(mode.dataset.ingest.epochs_restored)});
+    };
+    add_mode("one-shot batch", batch);
+    add_mode("streaming (cold WAL)", cold);
+    add_mode("streaming (warm restore)", warm);
+    std::cout << modes.render() << "\n";
+
+    std::uintmax_t wal_bytes = 0;
+    std::size_t wal_files = 0;
+    for (const auto& entry : fs::directory_iterator(root / "wal")) {
+      if (!entry.is_regular_file()) continue;
+      wal_bytes += entry.file_size();
+      ++wal_files;
+    }
+    const ingest::IngestReport& report = cold.dataset.ingest;
+    TextTable wal{{"ingest counter", "value"}};
+    wal.add_row({"records appended", std::to_string(report.records_appended)});
+    wal.add_row({"frame bytes appended",
+                 std::to_string(report.bytes_appended)});
+    wal.add_row({"segments sealed", std::to_string(report.segments_sealed)});
+    wal.add_row({"records recovered (warm)",
+                 std::to_string(warm.dataset.ingest.records_recovered)});
+    wal.add_row({"queue pushed", std::to_string(report.queue_pushed)});
+    wal.add_row({"queue stalls", std::to_string(report.queue_stalls)});
+    wal.add_row({"queue high water", std::to_string(report.queue_high_water)});
+    wal.add_row({"WAL on disk", std::to_string(wal_bytes) + " B in " +
+                                    std::to_string(wal_files) + " files"});
+    std::cout << wal.render() << "\n";
+
+    const bool identical =
+        all_csv(batch.dataset) == all_csv(cold.dataset) &&
+        all_csv(batch.dataset) == all_csv(warm.dataset);
+    std::cout << (identical
+                      ? "streamed exports byte-identical to batch build: yes\n"
+                      : "streamed exports byte-identical to batch build: NO "
+                        "(BUG)\n");
+    bench::print_degradation(cold.dataset);
+
+    const auto counters = cold_metrics.counter_values(Channel::kDeterministic);
+    std::ostringstream json;
+    json.precision(2);
+    json << std::fixed << "{\n  \"bench\": \"abl_stream\",\n"
+         << "  \"seed\": " << base.seed << ",\n"
+         << "  \"scale\": " << base.scale << ",\n"
+         << "  \"batch_wall_s\": " << batch.seconds << ",\n"
+         << "  \"stream_cold_wall_s\": " << cold.seconds << ",\n"
+         << "  \"stream_warm_wall_s\": " << warm.seconds << ",\n"
+         << "  \"wal_disk_bytes\": " << wal_bytes << ",\n"
+         << "  \"byte_identical\": " << (identical ? "true" : "false")
+         << ",\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, value] : counters) {
+      if (!gated(name)) continue;
+      json << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+      first = false;
+    }
+    json << "\n  }\n}\n";
+    std::ofstream out{out_path, std::ios::binary};
+    if (!out) {
+      throw IoError("bench_abl_stream: cannot open " + out_path +
+                    " for writing");
+    }
+    out << json.str();
+    std::cout << "wrote " << out_path << "\n";
+
+    fs::remove_all(root);
+    if (!identical) return 1;
+    if (!check_path.empty()) {
+      if (!counters_match_table(counters, read_abl10_table(check_path))) {
+        std::cerr << "bench_abl_stream: streaming work counters drifted — "
+                     "update the ABL-10 table in EXPERIMENTS.md alongside "
+                     "the change\n";
+        return 1;
+      }
+      std::size_t gated_count = 0;
+      for (const auto& [name, value] : counters) {
+        if (gated(name)) ++gated_count;
+      }
+      std::cout << "ABL-10 gate: " << gated_count
+                << " counters match EXPERIMENTS.md\n";
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return 1;
+  }
+}

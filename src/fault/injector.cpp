@@ -10,7 +10,48 @@ bool FaultReport::any() const noexcept {
   return attacks_lost_to_outage > 0 || proxy_failures > 0 ||
          refinements_abandoned > 0 || downloads_refused > 0 ||
          downloads_corrupted > 0 || sandbox_failures > 0 ||
-         av_label_gaps > 0;
+         av_label_gaps > 0 || delivery_failures > 0;
+}
+
+namespace {
+
+/// Applies `op` to every counter pair of two reports. Keeping the
+/// member list in one place means add/subtract can never drift apart
+/// when FaultReport grows a field.
+template <typename Op>
+FaultReport combine(const FaultReport& a, const FaultReport& b, Op op) {
+  FaultReport out;
+  const auto apply = [&](auto member) { out.*member = op(a.*member, b.*member); };
+  apply(&FaultReport::attacks_lost_to_outage);
+  apply(&FaultReport::sensor_checks);
+  apply(&FaultReport::proxy_attempts);
+  apply(&FaultReport::proxy_failures);
+  apply(&FaultReport::proxy_retries);
+  apply(&FaultReport::refinements_abandoned);
+  apply(&FaultReport::proxy_backoff_seconds);
+  apply(&FaultReport::download_checks);
+  apply(&FaultReport::downloads_refused);
+  apply(&FaultReport::downloads_corrupted);
+  apply(&FaultReport::sandbox_checks);
+  apply(&FaultReport::sandbox_failures);
+  apply(&FaultReport::av_label_checks);
+  apply(&FaultReport::av_label_gaps);
+  apply(&FaultReport::delivery_checks);
+  apply(&FaultReport::delivery_failures);
+  apply(&FaultReport::delivery_retries);
+  apply(&FaultReport::delivery_retry_exhausted);
+  apply(&FaultReport::delivery_backoff_seconds);
+  return out;
+}
+
+}  // namespace
+
+FaultReport add(const FaultReport& a, const FaultReport& b) {
+  return combine(a, b, [](auto x, auto y) { return x + y; });
+}
+
+FaultReport subtract(const FaultReport& a, const FaultReport& b) {
+  return combine(a, b, [](auto x, auto y) { return x - y; });
 }
 
 std::string FaultReport::summary() const {
@@ -26,7 +67,11 @@ std::string FaultReport::summary() const {
       << downloads_corrupted << " bit-corrupted\n"
       << "  sandbox:             " << sandbox_failures
       << " timeouts/crashes (samples left unenriched)\n"
-      << "  AV labeler:          " << av_label_gaps << " label gaps\n";
+      << "  AV labeler:          " << av_label_gaps << " label gaps\n"
+      << "  ingest delivery:     " << delivery_failures
+      << " failed attempts (" << delivery_retries << " retries, "
+      << delivery_backoff_seconds << "s backoff), "
+      << delivery_retry_exhausted << " records spooled after exhaustion\n";
   return out.str();
 }
 
@@ -54,6 +99,12 @@ FaultReport FaultInjector::report() const noexcept {
   report.sandbox_failures = sz(counters_.sandbox_failures);
   report.av_label_checks = sz(counters_.av_label_checks);
   report.av_label_gaps = sz(counters_.av_label_gaps);
+  report.delivery_checks = sz(counters_.delivery_checks);
+  report.delivery_failures = sz(counters_.delivery_failures);
+  report.delivery_retries = sz(counters_.delivery_retries);
+  report.delivery_retry_exhausted = sz(counters_.delivery_retry_exhausted);
+  report.delivery_backoff_seconds =
+      counters_.delivery_backoff_seconds.load(std::memory_order_relaxed);
   return report;
 }
 
@@ -150,6 +201,27 @@ bool FaultInjector::sandbox_fails(std::uint64_t key) {
     return true;
   }
   return false;
+}
+
+bool FaultInjector::delivery_fails(std::uint64_t key, int attempt) {
+  counters_.delivery_checks.fetch_add(1, std::memory_order_relaxed);
+  if (roll("ingest.delivery",
+           mix64(key) + static_cast<std::uint64_t>(attempt),
+           plan_.ingest_failure_probability)) {
+    counters_.delivery_failures.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void FaultInjector::count_delivery_retry(std::int64_t backoff_seconds) {
+  counters_.delivery_retries.fetch_add(1, std::memory_order_relaxed);
+  counters_.delivery_backoff_seconds.fetch_add(backoff_seconds,
+                                               std::memory_order_relaxed);
+}
+
+void FaultInjector::count_delivery_exhausted() {
+  counters_.delivery_retry_exhausted.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool FaultInjector::av_label_gap(std::uint64_t key) {

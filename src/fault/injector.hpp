@@ -42,11 +42,24 @@ struct FaultReport {
   std::size_t sandbox_failures = 0;
   std::size_t av_label_checks = 0;
   std::size_t av_label_gaps = 0;
+  std::size_t delivery_checks = 0;
+  std::size_t delivery_failures = 0;
+  std::size_t delivery_retries = 0;
+  std::size_t delivery_retry_exhausted = 0;
+  std::int64_t delivery_backoff_seconds = 0;
 
   [[nodiscard]] bool any() const noexcept;
   /// Multi-line, human-readable degradation summary.
   [[nodiscard]] std::string summary() const;
 };
+
+/// Field-wise sum: composes the report of a restored checkpoint slice
+/// with the counters accumulated since (the epoch loop's bookkeeping).
+[[nodiscard]] FaultReport add(const FaultReport& a, const FaultReport& b);
+
+/// Field-wise difference a - b; `b` must be an earlier snapshot of the
+/// same accumulation than `a` (every field of `a` >= `b`).
+[[nodiscard]] FaultReport subtract(const FaultReport& a, const FaultReport& b);
 
 /// What the download fault model decided for one transfer.
 enum class DownloadFault : std::uint8_t { kNone, kRefused, kCorrupted };
@@ -89,6 +102,16 @@ class FaultInjector {
   /// True when the AV labeler returns nothing for `key`.
   [[nodiscard]] bool av_label_gap(std::uint64_t key);
 
+  /// True when delivery attempt `attempt` (1-based) of the ingest
+  /// record keyed `key` fails (site "ingest.delivery"). The retry loop
+  /// itself lives in src/ingest/delivery; it reports its bookkeeping
+  /// back through the two counters below.
+  [[nodiscard]] bool delivery_fails(std::uint64_t key, int attempt);
+  /// One ingest retry wait of `backoff_seconds` happened.
+  void count_delivery_retry(std::int64_t backoff_seconds);
+  /// One ingest record exhausted its retry/deadline budget.
+  void count_delivery_exhausted();
+
  private:
   /// Stateless Bernoulli decision: hash of (seed, stage, key) vs p.
   [[nodiscard]] bool roll(std::string_view stage, std::uint64_t key,
@@ -115,6 +138,11 @@ class FaultInjector {
     std::atomic<std::uint64_t> sandbox_failures{0};
     std::atomic<std::uint64_t> av_label_checks{0};
     std::atomic<std::uint64_t> av_label_gaps{0};
+    std::atomic<std::uint64_t> delivery_checks{0};
+    std::atomic<std::uint64_t> delivery_failures{0};
+    std::atomic<std::uint64_t> delivery_retries{0};
+    std::atomic<std::uint64_t> delivery_retry_exhausted{0};
+    std::atomic<std::int64_t> delivery_backoff_seconds{0};
   };
   Counters counters_;
 };

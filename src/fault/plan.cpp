@@ -12,7 +12,8 @@ bool FaultPlan::empty() const noexcept {
          download_refused_probability <= 0.0 &&
          download_corruption_probability <= 0.0 &&
          sandbox_failure_probability <= 0.0 &&
-         av_label_gap_probability <= 0.0;
+         av_label_gap_probability <= 0.0 &&
+         ingest_failure_probability <= 0.0;
 }
 
 void FaultPlan::validate() const {
@@ -30,6 +31,7 @@ void FaultPlan::validate() const {
   check_probability(sandbox_failure_probability,
                     "sandbox_failure_probability");
   check_probability(av_label_gap_probability, "av_label_gap_probability");
+  check_probability(ingest_failure_probability, "ingest_failure_probability");
   if (proxy_max_retries < 0) {
     throw ConfigError("FaultPlan: proxy_max_retries must be >= 0");
   }
@@ -55,6 +57,7 @@ FaultPlan FaultPlan::scaled(double factor) const {
       scale(download_corruption_probability);
   plan.sandbox_failure_probability = scale(sandbox_failure_probability);
   plan.av_label_gap_probability = scale(av_label_gap_probability);
+  plan.ingest_failure_probability = scale(ingest_failure_probability);
   return plan;
 }
 
@@ -72,6 +75,7 @@ FaultPlan FaultPlan::paper_calibrated() {
   plan.download_corruption_probability = 0.015;
   plan.sandbox_failure_probability = 0.01;
   plan.av_label_gap_probability = 0.03;
+  plan.ingest_failure_probability = 0.03;
   return plan;
 }
 
@@ -99,6 +103,9 @@ FaultPlan FaultPlan::random_plan(std::uint64_t seed, int weeks,
   plan.download_corruption_probability = rng.real() * 0.35;
   plan.sandbox_failure_probability = rng.real() * 0.5;
   plan.av_label_gap_probability = rng.real() * 0.5;
+  // Drawn after every pre-existing field so older chaos-sweep seeds
+  // keep producing the exact plans they always did.
+  plan.ingest_failure_probability = rng.real() * 0.5;
   return plan;
 }
 

@@ -56,6 +56,11 @@ struct FaultPlan {
   /// AV labeler gap: the sample gets no label at all.
   double av_label_gap_probability = 0.0;
 
+  /// Streaming ingest: one sensor-to-collector delivery attempt of a
+  /// WAL record fails with this probability; the ingest layer retries
+  /// under its own backoff policy (see src/ingest/delivery).
+  double ingest_failure_probability = 0.0;
+
   /// True when the plan can never fire a fault.
   [[nodiscard]] bool empty() const noexcept;
 

@@ -81,13 +81,15 @@ EnrichmentStats enrich_database(EventDatabase& db,
                                 const malware::Landscape& landscape,
                                 const sandbox::Environment& environment,
                                 fault::FaultInjector* faults,
-                                ThreadPool* pool) {
+                                ThreadPool* pool,
+                                std::size_t first_sample) {
   const sandbox::Sandbox sandbox{environment};
   std::vector<MalwareSample>& samples = db.samples_mutable();
+  if (first_sample >= samples.size()) return EnrichmentStats{};
   if (pool == nullptr || pool->width() == 1) {
     EnrichmentStats stats;
-    for (MalwareSample& sample : samples) {
-      enrich_sample(sample, landscape, sandbox, faults, stats);
+    for (std::size_t i = first_sample; i < samples.size(); ++i) {
+      enrich_sample(samples[i], landscape, sandbox, faults, stats);
     }
     return stats;
   }
@@ -99,10 +101,12 @@ EnrichmentStats enrich_database(EventDatabase& db,
   constexpr std::size_t kChunk = 64;
   const std::vector<EnrichmentStats> chunks =
       pool->map_chunks<EnrichmentStats>(
-          samples.size(), kChunk, [&](std::size_t begin, std::size_t end) {
+          samples.size() - first_sample, kChunk,
+          [&](std::size_t begin, std::size_t end) {
             EnrichmentStats stats;
             for (std::size_t i = begin; i < end; ++i) {
-              enrich_sample(samples[i], landscape, sandbox, faults, stats);
+              enrich_sample(samples[first_sample + i], landscape, sandbox,
+                            faults, stats);
             }
             return stats;
           });

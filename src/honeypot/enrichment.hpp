@@ -43,11 +43,15 @@ struct EnrichmentStats {
 /// and AV-label gaps; submitted == executed + failed + sandbox_faults
 /// always holds. `pool` (optional) fans per-sample work out over the
 /// pool; every sample's enrichment is a pure function of the sample
-/// itself, so the result is identical at any width.
+/// itself, so the result is identical at any width. `first_sample`
+/// skips samples below that id — the streaming epoch loop enriches
+/// only each epoch's delta, and per-sample purity makes the delta
+/// result identical to re-enriching everything.
 EnrichmentStats enrich_database(EventDatabase& db,
                                 const malware::Landscape& landscape,
                                 const sandbox::Environment& environment,
                                 fault::FaultInjector* faults = nullptr,
-                                ThreadPool* pool = nullptr);
+                                ThreadPool* pool = nullptr,
+                                std::size_t first_sample = 0);
 
 }  // namespace repro::honeypot

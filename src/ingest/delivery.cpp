@@ -1,0 +1,69 @@
+#include "ingest/delivery.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fault/injector.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace repro::ingest {
+
+void RetryPolicy::validate() const {
+  if (max_attempts < 1) {
+    throw ConfigError("delivery: max_attempts must be at least 1");
+  }
+  if (base_backoff_seconds < 1 || max_backoff_seconds < base_backoff_seconds) {
+    throw ConfigError("delivery: backoff bounds must satisfy 1 <= base <= max");
+  }
+  if (timeout_seconds < 1) {
+    throw ConfigError("delivery: timeout_seconds must be positive");
+  }
+}
+
+std::int64_t backoff_delay(const RetryPolicy& policy, std::uint64_t key,
+                           int attempt) {
+  std::int64_t step = policy.base_backoff_seconds;
+  for (int i = 1; i < attempt && step < policy.max_backoff_seconds; ++i) {
+    step *= 2;
+  }
+  step = std::min(step, policy.max_backoff_seconds);
+  // ±25% jitter from a pure hash — deterministic, and independent of
+  // every other random stream in the simulation.
+  const std::uint64_t h =
+      mix64(policy.jitter_seed ^ mix64(key) ^
+            (0x9e37'79b9'7f4a'7c15ULL * static_cast<std::uint64_t>(attempt)));
+  const double fraction =
+      static_cast<double>(h >> 11) * 0x1.0p-53;  // [0, 1)
+  const double jittered =
+      static_cast<double>(step) * (0.75 + 0.5 * fraction);
+  return std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::floor(jittered)));
+}
+
+DeliveryOutcome deliver_record(const RetryPolicy& policy, std::uint64_t key,
+                               SimTime start, fault::FaultInjector& faults) {
+  policy.validate();
+  const SimTime deadline = add_seconds(start, policy.timeout_seconds);
+  DeliveryOutcome outcome;
+  SimTime now = start;
+  for (int attempt = 1;; ++attempt) {
+    outcome.attempts = attempt;
+    if (!faults.delivery_fails(key, attempt)) {
+      outcome.completed = now;
+      return outcome;
+    }
+    if (attempt >= policy.max_attempts) break;
+    const std::int64_t delay = backoff_delay(policy, key, attempt);
+    if (add_seconds(now, delay) > deadline) break;  // would blow the deadline
+    now = add_seconds(now, delay);
+    outcome.backoff_seconds += delay;
+    faults.count_delivery_retry(delay);
+  }
+  faults.count_delivery_exhausted();
+  outcome.exhausted = true;
+  outcome.completed = now;
+  return outcome;
+}
+
+}  // namespace repro::ingest

@@ -1,0 +1,60 @@
+// Sensor-to-collector delivery with deterministic retry/backoff.
+//
+// Each WAL record models one event batch a sensor ships to the
+// collector. Delivery can fail (the decision comes from src/fault, so
+// chaos sweeps cover it); failures are retried under a capped
+// exponential backoff with pure-hash jitter and a simtime deadline.
+// Everything is a pure function of (policy, record key, fault plan):
+// no wall clock, no shared RNG stream, so a kill-resume run makes the
+// exact same delivery decisions as an uninterrupted one. Exhausted
+// retries never drop the record — it is spooled and still enters the
+// WAL in order (losing it would break the byte-identity guarantee);
+// exhaustion is surfaced through the injector's counters instead.
+#pragma once
+
+#include <cstdint>
+
+#include "util/simtime.hpp"
+
+namespace repro::fault {
+class FaultInjector;
+}  // namespace repro::fault
+
+namespace repro::ingest {
+
+struct RetryPolicy {
+  /// Total tries per record, first attempt included.
+  int max_attempts = 4;
+  /// Backoff before retry N doubles from this, capped below.
+  std::int64_t base_backoff_seconds = 2;
+  std::int64_t max_backoff_seconds = 300;
+  /// Retrying stops once the next wait would pass start + timeout.
+  std::int64_t timeout_seconds = 3600;
+  /// Seed for the pure-hash jitter (±25% around the exponential step).
+  std::uint64_t jitter_seed = 0x5347'4e45'5400'2010ULL;
+
+  /// Throws ConfigError on non-positive attempts/backoff/timeout.
+  void validate() const;
+};
+
+/// Jittered wait before the retry that follows failed attempt
+/// `attempt` (1-based). Deterministic in (policy, key, attempt);
+/// always at least one second.
+[[nodiscard]] std::int64_t backoff_delay(const RetryPolicy& policy,
+                                         std::uint64_t key, int attempt);
+
+struct DeliveryOutcome {
+  int attempts = 1;
+  std::int64_t backoff_seconds = 0;  // total simulated wait
+  bool exhausted = false;  // gave up retrying; record spooled, not lost
+  SimTime completed;       // when the record was handed onward
+};
+
+/// Runs the retry loop for the record keyed `key` whose delivery began
+/// at `start`. Failure decisions and retry accounting go through
+/// `faults` (site "ingest.delivery").
+[[nodiscard]] DeliveryOutcome deliver_record(const RetryPolicy& policy,
+                                             std::uint64_t key, SimTime start,
+                                             fault::FaultInjector& faults);
+
+}  // namespace repro::ingest

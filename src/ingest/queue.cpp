@@ -1,0 +1,88 @@
+#include "ingest/queue.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace repro::ingest {
+
+BoundedRecordQueue::BoundedRecordQueue(std::size_t capacity,
+                                       OverflowPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  if (capacity_ == 0) {
+    throw ConfigError("ingest queue: capacity must be positive");
+  }
+}
+
+void BoundedRecordQueue::admit(std::vector<std::uint8_t>&& record) {
+  items_.push_back(std::move(record));
+  ++stats_.pushed;
+  stats_.high_water = std::max<std::uint64_t>(stats_.high_water,
+                                              items_.size());
+  ready_.notify_one();
+}
+
+bool BoundedRecordQueue::offer(std::vector<std::uint8_t> record) {
+  std::lock_guard lock{mutex_};
+  if (closed_) return false;
+  if (items_.size() >= capacity_) {
+    if (policy_ == OverflowPolicy::kBlock) {
+      ++stats_.stalls;
+      return false;
+    }
+    items_.pop_front();
+    ++stats_.shed;
+  }
+  admit(std::move(record));
+  return true;
+}
+
+bool BoundedRecordQueue::push(std::vector<std::uint8_t> record) {
+  std::unique_lock lock{mutex_};
+  if (policy_ == OverflowPolicy::kBlock) {
+    if (items_.size() >= capacity_ && !closed_) ++stats_.stalls;
+    room_.wait(lock,
+               [this] { return items_.size() < capacity_ || closed_; });
+  } else if (items_.size() >= capacity_) {
+    items_.pop_front();
+    ++stats_.shed;
+  }
+  if (closed_) return false;
+  admit(std::move(record));
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> BoundedRecordQueue::try_pop() {
+  std::lock_guard lock{mutex_};
+  if (items_.empty()) return std::nullopt;
+  std::vector<std::uint8_t> record = std::move(items_.front());
+  items_.pop_front();
+  ++stats_.popped;
+  room_.notify_one();
+  return record;
+}
+
+std::optional<std::vector<std::uint8_t>> BoundedRecordQueue::pop() {
+  std::unique_lock lock{mutex_};
+  ready_.wait(lock, [this] { return !items_.empty() || closed_; });
+  if (items_.empty()) return std::nullopt;
+  std::vector<std::uint8_t> record = std::move(items_.front());
+  items_.pop_front();
+  ++stats_.popped;
+  room_.notify_one();
+  return record;
+}
+
+void BoundedRecordQueue::close() {
+  std::lock_guard lock{mutex_};
+  closed_ = true;
+  room_.notify_all();
+  ready_.notify_all();
+}
+
+BoundedRecordQueue::Stats BoundedRecordQueue::stats() const {
+  std::lock_guard lock{mutex_};
+  return stats_;
+}
+
+}  // namespace repro::ingest

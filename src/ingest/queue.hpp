@@ -1,0 +1,78 @@
+// Bounded ingest queue with explicit backpressure.
+//
+// A small thread-safe FIFO of serialized records sitting between the
+// sensor delivery layer and the WAL appender. Capacity is a hard bound;
+// what happens at the bound is the overflow policy: kBlock makes the
+// producer wait (counted as a stall), kShedOldest drops the oldest
+// queued record to admit the new one (counted as shed). The serial
+// epoch driver uses the non-blocking offer()/try_pop() pair so every
+// counter stays deterministic; the blocking push()/pop() pair exists
+// for genuinely concurrent producers and is exercised under TSan.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace repro::ingest {
+
+enum class OverflowPolicy : std::uint8_t {
+  kBlock = 0,      // producer waits for room
+  kShedOldest = 1, // oldest queued record is dropped to make room
+};
+
+class BoundedRecordQueue {
+ public:
+  /// Throws ConfigError when `capacity` is zero.
+  BoundedRecordQueue(std::size_t capacity, OverflowPolicy policy);
+
+  /// Non-blocking admit. Returns false only under kBlock with a full
+  /// queue (counted as a stall; the record is untouched and the caller
+  /// must drain before retrying). Under kShedOldest a full queue drops
+  /// its oldest record and always admits.
+  [[nodiscard]] bool offer(std::vector<std::uint8_t> record);
+
+  /// Blocking admit: waits for room under kBlock (each wait counted as
+  /// one stall), sheds under kShedOldest. Returns false only when the
+  /// queue was closed.
+  bool push(std::vector<std::uint8_t> record);
+
+  /// Non-blocking take.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> try_pop();
+
+  /// Blocking take; empty only when the queue is closed and drained.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> pop();
+
+  /// Wakes all waiters; pushes are rejected from here on, pops drain
+  /// what remains.
+  void close();
+
+  struct Stats {
+    std::uint64_t pushed = 0;   // records admitted
+    std::uint64_t popped = 0;   // records taken
+    std::uint64_t shed = 0;     // records dropped by kShedOldest
+    std::uint64_t stalls = 0;   // kBlock rejections/waits at capacity
+    std::uint64_t high_water = 0;  // max depth ever observed
+  };
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  // Callers hold `mutex_`.
+  void admit(std::vector<std::uint8_t>&& record);
+
+  std::size_t capacity_;
+  OverflowPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable room_;
+  std::condition_variable ready_;
+  std::deque<std::vector<std::uint8_t>> items_;
+  Stats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace repro::ingest

@@ -791,12 +791,11 @@ std::uint64_t scenario_fingerprint(const ScenarioOptions& options) {
       std::bit_cast<std::uint64_t>(plan.download_corruption_probability));
   writer.u64(std::bit_cast<std::uint64_t>(plan.sandbox_failure_probability));
   writer.u64(std::bit_cast<std::uint64_t>(plan.av_label_gap_probability));
+  writer.u64(std::bit_cast<std::uint64_t>(plan.ingest_failure_probability));
   return fnv1a64(std::string_view{
       reinterpret_cast<const char*>(writer.data().data()),
       writer.data().size()});
 }
-
-namespace {
 
 /// Publishes the pipeline's outcome counts from the *final* Dataset,
 /// so fresh and resumed runs export the same values (restored stages
@@ -843,6 +842,16 @@ void publish_dataset_metrics(obs::MetricsRegistry& metrics,
   set("fault.sandbox.injected", faults.sandbox_failures);
   set("fault.avlabel.checked", faults.av_label_checks);
   set("fault.avlabel.injected", faults.av_label_gaps);
+  // Retry-exhaustion and ingest-delivery auditing (all-zero outside
+  // fault-injected streaming runs, but always exported so the bench
+  // --check tables stay total).
+  set("fault.proxy.retry_exhausted", faults.refinements_abandoned);
+  set("fault.delivery.checked", faults.delivery_checks);
+  set("fault.delivery.injected", faults.delivery_failures);
+  set("fault.delivery.retries", faults.delivery_retries);
+  set("fault.delivery.retry_exhausted", faults.delivery_retry_exhausted);
+  set("fault.delivery.backoff_seconds",
+      static_cast<std::size_t>(faults.delivery_backoff_seconds));
 
   const snapshot::CheckpointStore::Activity& snap =
       dataset.checkpoint_activity;
@@ -853,9 +862,6 @@ void publish_dataset_metrics(obs::MetricsRegistry& metrics,
   set("snapshot.bytes_written", snap.bytes_written);
 }
 
-/// Copies the pool's scheduling telemetry into the registry. Strictly
-/// runtime-channel: at width 1 the serial fast paths bypass the pool
-/// entirely, so none of these counts can be width-stable.
 void publish_pool_metrics(obs::MetricsRegistry& metrics,
                           const ThreadPool& pool,
                           const ThreadPoolMetrics& counters) {
@@ -872,7 +878,14 @@ void publish_pool_metrics(obs::MetricsRegistry& metrics,
       .raise_to(static_cast<std::int64_t>(counters.max_queue_depth.load()));
 }
 
-}  // namespace
+honeypot::DeploymentConfig make_paper_deployment_config(
+    const ScenarioOptions& options, fault::FaultInjector* faults) {
+  honeypot::DeploymentConfig config;
+  config.seed = options.seed;
+  config.download.truncation_probability = kTruncationProbability;
+  config.faults = faults;
+  return config;
+}
 
 Dataset build_paper_dataset(const ScenarioOptions& options) {
   options.faults.validate();
@@ -921,10 +934,8 @@ Dataset build_paper_dataset(const ScenarioOptions& options) {
     fault::FaultInjector* faults =
         options.faults.empty() ? nullptr : &injector;
 
-    honeypot::DeploymentConfig config;
-    config.seed = options.seed;
-    config.download.truncation_probability = kTruncationProbability;
-    config.faults = faults;
+    const honeypot::DeploymentConfig config =
+        make_paper_deployment_config(options, faults);
     honeypot::Deployment deployment{dataset.landscape, config};
     snapshot::DatabaseStage stage;
     {

@@ -16,9 +16,15 @@
 #include "honeypot/database.hpp"
 #include "honeypot/deployment.hpp"
 #include "honeypot/enrichment.hpp"
+#include "ingest/report.hpp"
 #include "malware/landscape.hpp"
 #include "sandbox/environment.hpp"
 #include "snapshot/checkpoint.hpp"
+
+namespace repro {
+class ThreadPool;
+struct ThreadPoolMetrics;
+}  // namespace repro
 
 namespace repro::obs {
 class MetricsRegistry;
@@ -96,8 +102,31 @@ struct Dataset {
   fault::FaultReport fault_report;
   /// What checkpointing did during this build (all-zero when disabled).
   snapshot::CheckpointStore::Activity checkpoint_activity;
+  /// Streaming-ingest accounting; all-zero for a one-shot batch build
+  /// (only build_streaming_dataset drives the WAL/queue/epoch path).
+  ingest::IngestReport ingest;
 };
 
 [[nodiscard]] Dataset build_paper_dataset(const ScenarioOptions& options = {});
+
+/// The deployment configuration the paper scenario runs under; shared
+/// by the batch build above and the streaming epoch loop so both
+/// generate the exact same event sequence.
+[[nodiscard]] honeypot::DeploymentConfig make_paper_deployment_config(
+    const ScenarioOptions& options, fault::FaultInjector* faults);
+
+/// Publishes the dataset's outcome counters ("pipeline.*", "enrich.*",
+/// "cluster.*", "fault.*", "snapshot.*") on the deterministic channel.
+/// Values come from the final Dataset, so fresh, resumed and streamed
+/// builds of the same configuration export identical metrics.
+void publish_dataset_metrics(obs::MetricsRegistry& metrics,
+                             const Dataset& dataset);
+
+/// Copies the pool's scheduling telemetry into the registry. Strictly
+/// runtime-channel: at width 1 the serial fast paths bypass the pool
+/// entirely, so none of these counts can be width-stable.
+void publish_pool_metrics(obs::MetricsRegistry& metrics,
+                          const ThreadPool& pool,
+                          const ThreadPoolMetrics& counters);
 
 }  // namespace repro::scenario

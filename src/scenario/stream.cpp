@@ -1,0 +1,400 @@
+#include "scenario/stream.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cluster/behavioral.hpp"
+#include "ingest/queue.hpp"
+#include "ingest/wal.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "snapshot/codec.hpp"
+#include "util/byteio.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace repro::scenario {
+
+namespace {
+
+/// WAL record payload layout (version 1):
+///
+///   [u8 version][attack event, snapshot codec, id=0, no sample ref]
+///   [u8 has_sample][u64 content size][content bytes]
+///   [u8 truncated][u8 corrupted]            (sample block only)
+///
+/// One record per attack event, in event order. The sample block
+/// carries the event's *own* download (content + flags) rather than a
+/// database sample id, so a record is replayable into any database
+/// state; replaying the full sequence re-runs the md5 dedup in the
+/// original order and therefore reproduces the batch database
+/// byte-for-byte (same sample ids, same first_seen, same event counts).
+constexpr std::uint8_t kRecordVersion = 1;
+
+[[nodiscard]] std::vector<std::uint8_t> encode_record(
+    const honeypot::AttackEvent& event,
+    const honeypot::EventDatabase& gen_db) {
+  ByteWriter writer;
+  writer.u8(kRecordVersion);
+  honeypot::AttackEvent copy = event;
+  copy.id = 0;          // replay reassigns ids in order
+  copy.sample.reset();  // the sample travels by content, not by id
+  snapshot::write_attack_event(writer, copy);
+  writer.u8(event.sample.has_value() ? 1 : 0);
+  if (event.sample.has_value()) {
+    // Distinct download contents always hash to distinct MD5s, so the
+    // deduplicated sample's content and flags are exactly what this
+    // event's own download carried.
+    const honeypot::MalwareSample& sample = gen_db.sample(*event.sample);
+    writer.u64(sample.content.size());
+    writer.bytes(sample.content);
+    writer.u8(sample.truncated ? 1 : 0);
+    writer.u8(sample.corrupted ? 1 : 0);
+  }
+  return writer.take();
+}
+
+void replay_record(std::span<const std::uint8_t> payload,
+                   honeypot::EventDatabase& db) {
+  ByteReader reader{payload};
+  if (reader.u8() != kRecordVersion) {
+    throw ParseError("WAL record: unsupported version");
+  }
+  honeypot::AttackEvent event = snapshot::read_attack_event(reader);
+  if (reader.u8() != 0) {
+    const std::uint64_t content_size = reader.u64();
+    std::vector<std::uint8_t> content =
+        reader.bytes(static_cast<std::size_t>(content_size));
+    const bool truncated = reader.u8() != 0;
+    const bool corrupted = reader.u8() != 0;
+    const honeypot::SampleId id = db.add_sample(
+        std::move(content), event.time, truncated, event.truth_variant);
+    if (corrupted) db.sample_mutable(id).corrupted = true;
+    event.sample = id;
+  }
+  if (reader.remaining() != 0) {
+    throw ParseError("WAL record: trailing bytes");
+  }
+  (void)db.add_event(std::move(event));
+}
+
+void accumulate(honeypot::EnrichmentStats& total,
+                const honeypot::EnrichmentStats& delta) {
+  total.submitted += delta.submitted;
+  total.executed += delta.executed;
+  total.failed += delta.failed;
+  total.parse_failures += delta.parse_failures;
+  total.sandbox_faults += delta.sandbox_faults;
+  total.label_gaps += delta.label_gaps;
+}
+
+}  // namespace
+
+void StreamOptions::validate() const {
+  if (epochs == 0) {
+    throw ConfigError("StreamOptions: epochs must be at least 1");
+  }
+  if (queue_capacity == 0) {
+    throw ConfigError("StreamOptions: queue_capacity must be at least 1");
+  }
+  ingest::WalOptions wal;
+  wal.directory = wal_dir;
+  wal.segment_bytes = segment_bytes;
+  wal.validate();  // rejects an empty wal_dir / zero segment size
+  retry.validate();
+}
+
+Dataset build_streaming_dataset(const ScenarioOptions& options,
+                                const StreamOptions& stream) {
+  options.faults.validate();
+  stream.validate();
+  const std::uint64_t fingerprint = scenario_fingerprint(options);
+  snapshot::CheckpointStore store{options.checkpoint, fingerprint};
+
+  Dataset dataset;
+  ThreadPool pool{options.threads};
+  ThreadPoolMetrics pool_metrics;
+  if (options.metrics != nullptr) pool.attach_metrics(&pool_metrics);
+
+  const obs::TraceRecorder::Scoped pipeline_span{options.trace, "stream"};
+
+  // Ground truth, shared with the batch path (same stage-1 snapshot).
+  {
+    const obs::TraceRecorder::Scoped span{options.trace, "stage.landscape",
+                                          pipeline_span.id()};
+    if (auto loaded = store.load_landscape()) {
+      dataset.landscape = std::move(*loaded);
+    } else {
+      dataset.landscape = make_paper_landscape(options);
+      store.save_landscape(dataset.landscape);
+    }
+  }
+  dataset.environment = make_paper_environment(dataset.landscape);
+
+  // Sensor side: regenerate the full event sequence. Generation is
+  // deterministic and cheap relative to enrichment + clustering, so a
+  // resumed run recomputes it instead of persisting it; `baseline`
+  // captures the injector right afterwards so the per-epoch slices
+  // below contain only post-generation activity (which is what the
+  // epoch checkpoints carry — generation's share is reproduced
+  // identically by every run).
+  fault::FaultInjector injector{options.faults};
+  fault::FaultInjector* faults = options.faults.empty() ? nullptr : &injector;
+  honeypot::EventDatabase gen_db;
+  {
+    const obs::TraceRecorder::Scoped span{options.trace, "stream.generate",
+                                          pipeline_span.id()};
+    honeypot::Deployment deployment{dataset.landscape,
+                                    make_paper_deployment_config(options,
+                                                                 faults)};
+    gen_db = deployment.run();
+  }
+  const fault::FaultReport baseline = injector.report();
+  const std::uint64_t total = gen_db.events().size();
+
+  // Collector side: recover the WAL, then resume from the newest epoch
+  // cut. The two are independent durability layers — either may be
+  // ahead of the other after a crash, and both gaps heal below.
+  ingest::IngestReport report;
+  ingest::WalOptions wal_options;
+  wal_options.directory = stream.wal_dir;
+  wal_options.segment_bytes = stream.segment_bytes;
+  wal_options.fail_after_seal = stream.fail_after_seal;
+  ingest::RecoveredWal recovered;
+  {
+    const obs::TraceRecorder::Scoped span{options.trace, "stream.recover",
+                                          pipeline_span.id()};
+    recovered = ingest::recover_wal(wal_options, fingerprint, report);
+  }
+
+  std::optional<snapshot::EpochStage> restored = store.load_latest_epoch();
+  if (restored && restored->wal_records > total) {
+    // A matching fingerprint can never produce more records than the
+    // regenerated stream; never trust disk anyway.
+    restored.reset();
+  }
+
+  std::uint64_t done = 0;  // records already replayed into `db`
+  honeypot::EventDatabase db;
+  honeypot::EnrichmentStats enrich_totals;
+  fault::FaultReport restored_slice;
+  snapshot::EpmStage epm_stage;
+  analysis::BehavioralView bview;
+  bool have_results = false;
+  if (restored) {
+    done = restored->wal_records;
+    db = std::move(restored->database.db);
+    enrich_totals = restored->database.enrichment;
+    restored_slice = restored->database.fault_report;
+    epm_stage = std::move(restored->epm);
+    bview = std::move(restored->behavioral);
+    ingest::decode_stream_totals(restored->ingest_blob, report);
+    have_results = true;
+    report.epochs_restored = 1;
+  }
+
+  // The writer must size itself from the recovery result *before* the
+  // records are moved out below — a moved-from list would reset its
+  // next-record index to zero and every resume would re-append the
+  // whole stream as duplicate frames.
+  ingest::WalWriter writer{wal_options, fingerprint, recovered,
+                           /*report=*/nullptr};
+
+  // Unified record source: the recovered prefix as salvaged, encoded
+  // fresh from the regenerated stream past it. Recovered payloads are
+  // CRC-framed and fingerprint-checked, so both sources yield the same
+  // bytes for the same index.
+  std::vector<std::vector<std::uint8_t>> records = std::move(recovered.records);
+  auto record_bytes =
+      [&](std::uint64_t index) -> const std::vector<std::uint8_t>& {
+    while (records.size() <= index) {
+      records.push_back(
+          encode_record(gen_db.events()[records.size()], gen_db));
+    }
+    return records[static_cast<std::size_t>(index)];
+  };
+  std::uint64_t appended_this_run = 0;
+  ingest::BoundedRecordQueue queue{stream.queue_capacity,
+                                   ingest::OverflowPolicy::kBlock};
+  auto drain_queue = [&] {
+    while (auto rec = queue.try_pop()) {
+      writer.append(*rec);
+      ++appended_this_run;
+      if (stream.after_append) stream.after_append(appended_this_run);
+    }
+  };
+
+  // Heal a WAL that fell behind its checkpoint (crash after the cut was
+  // durable but before the damaged tail segment was, or a quarantined
+  // segment). The checkpoint already covers these records' state and
+  // fault counters, so they are re-appended verbatim — no delivery
+  // simulation, no replay.
+  while (writer.next_record_index() < done) {
+    writer.append(record_bytes(writer.next_record_index()));
+    ++appended_this_run;
+    if (stream.after_append) stream.after_append(appended_this_run);
+  }
+
+  fault::FaultReport final_slice = restored_slice;
+  std::uint64_t bytes_delta = 0;
+  for (std::size_t k = 0; k < stream.epochs; ++k) {
+    // Epoch boundaries are record counts, independent of the split a
+    // previous (killed) run used.
+    const std::uint64_t target =
+        (static_cast<std::uint64_t>(k) + 1) * total /
+        static_cast<std::uint64_t>(stream.epochs);
+    const bool last = k + 1 == stream.epochs;
+    // A cut at `target` records already exists (or the range is empty):
+    // nothing to do — unless nothing at all has produced clustering
+    // results yet (empty stream, no checkpoint), in which case the
+    // final epoch still runs to compute them.
+    if (target <= done && !(last && !have_results)) continue;
+
+    const obs::TraceRecorder::Scoped epoch_span{options.trace, "stream.epoch",
+                                                pipeline_span.id()};
+    const std::size_t first_sample = db.samples().size();
+    {
+      const obs::TraceRecorder::Scoped span{options.trace, "epoch.replay",
+                                            epoch_span.id()};
+      for (std::uint64_t i = done; i < target; ++i) {
+        const std::vector<std::uint8_t>& rec = record_bytes(i);
+        // Delivery simulation runs for every record past the last cut,
+        // including records already durable in the WAL: the run that
+        // appended those died before checkpointing its counters, and
+        // the decisions are pure in (plan, key), so re-rolling them
+        // here restores exactly the counts it lost.
+        (void)ingest::deliver_record(stream.retry, i, gen_db.events()[i].time,
+                                     injector);
+        bytes_delta += rec.size() + ingest::kWalFrameHeaderBytes;
+        if (i >= writer.next_record_index()) {
+          // Fresh record: through the bounded queue into the WAL. The
+          // queue is drained only when full, so backpressure genuinely
+          // engages (and is counted) instead of the queue idling at
+          // depth one.
+          if (!queue.offer(std::vector<std::uint8_t>{rec})) {
+            drain_queue();
+            if (!queue.offer(std::vector<std::uint8_t>{rec})) {
+              throw IoError("ingest queue rejected a record after drain");
+            }
+          }
+        }
+        replay_record(rec, db);
+      }
+      drain_queue();
+      writer.sync();
+      writer.seal();
+    }
+
+    // The delta past the previous cut is all that needs enriching;
+    // per-sample purity makes the result identical to re-enriching
+    // everything from scratch.
+    {
+      const obs::TraceRecorder::Scoped span{options.trace, "epoch.enrich",
+                                            epoch_span.id()};
+      accumulate(enrich_totals,
+                 honeypot::enrich_database(db, dataset.landscape,
+                                           dataset.environment, faults, &pool,
+                                           first_sample));
+    }
+
+    // Full re-clustering: E/P/M/B are global views with no incremental
+    // form (a new sample can merge previously distinct clusters), so
+    // each epoch recomputes them — this is the cost the streaming
+    // ablation (ABL-10) measures against the one-shot build.
+    {
+      const obs::TraceRecorder::Scoped cluster_span{
+          options.trace, "epoch.cluster", epoch_span.id()};
+      const auto parent = cluster_span.id();
+      std::vector<std::function<void()>> tasks;
+      tasks.emplace_back([&, parent] {
+        const obs::TraceRecorder::Scoped span{options.trace, "cluster.e",
+                                              parent};
+        epm_stage.e = cluster::epm_cluster(cluster::build_epsilon_data(db));
+      });
+      tasks.emplace_back([&, parent] {
+        const obs::TraceRecorder::Scoped span{options.trace, "cluster.p",
+                                              parent};
+        epm_stage.p = cluster::epm_cluster(cluster::build_pi_data(db));
+      });
+      tasks.emplace_back([&, parent] {
+        const obs::TraceRecorder::Scoped span{options.trace, "cluster.m",
+                                              parent};
+        epm_stage.m = cluster::epm_cluster(cluster::build_mu_data(db));
+      });
+      tasks.emplace_back([&, parent] {
+        const obs::TraceRecorder::Scoped span{options.trace, "cluster.b",
+                                              parent};
+        cluster::BehavioralOptions behavioral;
+        behavioral.threshold = options.b_threshold;
+        behavioral.pool = &pool;
+        // Deliberately no metrics sink: B's work counters would
+        // accumulate once per epoch run by *this process*, which a
+        // kill-resume run does fewer of — the deterministic channel
+        // only carries final-state values (published below).
+        bview = analysis::BehavioralView::build(db, behavioral);
+      });
+      pool.run_tasks(tasks);
+    }
+    have_results = true;
+
+    // Cut the epoch: state + the post-generation fault slice + stream
+    // totals, all in one durable snapshot. The totals are recomputed
+    // from the record sequence (not from what this process happened to
+    // append), so they are identical however many times the run was
+    // killed on the way here.
+    final_slice =
+        fault::add(restored_slice, fault::subtract(injector.report(),
+                                                   baseline));
+    ++report.epochs_run;
+    report.records_appended = target;
+    report.bytes_appended += bytes_delta;
+    bytes_delta = 0;
+    report.segments_sealed = writer.segment_index() - 1;
+
+    snapshot::EpochStage cut;
+    cut.epoch = k;
+    cut.wal_records = target;
+    cut.database.db = db;
+    cut.database.enrichment = enrich_totals;
+    cut.database.fault_report = final_slice;
+    cut.epm = epm_stage;
+    cut.behavioral = bview;
+    cut.ingest_blob = ingest::encode_stream_totals(report);
+    {
+      const obs::TraceRecorder::Scoped span{options.trace, "epoch.checkpoint",
+                                            epoch_span.id()};
+      store.save_epoch(cut);
+    }
+    done = target;
+  }
+
+  dataset.db = std::move(db);
+  dataset.enrichment = enrich_totals;
+  dataset.fault_report = fault::add(baseline, final_slice);
+  dataset.e = std::move(epm_stage.e);
+  dataset.p = std::move(epm_stage.p);
+  dataset.m = std::move(epm_stage.m);
+  dataset.b = std::move(bview);
+  dataset.checkpoint_activity = store.activity();
+
+  const ingest::BoundedRecordQueue::Stats queue_stats = queue.stats();
+  report.queue_pushed = queue_stats.pushed;
+  report.queue_shed = queue_stats.shed;
+  report.queue_stalls = queue_stats.stalls;
+  report.queue_high_water = queue_stats.high_water;
+  dataset.ingest = report;
+
+  if (options.metrics != nullptr) {
+    publish_dataset_metrics(*options.metrics, dataset);
+    ingest::publish_ingest_metrics(*options.metrics, report);
+    publish_pool_metrics(*options.metrics, pool, pool_metrics);
+  }
+  return dataset;
+}
+
+}  // namespace repro::scenario

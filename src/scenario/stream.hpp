@@ -1,0 +1,66 @@
+// Streaming ingest: the paper pipeline as a durable epoch loop.
+//
+// build_streaming_dataset produces the same Dataset as the one-shot
+// build_paper_dataset — byte-identical, at every pool width — but gets
+// there the way a live deployment would: every attack event becomes a
+// WAL record that is delivered (with deterministic retry/backoff under
+// injected faults), buffered through a bounded backpressure queue, and
+// durably appended to the crash-safe WAL in src/ingest. The stream is
+// split into N epochs; each epoch replays its record delta into the
+// event database, enriches the delta, re-runs the E/P/M/B clusterings
+// and cuts an epoch checkpoint. A run killed at any point — mid-epoch,
+// mid-append, mid-segment-rotation, mid-checkpoint-write — resumes
+// from the newest valid epoch cut plus the recovered WAL tail and
+// finishes with byte-identical output, which is the contract pinned by
+// tests/stream_test and the CI crash-loop job.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ingest/delivery.hpp"
+#include "scenario/paper.hpp"
+
+namespace repro::scenario {
+
+struct StreamOptions {
+  /// Number of epoch batches the event stream is cut into. Epoch
+  /// boundaries are record counts (k * total / epochs), so a resumed
+  /// checkpoint stays usable even under a different split.
+  std::size_t epochs = 4;
+  /// WAL segment directory (required).
+  std::string wal_dir;
+  /// WAL rotation threshold; tests shrink it to force rotations.
+  std::uint64_t segment_bytes = 1u << 20;
+  /// Sensor-to-collector retry/backoff policy.
+  ingest::RetryPolicy retry;
+  /// Bounded ingest queue capacity. The epoch driver always uses the
+  /// kBlock overflow policy: a full queue stalls the producer and is
+  /// drained to the WAL, so no record is ever shed (shedding would
+  /// break the byte-identity guarantee; the kShedOldest policy is for
+  /// lossy sensor-side buffers and is exercised by the ingest tests).
+  std::size_t queue_capacity = 64;
+  /// Test seam, forwarded to WalOptions::fail_after_seal: simulated
+  /// crash between sealing a segment and opening the next one.
+  std::uint64_t fail_after_seal = 0;
+  /// Crash seam: called after every durable append with the number of
+  /// records this process run has appended so far. The CLI uses it to
+  /// SIGKILL itself at a seeded point; tests throw
+  /// snapshot::CheckpointInterrupted from it.
+  std::function<void(std::uint64_t appended_this_run)> after_append;
+
+  /// Throws ConfigError on zero epochs/capacity, an empty wal_dir, or
+  /// an invalid retry policy.
+  void validate() const;
+};
+
+/// Runs the streaming epoch loop. Epoch checkpoints are written through
+/// `options.checkpoint` (same store and fingerprint rules as the batch
+/// stages; disabled when the directory is empty — the run then always
+/// starts from the recovered WAL alone). Returns the same Dataset as
+/// build_paper_dataset(options), plus populated `ingest` accounting.
+[[nodiscard]] Dataset build_streaming_dataset(const ScenarioOptions& options,
+                                              const StreamOptions& stream);
+
+}  // namespace repro::scenario

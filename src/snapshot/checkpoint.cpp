@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <filesystem>
@@ -119,6 +120,8 @@ std::string_view stage_name(Stage stage) {
       return "epm";
     case Stage::kBehavioral:
       return "behavioral";
+    case Stage::kEpoch:
+      return "epoch";
   }
   return "unknown";
 }
@@ -126,6 +129,12 @@ std::string_view stage_name(Stage stage) {
 std::string stage_filename(Stage stage) {
   return "stage" + std::to_string(static_cast<int>(stage)) + "-" +
          std::string{stage_name(stage)} + ".snap";
+}
+
+std::string epoch_filename(std::uint64_t epoch) {
+  std::string digits = std::to_string(epoch);
+  if (digits.size() < 4) digits.insert(0, 4 - digits.size(), '0');
+  return "epoch-" + digits + ".snap";
 }
 
 std::vector<std::uint8_t> encode_snapshot(Stage stage,
@@ -180,7 +189,7 @@ DecodedSnapshot decode_snapshot(std::span<const std::uint8_t> bytes) {
   DecodedSnapshot decoded;
   const std::uint8_t stage = reader.u8();
   if (stage < static_cast<std::uint8_t>(Stage::kLandscape) ||
-      stage > static_cast<std::uint8_t>(Stage::kBehavioral)) {
+      stage > static_cast<std::uint8_t>(Stage::kEpoch)) {
     throw ParseError("snapshot: out-of-range stage " + std::to_string(stage));
   }
   decoded.stage = static_cast<Stage>(stage);
@@ -221,21 +230,27 @@ CheckpointStore::CheckpointStore(CheckpointOptions options,
   if (enabled()) fs::create_directories(options_.directory);
 }
 
-void CheckpointStore::save_stage(Stage stage,
-                                 const std::vector<Section>& sections) {
-  if (!enabled()) return;
+void CheckpointStore::save_file(const std::string& filename, Stage stage,
+                                const std::vector<Section>& sections,
+                                bool short_write,
+                                const std::string& crash_label) {
   const std::vector<std::uint8_t> bytes =
       encode_snapshot(stage, fingerprint_, sections);
   const std::string path =
-      (fs::path{options_.directory} / stage_filename(stage)).string();
-  const bool short_write =
-      options_.short_write_stage == static_cast<int>(stage);
+      (fs::path{options_.directory} / filename).string();
   if (!atomic_write(path, bytes, short_write)) {
-    throw CheckpointInterrupted("simulated crash mid-write of stage " +
-                                std::string{stage_name(stage)});
+    throw CheckpointInterrupted("simulated crash mid-write of " + crash_label);
   }
   ++activity_.saved;
   activity_.bytes_written += bytes.size();
+}
+
+void CheckpointStore::save_stage(Stage stage,
+                                 const std::vector<Section>& sections) {
+  if (!enabled()) return;
+  save_file(stage_filename(stage), stage, sections,
+            options_.short_write_stage == static_cast<int>(stage),
+            "stage " + std::string{stage_name(stage)});
   if (options_.stop_after_stage == static_cast<int>(stage)) {
     throw CheckpointInterrupted("simulated crash after stage " +
                                 std::string{stage_name(stage)});
@@ -267,9 +282,18 @@ std::optional<std::vector<Section>> CheckpointStore::load_stage(Stage stage) {
   }
 }
 
+std::string unique_quarantine_path(const std::string& path) {
+  std::string candidate = path + ".quarantined";
+  std::error_code ec;
+  for (std::uint64_t n = 2; fs::exists(candidate, ec); ++n) {
+    candidate = path + ".quarantined-" + std::to_string(n);
+  }
+  return candidate;
+}
+
 void CheckpointStore::quarantine(const std::string& path, bool stale) {
   std::error_code ec;
-  fs::rename(path, path + ".quarantined", ec);
+  fs::rename(path, unique_quarantine_path(path), ec);
   if (ec) fs::remove(path, ec);  // last resort: never resume from it
   ++activity_.quarantined;
   if (stale) ++activity_.stale;
@@ -378,6 +402,116 @@ void CheckpointStore::save_behavioral(const analysis::BehavioralView& view) {
   write_behavioral_view(writer, view);
   save_stage(Stage::kBehavioral,
              {make_section("behavioral", std::move(writer))});
+}
+
+void CheckpointStore::save_epoch(const EpochStage& stage) {
+  if (!enabled()) return;
+  ByteWriter meta_writer;
+  meta_writer.u64(stage.epoch);
+  meta_writer.u64(stage.wal_records);
+  ByteWriter db_writer;
+  write_database(db_writer, stage.database.db);
+  ByteWriter stats_writer;
+  write_enrichment_stats(stats_writer, stage.database.enrichment);
+  ByteWriter fault_writer;
+  write_fault_report(fault_writer, stage.database.fault_report);
+  ByteWriter e_writer;
+  write_epm_result(e_writer, stage.epm.e);
+  ByteWriter p_writer;
+  write_epm_result(p_writer, stage.epm.p);
+  ByteWriter m_writer;
+  write_epm_result(m_writer, stage.epm.m);
+  ByteWriter b_writer;
+  write_behavioral_view(b_writer, stage.behavioral);
+  const int ordinal = static_cast<int>(stage.epoch) + 1;
+  save_file(epoch_filename(stage.epoch), Stage::kEpoch,
+            {make_section("epoch-meta", std::move(meta_writer)),
+             make_section("database", std::move(db_writer)),
+             make_section("enrichment", std::move(stats_writer)),
+             make_section("fault-report", std::move(fault_writer)),
+             make_section("epsilon", std::move(e_writer)),
+             make_section("pi", std::move(p_writer)),
+             make_section("mu", std::move(m_writer)),
+             make_section("behavioral", std::move(b_writer)),
+             Section{"ingest", stage.ingest_blob}},
+            options_.short_write_epoch == ordinal,
+            "epoch " + std::to_string(stage.epoch));
+  if (options_.stop_after_epoch == ordinal) {
+    throw CheckpointInterrupted("simulated crash after epoch " +
+                                std::to_string(stage.epoch));
+  }
+}
+
+std::optional<EpochStage> CheckpointStore::load_latest_epoch() {
+  if (!enabled()) return std::nullopt;
+  // Collect every "epoch-NNNN.snap" present, newest first.
+  std::vector<std::pair<std::uint64_t, std::string>> candidates;
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(options_.directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("epoch-") || !name.ends_with(".snap")) continue;
+    const std::string digits =
+        name.substr(6, name.size() - 6 - std::string_view{".snap"}.size());
+    if (digits.empty() || digits.size() > 19) continue;
+    std::uint64_t index = 0;
+    bool numeric = true;
+    for (const char c : digits) {
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      index = index * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (!numeric) continue;
+    candidates.emplace_back(index, entry.path().string());
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  for (const auto& [index, path] : candidates) {
+    try {
+      DecodedSnapshot decoded = decode_snapshot(read_file(path));
+      if (decoded.stage != Stage::kEpoch) {
+        throw ParseError("snapshot: epoch file contains stage " +
+                         std::string{stage_name(decoded.stage)});
+      }
+      if (decoded.fingerprint != fingerprint_) {
+        quarantine(path, /*stale=*/true);
+        continue;
+      }
+      EpochStage stage;
+      decode_section(decoded.sections, "epoch-meta", [&](ByteReader& reader) {
+        stage.epoch = reader.u64();
+        stage.wal_records = reader.u64();
+        return 0;
+      });
+      if (stage.epoch != index) {
+        throw ParseError("snapshot: epoch file " + path +
+                         " holds epoch " + std::to_string(stage.epoch));
+      }
+      stage.database.db =
+          decode_section(decoded.sections, "database", read_database);
+      stage.database.enrichment = decode_section(decoded.sections, "enrichment",
+                                                 read_enrichment_stats);
+      stage.database.fault_report = decode_section(
+          decoded.sections, "fault-report", read_fault_report);
+      stage.epm.e = decode_section(decoded.sections, "epsilon", read_epm_result);
+      stage.epm.p = decode_section(decoded.sections, "pi", read_epm_result);
+      stage.epm.m = decode_section(decoded.sections, "mu", read_epm_result);
+      stage.behavioral =
+          decode_section(decoded.sections, "behavioral", read_behavioral_view);
+      stage.ingest_blob = find_section(decoded.sections, "ingest").payload;
+      stage.database.db.check_consistency();
+      ++activity_.restored;
+      return stage;
+    } catch (const ParseError&) {
+    } catch (const ConfigError&) {
+    }
+    quarantine(path, /*stale=*/false);
+  }
+  return std::nullopt;
 }
 
 std::optional<analysis::BehavioralView> CheckpointStore::load_behavioral() {

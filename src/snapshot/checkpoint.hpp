@@ -41,9 +41,11 @@ namespace repro::snapshot {
 inline constexpr std::uint32_t kSnapshotMagic = 0x53'47'4e'53;  // "SNGS"
 inline constexpr std::uint32_t kSnapshotEndMagic = 0x44'4e'45'53;  // "SEND"
 // Version 2: FaultReport gained the four checked-decision counters.
-// Version-1 files are quarantined as unreadable and their stages
+// Version 3: FaultReport gained the five ingest-delivery counters and
+// the epoch stage was added for the streaming ingest loop.
+// Older files are quarantined as unreadable and their stages
 // recomputed — the normal graceful-degradation path, not an error.
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 
 /// The pipeline's checkpointable stage boundaries, in execution order.
 enum class Stage : std::uint8_t {
@@ -51,11 +53,14 @@ enum class Stage : std::uint8_t {
   kDatabase = 2,    // deployment run + enrichment done
   kEpm = 3,         // E/P/M clustering done
   kBehavioral = 4,  // behavioral clustering done
+  kEpoch = 5,       // streaming ingest epoch cut (full pipeline state)
 };
 
 [[nodiscard]] std::string_view stage_name(Stage stage);
 /// Snapshot file name for a stage, e.g. "stage2-database.snap".
 [[nodiscard]] std::string stage_filename(Stage stage);
+/// Snapshot file name for a streaming epoch cut, e.g. "epoch-0003.snap".
+[[nodiscard]] std::string epoch_filename(std::uint64_t epoch);
 
 /// One named payload inside a snapshot file.
 struct Section {
@@ -81,6 +86,12 @@ struct DecodedSnapshot {
 [[nodiscard]] DecodedSnapshot decode_snapshot(
     std::span<const std::uint8_t> bytes);
 
+/// First unused quarantine name for `path`: "<path>.quarantined", then
+/// "<path>.quarantined-2", "-3", ... — so repeated corruptions of the
+/// same file keep every piece of quarantined evidence instead of
+/// overwriting the previous one. Shared with the ingest WAL.
+[[nodiscard]] std::string unique_quarantine_path(const std::string& path);
+
 /// Thrown by the test seams below to simulate the process dying.
 class CheckpointInterrupted : public std::runtime_error {
  public:
@@ -101,6 +112,10 @@ struct CheckpointOptions {
   /// mid-write; the partial ".tmp" must never be mistaken for a
   /// snapshot on resume.
   int short_write_stage = 0;
+  /// Same two seams for the streaming epoch loop, keyed by 1-based
+  /// epoch ordinal (epoch index + 1; 0 = never).
+  int stop_after_epoch = 0;
+  int short_write_epoch = 0;
 };
 
 /// Post-deployment state bundled into the stage-2 snapshot. The fault
@@ -117,6 +132,21 @@ struct EpmStage {
   cluster::EpmResult e;
   cluster::EpmResult p;
   cluster::EpmResult m;
+};
+
+/// One streaming epoch cut: the complete pipeline state after the
+/// first `wal_records` WAL records were replayed and re-clustered.
+/// `wal_records` — not the epoch index — is what resume keys on, so a
+/// cut stays usable even if the run is restarted with a different
+/// `--epochs` split.
+struct EpochStage {
+  std::uint64_t epoch = 0;        // 0-based epoch index that was cut
+  std::uint64_t wal_records = 0;  // records covered by this state
+  DatabaseStage database;
+  EpmStage epm;
+  analysis::BehavioralView behavioral;
+  /// Opaque ingest stream totals (ingest::encode_stream_totals).
+  std::vector<std::uint8_t> ingest_blob;
 };
 
 class CheckpointStore {
@@ -141,6 +171,13 @@ class CheckpointStore {
   void save_behavioral(const analysis::BehavioralView& view);
   [[nodiscard]] std::optional<analysis::BehavioralView> load_behavioral();
 
+  /// Durably writes one epoch cut to its own "epoch-NNNN.snap" file.
+  void save_epoch(const EpochStage& stage);
+  /// Newest valid epoch cut, scanning epoch files in descending index
+  /// order; corrupt/stale files are quarantined and skipped, exactly
+  /// like the stage loads above.
+  [[nodiscard]] std::optional<EpochStage> load_latest_epoch();
+
   /// What the store did this run — lets callers (and tests) see whether
   /// a stage was restored or recomputed, and whether files were thrown
   /// out.
@@ -156,6 +193,9 @@ class CheckpointStore {
   }
 
  private:
+  void save_file(const std::string& filename, Stage stage,
+                 const std::vector<Section>& sections, bool short_write,
+                 const std::string& crash_label);
   void save_stage(Stage stage, const std::vector<Section>& sections);
   [[nodiscard]] std::optional<std::vector<Section>> load_stage(Stage stage);
   void quarantine(const std::string& path, bool stale);

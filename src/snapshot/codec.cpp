@@ -760,6 +760,14 @@ void write_fault_report(ByteWriter& writer, const fault::FaultReport& report) {
   writer.u64(report.download_checks);
   writer.u64(report.sandbox_checks);
   writer.u64(report.av_label_checks);
+  // Ingest delivery counters (format version 3): the epoch loop's
+  // kill-resume guarantee extends to fault.delivery.* metrics, so the
+  // delivery bookkeeping must survive in the snapshot too.
+  writer.u64(report.delivery_checks);
+  writer.u64(report.delivery_failures);
+  writer.u64(report.delivery_retries);
+  writer.u64(report.delivery_retry_exhausted);
+  put_i64(writer, report.delivery_backoff_seconds);
 }
 
 fault::FaultReport read_fault_report(ByteReader& reader) {
@@ -778,7 +786,21 @@ fault::FaultReport read_fault_report(ByteReader& reader) {
   report.download_checks = reader.u64();
   report.sandbox_checks = reader.u64();
   report.av_label_checks = reader.u64();
+  report.delivery_checks = reader.u64();
+  report.delivery_failures = reader.u64();
+  report.delivery_retries = reader.u64();
+  report.delivery_retry_exhausted = reader.u64();
+  report.delivery_backoff_seconds = get_i64(reader);
   return report;
+}
+
+void write_attack_event(ByteWriter& writer,
+                        const honeypot::AttackEvent& event) {
+  put_event(writer, event);
+}
+
+honeypot::AttackEvent read_attack_event(ByteReader& reader) {
+  return get_event(reader);
 }
 
 void write_epm_result(ByteWriter& writer, const cluster::EpmResult& result) {

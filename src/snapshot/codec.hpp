@@ -42,6 +42,11 @@ void write_enrichment_stats(ByteWriter& writer,
 void write_fault_report(ByteWriter& writer, const fault::FaultReport& report);
 [[nodiscard]] fault::FaultReport read_fault_report(ByteReader& reader);
 
+/// Single-event codec, used by the ingest WAL's record format (the
+/// database codec above serializes whole databases).
+void write_attack_event(ByteWriter& writer, const honeypot::AttackEvent& event);
+[[nodiscard]] honeypot::AttackEvent read_attack_event(ByteReader& reader);
+
 // --- Clustering results -----------------------------------------------------
 
 void write_epm_result(ByteWriter& writer, const cluster::EpmResult& result);

@@ -35,6 +35,7 @@ namespace {
 
 using fault::FaultInjector;
 using fault::FaultPlan;
+using fault::FaultReport;
 using fault::SensorOutage;
 
 // ------------------------------------------------------------------- plans
@@ -84,6 +85,54 @@ TEST(FaultPlan, PaperCalibratedIsValidAndNonEmpty) {
   EXPECT_FALSE(plan.empty());
   EXPECT_NO_THROW(plan.validate());
   EXPECT_FALSE(plan.sensor_outages.empty());
+}
+
+TEST(FaultPlan, IngestFailureProbabilityIsAFullCitizen) {
+  // The streaming delivery site: validated, scaled, part of empty(),
+  // and calibrated to a nonzero rate in the paper plan.
+  FaultPlan plan;
+  plan.ingest_failure_probability = 0.2;
+  EXPECT_FALSE(plan.empty());
+  EXPECT_NO_THROW(plan.validate());
+  EXPECT_DOUBLE_EQ(plan.scaled(2.0).ingest_failure_probability, 0.4);
+  plan.ingest_failure_probability = 1.5;
+  EXPECT_THROW(plan.validate(), ConfigError);
+  EXPECT_GT(FaultPlan::paper_calibrated().ingest_failure_probability, 0.0);
+}
+
+TEST(FaultReport, AddAndSubtractAreFieldWiseIncludingDelivery) {
+  FaultReport base;
+  base.proxy_attempts = 10;
+  base.delivery_checks = 7;
+  base.delivery_failures = 3;
+  base.delivery_retries = 2;
+  base.delivery_retry_exhausted = 1;
+  base.delivery_backoff_seconds = 40;
+  FaultReport delta;
+  delta.proxy_attempts = 5;
+  delta.delivery_checks = 4;
+  delta.delivery_retries = 1;
+  delta.delivery_backoff_seconds = 6;
+
+  const FaultReport sum = add(base, delta);
+  EXPECT_EQ(sum.proxy_attempts, 15u);
+  EXPECT_EQ(sum.delivery_checks, 11u);
+  EXPECT_EQ(sum.delivery_failures, 3u);
+  EXPECT_EQ(sum.delivery_retries, 3u);
+  EXPECT_EQ(sum.delivery_retry_exhausted, 1u);
+  EXPECT_EQ(sum.delivery_backoff_seconds, 46);
+
+  // subtract inverts add — the identity the epoch loop leans on when it
+  // carves this run's slice out of the injector's running totals.
+  const FaultReport back = subtract(sum, delta);
+  EXPECT_EQ(back.proxy_attempts, base.proxy_attempts);
+  EXPECT_EQ(back.delivery_checks, base.delivery_checks);
+  EXPECT_EQ(back.delivery_failures, base.delivery_failures);
+  EXPECT_EQ(back.delivery_retries, base.delivery_retries);
+  EXPECT_EQ(back.delivery_retry_exhausted, base.delivery_retry_exhausted);
+  EXPECT_EQ(back.delivery_backoff_seconds, base.delivery_backoff_seconds);
+  EXPECT_FALSE(subtract(sum, sum).any());
+  EXPECT_TRUE(sum.any());
 }
 
 TEST(FaultPlan, RandomPlanIsDeterministicAndValid) {

@@ -1,0 +1,28 @@
+// Golden corpus: RL003 — unordered iteration on the streaming-ingest
+// path. This file lives under a directory named ingest/ (mirroring
+// src/ingest), which the rule gates: WAL segment scans and queue
+// accounting feed deterministic counters and replayed bytes, so a
+// hash-seed-dependent walk would make recovery order — and with it the
+// exported dataset — vary run to run. Never compiled; consumed by
+// tests/lint_test.cpp.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::uint64_t scan_segments(
+    const std::unordered_map<std::string, std::uint64_t>& segment_sizes) {
+  std::uint64_t total = 0;
+  for (const auto& [name, size] : segment_sizes) {  // expect(RL003)
+    total += size;
+  }
+  return total;
+}
+
+// Collecting into a vector and sorting by segment index first is the
+// sanctioned pattern:
+std::uint64_t sum_sorted(const std::vector<std::uint64_t>& sizes) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t size : sizes) total += size;
+  return total;
+}

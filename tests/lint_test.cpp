@@ -178,6 +178,10 @@ TEST(Engine, Rl003OnlyFiresOnExportPathDirectories) {
   // parallel: hash-order walks there decide tie-breaks that must not
   // vary with thread width.
   EXPECT_FALSE(lint_source("src/cluster/feature.cpp", source).empty());
+  // src/ingest joined with the streaming WAL: its bytes are replayed
+  // for byte-identity and its recovery scan feeds deterministic
+  // counters, so hash-order must not leak in there either.
+  EXPECT_FALSE(lint_source("src/ingest/wal.cpp", source).empty());
   EXPECT_TRUE(lint_source("src/malware/landscape.cpp", source).empty());
 }
 

@@ -332,6 +332,33 @@ TEST(Store, StaleFingerprintIsQuarantinedNotLoaded) {
       dir / (stage_filename(Stage::kLandscape) + ".quarantined")));
 }
 
+TEST(Store, RepeatedQuarantinesKeepEveryPieceOfEvidence) {
+  // Regression: quarantining used a fixed ".quarantined" name, so a
+  // second stale/corrupt file silently overwrote the evidence of the
+  // first. unique_quarantine_path must probe "-2", "-3", ... instead.
+  const fs::path dir = fresh_dir("quarantine-unique");
+  const fs::path path = dir / stage_filename(Stage::kLandscape);
+  EXPECT_EQ(unique_quarantine_path(path.string()),
+            path.string() + ".quarantined");
+  { std::ofstream out{path.string() + ".quarantined"}; }
+  EXPECT_EQ(unique_quarantine_path(path.string()),
+            path.string() + ".quarantined-2");
+  { std::ofstream out{path.string() + ".quarantined-2"}; }
+  EXPECT_EQ(unique_quarantine_path(path.string()),
+            path.string() + ".quarantined-3");
+
+  // End to end: two stale snapshots quarantined back to back land in
+  // distinct files.
+  for (int round = 0; round < 2; ++round) {
+    CheckpointStore writer{CheckpointOptions{dir.string()}, 1000};
+    writer.save_landscape(dataset().landscape);
+    CheckpointStore reader{CheckpointOptions{dir.string()}, 2000};
+    EXPECT_FALSE(reader.load_landscape().has_value());
+  }
+  EXPECT_TRUE(fs::exists(path.string() + ".quarantined-3"));
+  EXPECT_TRUE(fs::exists(path.string() + ".quarantined-4"));
+}
+
 TEST(Store, CorruptFileIsQuarantinedNotLoaded) {
   const fs::path dir = fresh_dir("corrupt");
   CheckpointStore writer{CheckpointOptions{dir.string()}, 5};

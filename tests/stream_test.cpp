@@ -1,0 +1,393 @@
+// Tests for the durable streaming epoch loop — the headline guarantee:
+// an N-epoch streaming build, killed and resumed at arbitrary points
+// (mid-append, mid-rotation, mid-checkpoint, between epochs), with
+// fault injection on, exports a landscape byte-identical to the
+// one-shot batch build at every thread width.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "io/csv_export.hpp"
+#include "obs/metrics.hpp"
+#include "scenario/paper.hpp"
+#include "scenario/stream.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "util/error.hpp"
+
+namespace repro::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+ScenarioOptions small_options(bool faults) {
+  ScenarioOptions options;
+  options.scale = 0.04;
+  options.seed = 11;
+  if (faults) options.faults = fault::FaultPlan::paper_calibrated();
+  return options;
+}
+
+/// Every CSV artifact concatenated — the observable output the
+/// byte-identity guarantee is stated over.
+std::string all_csv(const Dataset& ds) {
+  std::ostringstream out;
+  io::write_events_csv(out, ds.db, ds.e, ds.p, ds.m, ds.b);
+  io::write_samples_csv(out, ds.db, ds.b);
+  io::write_clusters_csv(out, ds.e);
+  io::write_clusters_csv(out, ds.p);
+  io::write_clusters_csv(out, ds.m);
+  io::write_profiles_jsonl(out, ds.db);
+  return out.str();
+}
+
+fs::path fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::path{testing::TempDir()} / ("stream-" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Streaming options rooted under one fresh directory (wal/ + ckpt/).
+StreamOptions stream_under(const fs::path& root, ScenarioOptions& scenario,
+                           std::size_t epochs = 3) {
+  StreamOptions stream;
+  stream.epochs = epochs;
+  stream.wal_dir = (root / "wal").string();
+  scenario.checkpoint.directory = (root / "ckpt").string();
+  return stream;
+}
+
+/// Batch baselines, built once per fault setting.
+const std::string& batch_csv(bool faults) {
+  static const std::string plain = all_csv(build_paper_dataset(
+      small_options(false)));
+  static const std::string faulty = all_csv(build_paper_dataset(
+      small_options(true)));
+  return faults ? faulty : plain;
+}
+
+// --- Batch equivalence ------------------------------------------------------
+
+TEST(Stream, MatchesBatchByteIdenticalAtEveryWidth) {
+  for (const bool faults : {false, true}) {
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      ScenarioOptions options = small_options(faults);
+      options.threads = threads;
+      const fs::path root = fresh_dir(
+          "widths-" + std::to_string(threads) + (faults ? "-f" : ""));
+      const StreamOptions stream = stream_under(root, options);
+      const Dataset ds = build_streaming_dataset(options, stream);
+      EXPECT_EQ(all_csv(ds), batch_csv(faults))
+          << "faults=" << faults << " threads=" << threads;
+      EXPECT_EQ(ds.ingest.records_appended, ds.db.events().size());
+      EXPECT_EQ(ds.ingest.epochs_run, 3u);
+    }
+  }
+}
+
+TEST(Stream, EpochSplitDoesNotChangeOutput) {
+  for (const std::size_t epochs : {1u, 2u, 5u}) {
+    ScenarioOptions options = small_options(true);
+    const fs::path root = fresh_dir("split-" + std::to_string(epochs));
+    const StreamOptions stream = stream_under(root, options, epochs);
+    const Dataset ds = build_streaming_dataset(options, stream);
+    EXPECT_EQ(all_csv(ds), batch_csv(true)) << "epochs=" << epochs;
+  }
+}
+
+TEST(Stream, FaultReportMatchesBatchPlusDeliveryAccounting) {
+  ScenarioOptions options = small_options(true);
+  const fs::path root = fresh_dir("fault-report");
+  const StreamOptions stream = stream_under(root, options);
+  const Dataset ds = build_streaming_dataset(options, stream);
+  const Dataset batch = build_paper_dataset(small_options(true));
+  // Batch counters are a strict subset: generation + enrichment agree
+  // exactly, and streaming adds the delivery layer on top.
+  EXPECT_EQ(ds.fault_report.proxy_attempts, batch.fault_report.proxy_attempts);
+  EXPECT_EQ(ds.fault_report.downloads_corrupted,
+            batch.fault_report.downloads_corrupted);
+  EXPECT_EQ(ds.fault_report.sandbox_failures,
+            batch.fault_report.sandbox_failures);
+  EXPECT_EQ(ds.fault_report.av_label_gaps, batch.fault_report.av_label_gaps);
+  EXPECT_EQ(ds.fault_report.delivery_checks, 0u + ds.db.events().size() +
+                                                 ds.fault_report
+                                                     .delivery_retries);
+  EXPECT_EQ(batch.fault_report.delivery_checks, 0u);
+}
+
+// --- Kill/resume ------------------------------------------------------------
+
+/// Runs the streaming build expecting the configured seam to interrupt
+/// it, then reruns clean in the same directories and returns the
+/// resumed dataset.
+Dataset killed_then_resumed(ScenarioOptions options, StreamOptions stream) {
+  bool interrupted = false;
+  try {
+    (void)build_streaming_dataset(options, stream);
+  } catch (const snapshot::CheckpointInterrupted&) {
+    interrupted = true;
+  }
+  EXPECT_TRUE(interrupted) << "seam never fired";
+  options.checkpoint.stop_after_epoch = 0;
+  options.checkpoint.short_write_epoch = 0;
+  stream.fail_after_seal = 0;
+  stream.after_append = nullptr;
+  return build_streaming_dataset(options, stream);
+}
+
+TEST(Stream, KilledAfterEachEpochResumesByteIdentical) {
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    ScenarioOptions options = small_options(true);
+    const fs::path root = fresh_dir("epoch-kill-" + std::to_string(epoch));
+    const StreamOptions stream = stream_under(root, options);
+    options.checkpoint.stop_after_epoch = epoch;
+    const Dataset resumed = killed_then_resumed(options, stream);
+    EXPECT_EQ(all_csv(resumed), batch_csv(true)) << "killed after epoch "
+                                                 << epoch;
+    EXPECT_EQ(resumed.ingest.epochs_restored, 1u);
+    EXPECT_EQ(resumed.ingest.epochs_run + static_cast<std::uint64_t>(epoch),
+              3u)
+        << "killed after epoch " << epoch;
+  }
+}
+
+TEST(Stream, KilledMidEpochCheckpointWriteResumesByteIdentical) {
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    ScenarioOptions options = small_options(true);
+    const fs::path root = fresh_dir("mid-write-" + std::to_string(epoch));
+    const StreamOptions stream = stream_under(root, options);
+    options.checkpoint.short_write_epoch = epoch;
+    const Dataset resumed = killed_then_resumed(options, stream);
+    EXPECT_EQ(all_csv(resumed), batch_csv(true))
+        << "killed mid-checkpoint of epoch " << epoch;
+    // The interrupted epoch left only a ".tmp", so the WAL is ahead of
+    // the newest valid cut and the replay healed the difference.
+    EXPECT_EQ(resumed.ingest.epochs_run,
+              static_cast<std::uint64_t>(4 - epoch));
+  }
+}
+
+TEST(Stream, KilledAfterArbitraryAppendsResumesByteIdentical) {
+  for (const std::uint64_t kill_at : {1ull, 7ull, 23ull}) {
+    ScenarioOptions options = small_options(true);
+    const fs::path root = fresh_dir("append-kill-" + std::to_string(kill_at));
+    StreamOptions stream = stream_under(root, options);
+    stream.after_append = [kill_at](std::uint64_t appended) {
+      if (appended == kill_at) {
+        throw snapshot::CheckpointInterrupted{"simulated crash mid-epoch"};
+      }
+    };
+    const Dataset resumed = killed_then_resumed(options, stream);
+    EXPECT_EQ(all_csv(resumed), batch_csv(true)) << "killed after append "
+                                                 << kill_at;
+  }
+}
+
+TEST(Stream, KilledDuringSegmentRotationResumesByteIdentical) {
+  ScenarioOptions options = small_options(true);
+  const fs::path root = fresh_dir("rotation-kill");
+  StreamOptions stream = stream_under(root, options);
+  stream.segment_bytes = 4096;  // force rotations mid-epoch
+  stream.fail_after_seal = 2;
+  const Dataset resumed = killed_then_resumed(options, stream);
+  EXPECT_EQ(all_csv(resumed), batch_csv(true));
+  EXPECT_GT(resumed.ingest.segments_sealed, 2u);
+}
+
+TEST(Stream, RepeatedKillsAtEveryLayerStillConverge) {
+  // One run dies mid-append, the resume dies mid-checkpoint, the next
+  // dies right after an epoch cut; the fourth finishes. Output must
+  // still be byte-identical.
+  ScenarioOptions options = small_options(true);
+  const fs::path root = fresh_dir("repeated");
+  StreamOptions stream = stream_under(root, options);
+  stream.after_append = [](std::uint64_t appended) {
+    if (appended == 11) {
+      throw snapshot::CheckpointInterrupted{"crash 1: mid-append"};
+    }
+  };
+  EXPECT_THROW((void)build_streaming_dataset(options, stream),
+               snapshot::CheckpointInterrupted);
+  stream.after_append = nullptr;
+  options.checkpoint.short_write_epoch = 2;
+  EXPECT_THROW((void)build_streaming_dataset(options, stream),
+               snapshot::CheckpointInterrupted);
+  options.checkpoint.short_write_epoch = 0;
+  options.checkpoint.stop_after_epoch = 2;
+  EXPECT_THROW((void)build_streaming_dataset(options, stream),
+               snapshot::CheckpointInterrupted);
+  options.checkpoint.stop_after_epoch = 0;
+  const Dataset resumed = build_streaming_dataset(options, stream);
+  EXPECT_EQ(all_csv(resumed), batch_csv(true));
+}
+
+TEST(Stream, CompletedRunRestoresEverythingOnRerun) {
+  ScenarioOptions options = small_options(true);
+  const fs::path root = fresh_dir("rerun");
+  const StreamOptions stream = stream_under(root, options);
+  const Dataset first = build_streaming_dataset(options, stream);
+  const auto wal_disk_bytes = [&] {
+    std::uintmax_t bytes = 0;
+    for (const auto& entry : fs::directory_iterator(root / "wal")) {
+      bytes += entry.file_size();
+    }
+    return bytes;
+  };
+  const std::uintmax_t after_first = wal_disk_bytes();
+  const Dataset second = build_streaming_dataset(options, stream);
+  // Regression: a warm resume once re-appended the whole stream as
+  // duplicate frames (the writer was constructed from a moved-from
+  // recovery result), doubling the WAL on every rerun. A rerun must
+  // recover everything, append nothing, and see no duplicates.
+  EXPECT_EQ(wal_disk_bytes(), after_first);
+  EXPECT_EQ(second.ingest.records_recovered, second.db.events().size());
+  EXPECT_EQ(second.ingest.duplicate_frames, 0u);
+  EXPECT_EQ(all_csv(second), all_csv(first));
+  EXPECT_EQ(second.ingest.epochs_run, 0u);
+  EXPECT_EQ(second.ingest.epochs_restored, 1u);
+  // Stream totals are logical (whole-history) values, not per-process
+  // ones: the rerun reports the same totals as the run that did the
+  // work.
+  EXPECT_EQ(second.ingest.records_appended, first.ingest.records_appended);
+  EXPECT_EQ(second.ingest.bytes_appended, first.ingest.bytes_appended);
+  EXPECT_EQ(second.fault_report.delivery_checks,
+            first.fault_report.delivery_checks);
+  EXPECT_EQ(second.fault_report.delivery_retries,
+            first.fault_report.delivery_retries);
+}
+
+TEST(Stream, DeliveryCountersAreKillInvariant) {
+  ScenarioOptions clean_options = small_options(true);
+  const fs::path clean_root = fresh_dir("delivery-clean");
+  const Dataset clean = build_streaming_dataset(
+      clean_options, stream_under(clean_root, clean_options));
+
+  ScenarioOptions options = small_options(true);
+  const fs::path root = fresh_dir("delivery-kill");
+  StreamOptions stream = stream_under(root, options);
+  stream.after_append = [](std::uint64_t appended) {
+    if (appended == 17) {
+      throw snapshot::CheckpointInterrupted{"crash mid-epoch"};
+    }
+  };
+  const Dataset resumed = killed_then_resumed(options, stream);
+  EXPECT_EQ(resumed.fault_report.delivery_checks,
+            clean.fault_report.delivery_checks);
+  EXPECT_EQ(resumed.fault_report.delivery_failures,
+            clean.fault_report.delivery_failures);
+  EXPECT_EQ(resumed.fault_report.delivery_retries,
+            clean.fault_report.delivery_retries);
+  EXPECT_EQ(resumed.fault_report.delivery_retry_exhausted,
+            clean.fault_report.delivery_retry_exhausted);
+  EXPECT_EQ(resumed.fault_report.delivery_backoff_seconds,
+            clean.fault_report.delivery_backoff_seconds);
+  EXPECT_EQ(resumed.ingest.records_appended, clean.ingest.records_appended);
+  EXPECT_EQ(resumed.ingest.bytes_appended, clean.ingest.bytes_appended);
+}
+
+// --- WAL damage healing -----------------------------------------------------
+
+TEST(Stream, DamagedWalHealsFromCheckpointAndStaysByteIdentical) {
+  ScenarioOptions options = small_options(true);
+  const fs::path root = fresh_dir("heal");
+  StreamOptions stream = stream_under(root, options);
+  stream.segment_bytes = 4096;
+  (void)build_streaming_dataset(options, stream);
+
+  // Vandalize the WAL: delete one sealed segment outright and truncate
+  // another mid-file. The epoch checkpoints are intact, so the rerun
+  // must restore, re-append what the WAL lost, and export identically.
+  std::vector<fs::path> segments;
+  for (const auto& entry : fs::directory_iterator(root / "wal")) {
+    if (entry.path().extension() == ".seg") segments.push_back(entry.path());
+  }
+  ASSERT_GE(segments.size(), 2u) << "need rotations for this test";
+  fs::remove(segments.front());
+  fs::resize_file(segments.back(), fs::file_size(segments.back()) / 2);
+
+  const Dataset healed = build_streaming_dataset(options, stream);
+  EXPECT_EQ(all_csv(healed), batch_csv(true));
+  EXPECT_EQ(healed.ingest.epochs_restored, 1u);
+
+  // And the WAL itself healed: a third run recovers every record
+  // without any salvage work.
+  const Dataset third = build_streaming_dataset(options, stream);
+  EXPECT_EQ(all_csv(third), batch_csv(true));
+  EXPECT_EQ(third.ingest.records_recovered, third.db.events().size());
+  EXPECT_EQ(third.ingest.torn_tails, 0u);
+  EXPECT_EQ(third.ingest.corrupt_frames, 0u);
+}
+
+TEST(Stream, ForeignWalAndCheckpointsAreRejectedNotMixedIn) {
+  // Build under seed A, then rerun the same directories under seed B:
+  // everything on disk is stale and the B run must quarantine it all
+  // and still match B's batch build.
+  ScenarioOptions options_a = small_options(true);
+  const fs::path root = fresh_dir("foreign");
+  StreamOptions stream = stream_under(root, options_a);
+  (void)build_streaming_dataset(options_a, stream);
+
+  ScenarioOptions options_b = small_options(true);
+  options_b.seed = options_a.seed + 1;
+  options_b.checkpoint.directory = options_a.checkpoint.directory;
+  const Dataset ds = build_streaming_dataset(options_b, stream);
+  EXPECT_EQ(all_csv(ds),
+            all_csv(build_paper_dataset([&] {
+              ScenarioOptions batch = small_options(true);
+              batch.seed = options_b.seed;
+              return batch;
+            }())));
+  EXPECT_GT(ds.ingest.stale_segments, 0u);
+  EXPECT_EQ(ds.ingest.epochs_restored, 0u);
+}
+
+// --- Metrics ----------------------------------------------------------------
+
+TEST(Stream, DeterministicMetricsIdenticalAcrossThreadWidths) {
+  std::string baseline;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ScenarioOptions options = small_options(true);
+    options.threads = threads;
+    obs::MetricsRegistry metrics;
+    options.metrics = &metrics;
+    const fs::path root = fresh_dir("metrics-" + std::to_string(threads));
+    const StreamOptions stream = stream_under(root, options);
+    (void)build_streaming_dataset(options, stream);
+    const std::string json = metrics.to_json(obs::Channel::kDeterministic);
+    EXPECT_NE(json.find("ingest.wal.records_appended"), std::string::npos);
+    EXPECT_NE(json.find("ingest.queue.pushed"), std::string::npos);
+    EXPECT_NE(json.find("fault.delivery.checked"), std::string::npos);
+    if (baseline.empty()) {
+      baseline = json;
+    } else {
+      EXPECT_EQ(json, baseline) << "threads=" << threads;
+    }
+  }
+}
+
+// --- Validation -------------------------------------------------------------
+
+TEST(Stream, OptionsValidate) {
+  StreamOptions stream;
+  stream.wal_dir = "somewhere";
+  stream.epochs = 0;
+  EXPECT_THROW(stream.validate(), ConfigError);
+  stream = StreamOptions{};
+  EXPECT_THROW(stream.validate(), ConfigError);  // missing wal_dir
+  stream = StreamOptions{};
+  stream.wal_dir = "somewhere";
+  stream.queue_capacity = 0;
+  EXPECT_THROW(stream.validate(), ConfigError);
+  stream = StreamOptions{};
+  stream.wal_dir = "somewhere";
+  stream.retry.max_attempts = 0;
+  EXPECT_THROW(stream.validate(), ConfigError);
+}
+
+}  // namespace
+}  // namespace repro::scenario

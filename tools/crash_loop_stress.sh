@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Crash-loop stress for the durable streaming ingest core.
+#
+# Repeatedly SIGKILLs the streaming build at a seeded, advancing record
+# count (--kill-after-records walks forward by a fixed step each round)
+# against one persistent WAL + checkpoint directory, until a run
+# finally completes. The completed run's CSV exports must be
+# byte-identical to a one-shot batch build of the same configuration —
+# the headline guarantee of src/ingest + build_streaming_dataset,
+# exercised here with real SIGKILL (exit 137) rather than the in-test
+# exception seams.
+#
+# Usage: tools/crash_loop_stress.sh [path/to/build_paper_dataset]
+# Knobs: REPRO_STRESS_SCALE (default 0.05), REPRO_STRESS_SEED (2008),
+#        REPRO_STRESS_EPOCHS (4), REPRO_STRESS_STEP (13, records
+#        between consecutive kill points), REPRO_STRESS_FAULTS
+#        (paper; set to none to stress without fault injection).
+set -u
+
+BIN=${1:-build/tools/build_paper_dataset/build_paper_dataset}
+SCALE=${REPRO_STRESS_SCALE:-0.05}
+SEED=${REPRO_STRESS_SEED:-2008}
+EPOCHS=${REPRO_STRESS_EPOCHS:-4}
+STEP=${REPRO_STRESS_STEP:-13}
+FAULTS=${REPRO_STRESS_FAULTS:-paper}
+MAX_ROUNDS=${REPRO_STRESS_MAX_ROUNDS:-500}
+
+if [ ! -x "$BIN" ]; then
+  echo "crash_loop_stress: $BIN not found or not executable" >&2
+  exit 2
+fi
+
+work=$(mktemp -d "${TMPDIR:-/tmp}/crash-loop-stress.XXXXXX")
+trap 'rm -rf "$work"' EXIT
+
+echo "== baseline: one-shot batch build (seed $SEED, scale $SCALE," \
+     "faults $FAULTS)"
+"$BIN" --seed "$SEED" --scale "$SCALE" --faults "$FAULTS" \
+       --export-dir "$work/batch" >/dev/null || {
+  echo "crash_loop_stress: batch baseline failed" >&2
+  exit 1
+}
+
+kill_at=7
+round=0
+while :; do
+  round=$((round + 1))
+  if [ "$round" -gt "$MAX_ROUNDS" ]; then
+    echo "crash_loop_stress: no clean completion after $MAX_ROUNDS rounds" >&2
+    exit 1
+  fi
+  # Run through an inner shell with silenced stderr so the "Killed"
+  # job notice lands in /dev/null instead of the log; the 137 exit
+  # status still propagates.
+  sh -c '"$@" >/dev/null 2>&1' crash-loop \
+     "$BIN" --seed "$SEED" --scale "$SCALE" --faults "$FAULTS" \
+     --epochs "$EPOCHS" \
+     --wal-dir "$work/wal" --checkpoint-dir "$work/ckpt" \
+     --kill-after-records "$kill_at" \
+     --export-dir "$work/stream" 2>/dev/null
+  rc=$?
+  if [ "$rc" -eq 0 ]; then
+    echo "== round $round: completed cleanly (kill point $kill_at never" \
+         "reached)"
+    break
+  fi
+  if [ "$rc" -ne 137 ]; then
+    echo "crash_loop_stress: round $round exited $rc (expected 137 from" \
+         "SIGKILL at record $kill_at)" >&2
+    exit 1
+  fi
+  echo "== round $round: SIGKILLed after $kill_at appends, resuming"
+  kill_at=$((kill_at + STEP))
+done
+
+if diff -r "$work/batch" "$work/stream" >/dev/null; then
+  echo "== exports byte-identical to the batch build after $round runs" \
+       "($((round - 1)) kills)"
+else
+  echo "crash_loop_stress: exports differ from the batch build:" >&2
+  diff -r "$work/batch" "$work/stream" >&2 | head -20
+  exit 1
+fi
