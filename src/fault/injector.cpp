@@ -10,7 +10,9 @@ bool FaultReport::any() const noexcept {
   return attacks_lost_to_outage > 0 || proxy_failures > 0 ||
          refinements_abandoned > 0 || downloads_refused > 0 ||
          downloads_corrupted > 0 || sandbox_failures > 0 ||
-         av_label_gaps > 0 || delivery_failures > 0;
+         av_label_gaps > 0 || delivery_failures > 0 ||
+         serve_slow_clients > 0 || serve_disconnects > 0 ||
+         serve_accept_failures > 0;
 }
 
 namespace {
@@ -41,6 +43,10 @@ FaultReport combine(const FaultReport& a, const FaultReport& b, Op op) {
   apply(&FaultReport::delivery_retries);
   apply(&FaultReport::delivery_retry_exhausted);
   apply(&FaultReport::delivery_backoff_seconds);
+  apply(&FaultReport::serve_checks);
+  apply(&FaultReport::serve_slow_clients);
+  apply(&FaultReport::serve_disconnects);
+  apply(&FaultReport::serve_accept_failures);
   return out;
 }
 
@@ -71,7 +77,10 @@ std::string FaultReport::summary() const {
       << "  ingest delivery:     " << delivery_failures
       << " failed attempts (" << delivery_retries << " retries, "
       << delivery_backoff_seconds << "s backoff), "
-      << delivery_retry_exhausted << " records spooled after exhaustion\n";
+      << delivery_retry_exhausted << " records spooled after exhaustion\n"
+      << "  query service:       " << serve_slow_clients
+      << " slow clients, " << serve_disconnects << " disconnects, "
+      << serve_accept_failures << " accept failures\n";
   return out.str();
 }
 
@@ -105,6 +114,10 @@ FaultReport FaultInjector::report() const noexcept {
   report.delivery_retry_exhausted = sz(counters_.delivery_retry_exhausted);
   report.delivery_backoff_seconds =
       counters_.delivery_backoff_seconds.load(std::memory_order_relaxed);
+  report.serve_checks = sz(counters_.serve_checks);
+  report.serve_slow_clients = sz(counters_.serve_slow_clients);
+  report.serve_disconnects = sz(counters_.serve_disconnects);
+  report.serve_accept_failures = sz(counters_.serve_accept_failures);
   return report;
 }
 
@@ -222,6 +235,33 @@ void FaultInjector::count_delivery_retry(std::int64_t backoff_seconds) {
 
 void FaultInjector::count_delivery_exhausted() {
   counters_.delivery_retry_exhausted.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool FaultInjector::serve_slow_client(std::uint64_t key) {
+  counters_.serve_checks.fetch_add(1, std::memory_order_relaxed);
+  if (roll("serve.slow", key, plan_.serve_slow_client_probability)) {
+    counters_.serve_slow_clients.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::serve_disconnect(std::uint64_t key) {
+  counters_.serve_checks.fetch_add(1, std::memory_order_relaxed);
+  if (roll("serve.disconnect", key, plan_.serve_disconnect_probability)) {
+    counters_.serve_disconnects.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::serve_accept_fails(std::uint64_t key) {
+  counters_.serve_checks.fetch_add(1, std::memory_order_relaxed);
+  if (roll("serve.accept", key, plan_.serve_accept_failure_probability)) {
+    counters_.serve_accept_failures.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
 }
 
 bool FaultInjector::av_label_gap(std::uint64_t key) {

@@ -47,6 +47,14 @@ struct FaultReport {
   std::size_t delivery_retries = 0;
   std::size_t delivery_retry_exhausted = 0;
   std::int64_t delivery_backoff_seconds = 0;
+  // Serving-surface counters (src/serve). Per-process accounting of a
+  // live daemon's degradation — they never enter dataset.fault_report
+  // or an epoch checkpoint, so the snapshot codec deliberately does not
+  // serialize them (no version bump needed when they grow).
+  std::size_t serve_checks = 0;
+  std::size_t serve_slow_clients = 0;
+  std::size_t serve_disconnects = 0;
+  std::size_t serve_accept_failures = 0;
 
   [[nodiscard]] bool any() const noexcept;
   /// Multi-line, human-readable degradation summary.
@@ -112,6 +120,17 @@ class FaultInjector {
   /// One ingest record exhausted its retry/deadline budget.
   void count_delivery_exhausted();
 
+  /// True when the analyst client serving request `key` stalls
+  /// mid-request (site "serve.slow"); the server charges the stall
+  /// against the request deadline.
+  [[nodiscard]] bool serve_slow_client(std::uint64_t key);
+  /// True when the client vanishes before the reply to request `key`
+  /// can be written (site "serve.disconnect").
+  [[nodiscard]] bool serve_disconnect(std::uint64_t key);
+  /// True when accept() of incoming connection `key` fails
+  /// (site "serve.accept").
+  [[nodiscard]] bool serve_accept_fails(std::uint64_t key);
+
  private:
   /// Stateless Bernoulli decision: hash of (seed, stage, key) vs p.
   [[nodiscard]] bool roll(std::string_view stage, std::uint64_t key,
@@ -143,6 +162,10 @@ class FaultInjector {
     std::atomic<std::uint64_t> delivery_retries{0};
     std::atomic<std::uint64_t> delivery_retry_exhausted{0};
     std::atomic<std::int64_t> delivery_backoff_seconds{0};
+    std::atomic<std::uint64_t> serve_checks{0};
+    std::atomic<std::uint64_t> serve_slow_clients{0};
+    std::atomic<std::uint64_t> serve_disconnects{0};
+    std::atomic<std::uint64_t> serve_accept_failures{0};
   };
   Counters counters_;
 };

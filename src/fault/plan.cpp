@@ -8,6 +8,12 @@
 namespace repro::fault {
 
 bool FaultPlan::empty() const noexcept {
+  return pipeline_empty() && serve_slow_client_probability <= 0.0 &&
+         serve_disconnect_probability <= 0.0 &&
+         serve_accept_failure_probability <= 0.0;
+}
+
+bool FaultPlan::pipeline_empty() const noexcept {
   return sensor_outages.empty() && proxy_failure_probability <= 0.0 &&
          download_refused_probability <= 0.0 &&
          download_corruption_probability <= 0.0 &&
@@ -32,6 +38,12 @@ void FaultPlan::validate() const {
                     "sandbox_failure_probability");
   check_probability(av_label_gap_probability, "av_label_gap_probability");
   check_probability(ingest_failure_probability, "ingest_failure_probability");
+  check_probability(serve_slow_client_probability,
+                    "serve_slow_client_probability");
+  check_probability(serve_disconnect_probability,
+                    "serve_disconnect_probability");
+  check_probability(serve_accept_failure_probability,
+                    "serve_accept_failure_probability");
   if (proxy_max_retries < 0) {
     throw ConfigError("FaultPlan: proxy_max_retries must be >= 0");
   }
@@ -58,6 +70,10 @@ FaultPlan FaultPlan::scaled(double factor) const {
   plan.sandbox_failure_probability = scale(sandbox_failure_probability);
   plan.av_label_gap_probability = scale(av_label_gap_probability);
   plan.ingest_failure_probability = scale(ingest_failure_probability);
+  plan.serve_slow_client_probability = scale(serve_slow_client_probability);
+  plan.serve_disconnect_probability = scale(serve_disconnect_probability);
+  plan.serve_accept_failure_probability =
+      scale(serve_accept_failure_probability);
   return plan;
 }
 
@@ -76,6 +92,13 @@ FaultPlan FaultPlan::paper_calibrated() {
   plan.sandbox_failure_probability = 0.01;
   plan.av_label_gap_probability = 0.03;
   plan.ingest_failure_probability = 0.03;
+  // Serving faults, calibrated like the rest: rare enough that a live
+  // daemon stays useful, frequent enough that every degradation path
+  // (deadline timeouts, dropped connections, accept hiccups) actually
+  // fires under load.
+  plan.serve_slow_client_probability = 0.02;
+  plan.serve_disconnect_probability = 0.01;
+  plan.serve_accept_failure_probability = 0.01;
   return plan;
 }
 
@@ -106,6 +129,9 @@ FaultPlan FaultPlan::random_plan(std::uint64_t seed, int weeks,
   // Drawn after every pre-existing field so older chaos-sweep seeds
   // keep producing the exact plans they always did.
   plan.ingest_failure_probability = rng.real() * 0.5;
+  plan.serve_slow_client_probability = rng.real() * 0.5;
+  plan.serve_disconnect_probability = rng.real() * 0.5;
+  plan.serve_accept_failure_probability = rng.real() * 0.5;
   return plan;
 }
 

@@ -61,8 +61,30 @@ struct FaultPlan {
   /// under its own backoff policy (see src/ingest/delivery).
   double ingest_failure_probability = 0.0;
 
-  /// True when the plan can never fire a fault.
+  /// Serving faults (src/serve): hostile/broken analyst clients and a
+  /// flaky accept path. These never touch the dataset — they degrade
+  /// only the query surface — so they are excluded from the scenario
+  /// fingerprint and from pipeline_empty().
+  /// A client stalls mid-request; the stall is charged against the
+  /// request deadline and typically surfaces as a typed TIMEOUT reply.
+  double serve_slow_client_probability = 0.0;
+  /// A client vanishes mid-request; the reply write fails and the
+  /// server must drop the connection without disturbing its neighbors.
+  double serve_disconnect_probability = 0.0;
+  /// One accept() of an incoming connection fails; the listener must
+  /// shrug and keep accepting.
+  double serve_accept_failure_probability = 0.0;
+
+  /// True when the plan can never fire a fault at any site.
   [[nodiscard]] bool empty() const noexcept;
+
+  /// True when no *pipeline* site (sensors, proxy, downloads, sandbox,
+  /// AV labels, ingest delivery) can fire — the serve knobs are
+  /// deliberately ignored. This is the gate for attaching an injector
+  /// to the dataset-shaping pipeline: a serve-only plan must leave the
+  /// dataset and its deterministic metrics bit-identical to a run with
+  /// no injector at all.
+  [[nodiscard]] bool pipeline_empty() const noexcept;
 
   /// Throws ConfigError on out-of-range probabilities, negative retry
   /// bounds or inverted outage windows.

@@ -1,6 +1,7 @@
 #include "obs/stopwatch.hpp"
 
 #include <chrono>
+#include <thread>
 
 namespace repro::obs {
 
@@ -8,6 +9,11 @@ std::int64_t monotonic_now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+void sleep_ms(std::int64_t ms) {
+  if (ms <= 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
 }  // namespace repro::obs

@@ -19,6 +19,14 @@ namespace repro::obs {
 /// only function in the repo that reads a real clock.
 [[nodiscard]] std::int64_t monotonic_now_ns();
 
+/// Blocks the calling thread for at least `ms` milliseconds. Lives here
+/// for the same reason the clock does: real-time waits are a wall-clock
+/// effect, and quarantining the only sleep in the repo next to the only
+/// clock keeps the channel auditable. Used by the serve layer's linger
+/// polling and its deliberately-slow debug command; never by anything
+/// that shapes dataset bytes.
+void sleep_ms(std::int64_t ms);
+
 /// Interval timer over the monotonic clock.
 class Stopwatch {
  public:

@@ -792,6 +792,9 @@ std::uint64_t scenario_fingerprint(const ScenarioOptions& options) {
   writer.u64(std::bit_cast<std::uint64_t>(plan.sandbox_failure_probability));
   writer.u64(std::bit_cast<std::uint64_t>(plan.av_label_gap_probability));
   writer.u64(std::bit_cast<std::uint64_t>(plan.ingest_failure_probability));
+  // The serve_* probabilities are deliberately excluded: they shape the
+  // query surface of a live daemon, never the dataset a snapshot
+  // certifies (same rationale as the checkpoint knobs above).
   return fnv1a64(std::string_view{
       reinterpret_cast<const char*>(writer.data().data()),
       writer.data().size()});
@@ -927,12 +930,14 @@ Dataset build_paper_dataset(const ScenarioOptions& options) {
     dataset.enrichment = loaded->enrichment;
     dataset.fault_report = loaded->fault_report;
   } else {
-    // Only hand the deployment an injector when the plan can actually
-    // fire; an empty plan is equivalent either way (the injector draws
-    // no shared randomness), the nullptr path just makes that obvious.
+    // Only hand the deployment an injector when a *pipeline* site can
+    // actually fire; an empty plan is equivalent either way (the
+    // injector draws no shared randomness), the nullptr path just makes
+    // that obvious. Serve-only plans gate on pipeline_empty() so a live
+    // daemon's client-fault knobs never perturb fault.*.checked.
     fault::FaultInjector injector{options.faults};
     fault::FaultInjector* faults =
-        options.faults.empty() ? nullptr : &injector;
+        options.faults.pipeline_empty() ? nullptr : &injector;
 
     const honeypot::DeploymentConfig config =
         make_paper_deployment_config(options, faults);

@@ -1,0 +1,62 @@
+#include "scenario/serve.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "obs/stopwatch.hpp"
+#include "serve/view.hpp"
+
+namespace repro::scenario {
+
+ServeOutcome serve_streaming_dataset(const ScenarioOptions& options,
+                                     const StreamOptions& stream,
+                                     const ServeRunOptions& run) {
+  ServeOutcome outcome;
+  serve::Server server{run.server};
+  server.start();
+  outcome.port = server.port();
+  if (run.on_ready) run.on_ready(server.port());
+
+  StreamOptions hooked = stream;
+  hooked.on_epoch = [&](const honeypot::EventDatabase& db,
+                        const snapshot::EpmStage& epm,
+                        const analysis::BehavioralView& b,
+                        std::size_t epoch) {
+    server.publish(std::make_shared<const serve::ServeView>(
+        serve::ServeView::build(db, epm.e, epm.p, epm.m, b, epoch)));
+    if (stream.on_epoch) stream.on_epoch(db, epm, b, epoch);
+  };
+
+  try {
+    outcome.dataset = build_streaming_dataset(options, hooked);
+  } catch (...) {
+    // Drain before rethrowing (crash-seam interrupts included): the
+    // port must be free and every admitted client answered before the
+    // caller decides what to do next.
+    server.stop();
+    throw;
+  }
+
+  if (!server.has_view()) {
+    // A fully-restored resume replays no epoch, so no hook fired;
+    // publish the final state directly. When the hook did fire, the
+    // last epoch's view was built from exactly this state — publishing
+    // again would only inflate the deterministic swap counter.
+    server.publish(std::make_shared<const serve::ServeView>(
+        serve::ServeView::build(outcome.dataset.db, outcome.dataset.e,
+                                outcome.dataset.p, outcome.dataset.m,
+                                outcome.dataset.b, stream.epochs)));
+  }
+
+  while (run.stop != nullptr && !run.stop->load(std::memory_order_relaxed)) {
+    obs::sleep_ms(run.poll_ms);
+  }
+  server.stop();
+  outcome.serve = server.report();
+  if (options.metrics != nullptr) {
+    serve::publish_serve_metrics(*options.metrics, outcome.serve);
+  }
+  return outcome;
+}
+
+}  // namespace repro::scenario

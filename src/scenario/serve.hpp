@@ -1,0 +1,52 @@
+// The serving scenario: queries answered while the epoch loop ingests.
+//
+// serve_streaming_dataset composes the PR-6 streaming pipeline with the
+// src/serve daemon: a Server starts first (so analysts can connect
+// immediately — they get typed UNAVAILABLE until the first epoch
+// lands), the epoch loop runs underneath, and every completed epoch is
+// hot-swapped in as a fresh ServeView. Because the stream's output is
+// byte-identical to the batch build at any kill point and any thread
+// width, the *final* published view answers every query with bytes
+// identical to a view built from build_paper_dataset — the serving
+// guarantee the tests and bench_serve pin.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "scenario/stream.hpp"
+#include "serve/server.hpp"
+
+namespace repro::scenario {
+
+struct ServeRunOptions {
+  /// Daemon knobs (port, workers, admission, deadline, serve faults).
+  serve::ServerOptions server;
+  /// Called once the listener is bound, with the actual port — the
+  /// seam tests and the bench use to connect while ingest still runs.
+  std::function<void(std::uint16_t port)> on_ready;
+  /// Linger flag: after the stream completes, the daemon keeps serving
+  /// the final view until this becomes true (the CLI points it at its
+  /// SIGTERM flag). nullptr = no linger, drain right away.
+  const std::atomic<bool>* stop = nullptr;
+  /// How often the linger loop re-checks `stop`.
+  std::int64_t poll_ms = 50;
+};
+
+struct ServeOutcome {
+  Dataset dataset;
+  serve::ServeReport serve;
+  std::uint16_t port = 0;
+};
+
+/// Runs the streaming build with a query daemon on top. The daemon is
+/// drained gracefully (in-flight and admitted requests answered) both
+/// on success and when the stream throws — a crash-seam interrupt
+/// (snapshot::CheckpointInterrupted) propagates out only after the
+/// server is down, so a retrying caller can bind the port again.
+[[nodiscard]] ServeOutcome serve_streaming_dataset(
+    const ScenarioOptions& options, const StreamOptions& stream,
+    const ServeRunOptions& run);
+
+}  // namespace repro::scenario

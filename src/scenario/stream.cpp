@@ -144,7 +144,8 @@ Dataset build_streaming_dataset(const ScenarioOptions& options,
   // epoch checkpoints carry — generation's share is reproduced
   // identically by every run).
   fault::FaultInjector injector{options.faults};
-  fault::FaultInjector* faults = options.faults.empty() ? nullptr : &injector;
+  fault::FaultInjector* faults =
+      options.faults.pipeline_empty() ? nullptr : &injector;
   honeypot::EventDatabase gen_db;
   {
     const obs::TraceRecorder::Scoped span{options.trace, "stream.generate",
@@ -370,6 +371,10 @@ Dataset build_streaming_dataset(const ScenarioOptions& options,
                                             epoch_span.id()};
       store.save_epoch(cut);
     }
+    // The hook sees the 1-based count of durable epochs so a view built
+    // here for the final epoch carries the same epoch number as one built
+    // from the finished dataset (the fully-restored-resume fallback).
+    if (stream.on_epoch) stream.on_epoch(db, epm_stage, bview, k + 1);
     done = target;
   }
 

@@ -49,6 +49,17 @@ struct StreamOptions {
   /// SIGKILL itself at a seeded point; tests throw
   /// snapshot::CheckpointInterrupted from it.
   std::function<void(std::uint64_t appended_this_run)> after_append;
+  /// Observation hook: called after an epoch's clustering results are
+  /// complete and its checkpoint cut is durable, before the loop moves
+  /// on; `epoch` is the 1-based count of durable epochs (the final call
+  /// passes `epochs`). The serving layer builds a query snapshot here
+  /// and hot-swaps it in; the hook must copy anything it keeps — the
+  /// references die with the next epoch. Epochs skipped on resume
+  /// (already covered by a restored cut) do not fire it.
+  std::function<void(const honeypot::EventDatabase& db,
+                     const snapshot::EpmStage& epm,
+                     const analysis::BehavioralView& b, std::size_t epoch)>
+      on_epoch;
 
   /// Throws ConfigError on zero epochs/capacity, an empty wal_dir, or
   /// an invalid retry policy.

@@ -1,0 +1,114 @@
+#include "serve/protocol.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/parse.hpp"
+
+namespace repro::serve {
+
+namespace {
+
+/// Splits `line` on single spaces; empty tokens (leading, trailing or
+/// doubled separators) are grammar violations, surfaced by the caller.
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    const std::size_t space = line.find(' ', start);
+    const std::size_t end = space == std::string_view::npos ? line.size()
+                                                            : space;
+    tokens.push_back(line.substr(start, end - start));
+    if (space == std::string_view::npos) break;
+    start = space + 1;
+  }
+  return tokens;
+}
+
+[[noreturn]] void bad(const std::string& what) {
+  throw ParseError("serve request: " + what);
+}
+
+}  // namespace
+
+std::string_view error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "NONE";
+    case ErrorCode::kBadRequest: return "BAD_REQUEST";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kBusy: return "BUSY";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+  }
+  return "UNKNOWN";
+}
+
+Response Response::error(ErrorCode code, std::string message) {
+  Response response;
+  response.code = code;
+  response.message = std::move(message);
+  return response;
+}
+
+Request parse_request(std::string_view line) {
+  if (line.empty()) bad("empty line");
+  if (line.find('\r') != std::string_view::npos) bad("stray carriage return");
+  const std::vector<std::string_view> tokens = tokenize(line);
+  for (std::string_view token : tokens) {
+    if (token.empty()) bad("empty token (doubled or trailing space)");
+  }
+  const std::string_view verb = tokens.front();
+  const auto want = [&](std::size_t arity) {
+    if (tokens.size() != arity + 1) {
+      bad(std::string{verb} + " takes " + std::to_string(arity) +
+          " argument(s)");
+    }
+  };
+  Request request;
+  if (verb == "lookup") {
+    want(1);
+    request.kind = RequestKind::kLookup;
+    request.md5 = std::string{tokens[1]};
+  } else if (verb == "cluster") {
+    want(1);
+    request.kind = RequestKind::kCluster;
+    request.cluster = parse_i32(tokens[1], "cluster id");
+  } else if (verb == "ccmap") {
+    want(0);
+    request.kind = RequestKind::kCcmap;
+  } else if (verb == "health") {
+    want(0);
+    request.kind = RequestKind::kHealth;
+  } else if (verb == "stats") {
+    want(0);
+    request.kind = RequestKind::kStats;
+  } else if (verb == "slow") {
+    want(1);
+    request.kind = RequestKind::kSlow;
+    request.slow_ms = parse_i64(tokens[1], "slow milliseconds");
+    if (request.slow_ms < 0) bad("slow milliseconds must be >= 0");
+  } else {
+    bad("unknown verb '" + std::string{verb} + "'");
+  }
+  return request;
+}
+
+std::string render(const Response& response) {
+  std::string out;
+  if (response.ok()) {
+    out = "OK " + std::to_string(response.lines.size()) + "\n";
+    for (const std::string& line : response.lines) {
+      out += line;
+      out += '\n';
+    }
+  } else {
+    out = "ERR ";
+    out += error_code_name(response.code);
+    out += ' ';
+    out += response.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace repro::serve

@@ -1,0 +1,76 @@
+// The analyst query protocol: line-oriented request/response framing.
+//
+// Grammar (one request per line, '\n'-terminated, single-space tokens):
+//
+//   request  := "lookup" SP md5
+//             | "cluster" SP int
+//             | "ccmap" | "health" | "stats"
+//             | "slow" SP int            ; debug builds only (bench seam)
+//
+//   response := "OK" SP count "\n" line*count     ; count payload lines
+//             | "ERR" SP code SP message "\n"
+//   code     := "BAD_REQUEST" | "NOT_FOUND" | "TIMEOUT" | "BUSY"
+//             | "UNAVAILABLE"
+//
+// Requests are parsed into a typed Request; responses render through
+// render() so every reply byte the daemon emits — including the BUSY
+// shed reply and typed TIMEOUT — comes from one place and can be
+// golden-compared against a locally built view by the tests and bench.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::serve {
+
+enum class RequestKind : std::uint8_t {
+  kLookup,
+  kCluster,
+  kCcmap,
+  kHealth,
+  kStats,
+  kSlow,  // debug: hold the worker for `ms` before answering
+};
+
+struct Request {
+  RequestKind kind = RequestKind::kHealth;
+  std::string md5;        // kLookup
+  int cluster = 0;        // kCluster
+  std::int64_t slow_ms = 0;  // kSlow
+};
+
+/// Error codes a response line can carry. kNone marks an OK response.
+enum class ErrorCode : std::uint8_t {
+  kNone,
+  kBadRequest,
+  kNotFound,
+  kTimeout,
+  kBusy,
+  kUnavailable,
+};
+
+[[nodiscard]] std::string_view error_code_name(ErrorCode code);
+
+struct Response {
+  ErrorCode code = ErrorCode::kNone;
+  /// Payload lines of an OK response (no trailing newlines).
+  std::vector<std::string> lines;
+  /// Single-line human message of an ERR response.
+  std::string message;
+
+  [[nodiscard]] bool ok() const noexcept { return code == ErrorCode::kNone; }
+
+  [[nodiscard]] static Response error(ErrorCode code, std::string message);
+};
+
+/// Parses one request line (without its terminating newline). Throws
+/// ParseError on anything outside the grammar — the server maps that
+/// to an ERR BAD_REQUEST reply and counts a protocol error.
+[[nodiscard]] Request parse_request(std::string_view line);
+
+/// Renders a response to its exact wire bytes (newlines included).
+[[nodiscard]] std::string render(const Response& response);
+
+}  // namespace repro::serve

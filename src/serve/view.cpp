@@ -1,0 +1,221 @@
+#include "serve/view.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "analysis/c2.hpp"
+#include "util/simtime.hpp"
+
+namespace repro::serve {
+
+namespace {
+
+/// "3,17,42" for ascending ids; "-" when the list is empty.
+std::string join_ids(const std::vector<int>& ids) {
+  if (ids.empty()) return "-";
+  std::string out;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(ids[i]);
+  }
+  return out;
+}
+
+void sort_unique(std::vector<int>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+}  // namespace
+
+ServeView ServeView::build(const honeypot::EventDatabase& db,
+                           const cluster::EpmResult& e,
+                           const cluster::EpmResult& p,
+                           const cluster::EpmResult& m,
+                           const analysis::BehavioralView& b,
+                           std::uint64_t epoch) {
+  ServeView view;
+  view.epoch_ = epoch;
+  view.event_count_ = db.events().size();
+
+  // Per-sample context. Samples are visited in id order and events in
+  // arrival order, so everything below is deterministic by
+  // construction.
+  view.samples_.reserve(db.samples().size());
+  for (const honeypot::MalwareSample& sample : db.samples()) {
+    SampleInfo info;
+    info.md5 = sample.md5;
+    info.first_seen = format_date(sample.first_seen);
+    info.event_count = sample.event_count;
+    info.intact = sample.intact();
+    info.av_label = sample.av_label;
+    info.b_cluster = b.cluster_of_sample(sample.id);
+    info.first_event_seconds = std::numeric_limits<std::int64_t>::max();
+    info.last_event_seconds = std::numeric_limits<std::int64_t>::min();
+    view.md5_index_.emplace(sample.md5, view.samples_.size());
+    view.samples_.push_back(std::move(info));
+  }
+  for (const honeypot::AttackEvent& event : db.events()) {
+    if (!event.sample.has_value()) continue;
+    SampleInfo& info = view.samples_[*event.sample];
+    const auto note = [&](const cluster::EpmResult& result,
+                          std::vector<int>& into) {
+      const int id = result.cluster_of_event(event.id);
+      if (id >= 0) into.push_back(id);
+    };
+    note(e, info.e_clusters);
+    note(p, info.p_clusters);
+    note(m, info.m_clusters);
+    info.first_event_seconds =
+        std::min(info.first_event_seconds, event.time.seconds);
+    info.last_event_seconds =
+        std::max(info.last_event_seconds, event.time.seconds);
+  }
+  for (SampleInfo& info : view.samples_) {
+    sort_unique(info.e_clusters);
+    sort_unique(info.p_clusters);
+    sort_unique(info.m_clusters);
+    if (info.first_event_seconds > info.last_event_seconds) {
+      // No event referenced the sample (possible on partial datasets);
+      // fall back to the dedup record's first_seen.
+      info.first_event_seconds = 0;
+      info.last_event_seconds = 0;
+    }
+  }
+
+  // B-cluster membership, member lists ascending by sample id.
+  view.b_members_.resize(b.cluster_count());
+  for (std::size_t id = 0; id < view.samples_.size(); ++id) {
+    const int cluster = view.samples_[id].b_cluster;
+    if (cluster >= 0 &&
+        static_cast<std::size_t>(cluster) < view.b_members_.size()) {
+      view.b_members_[static_cast<std::size_t>(cluster)].push_back(id);
+    }
+  }
+
+  // C&C map, pre-rendered from the Table 2 correlation.
+  const analysis::C2Report c2 = analysis::correlate_irc(db, m, b);
+  view.ccmap_lines_.push_back("associations " +
+                              std::to_string(c2.associations.size()));
+  for (const analysis::IrcAssociation& assoc : c2.associations) {
+    view.ccmap_lines_.push_back("cc " + assoc.server.to_string() + ' ' +
+                                assoc.room + ' ' + join_ids(assoc.m_clusters));
+  }
+  for (const auto& [slash24, servers] : c2.slash24_groups) {
+    if (servers.size() >= 2) {
+      view.ccmap_lines_.push_back("colocated " + slash24 + ' ' +
+                                  std::to_string(servers.size()));
+    }
+  }
+  for (const auto& [room, count] : c2.room_reuse) {
+    if (count >= 2) {
+      view.ccmap_lines_.push_back("reuse " + room + ' ' +
+                                  std::to_string(count));
+    }
+  }
+  view.ccmap_lines_.push_back("multi_cluster_rows " +
+                              std::to_string(c2.multi_cluster_rows()));
+  view.ccmap_lines_.push_back("colocated_groups " +
+                              std::to_string(c2.colocated_groups()));
+
+  // Dataset-shape stats (the deterministic figures an analyst checks
+  // first) and the one-line health beacon.
+  view.stats_lines_ = {
+      "epoch " + std::to_string(epoch),
+      "events " + std::to_string(db.events().size()),
+      "samples " + std::to_string(db.samples().size()),
+      "analyzable " + std::to_string(db.analyzable_sample_count()),
+      "e_clusters " + std::to_string(e.cluster_count()),
+      "p_clusters " + std::to_string(p.cluster_count()),
+      "m_clusters " + std::to_string(m.cluster_count()),
+      "b_clusters " + std::to_string(b.cluster_count()),
+      "b_singletons " + std::to_string(b.singleton_count()),
+  };
+  view.health_line_ = "serving epoch=" + std::to_string(epoch) +
+                      " events=" + std::to_string(db.events().size()) +
+                      " samples=" + std::to_string(db.samples().size());
+  return view;
+}
+
+Response ServeView::lookup(const std::string& md5) const {
+  const auto it = md5_index_.find(md5);
+  if (it == md5_index_.end()) {
+    return Response::error(ErrorCode::kNotFound,
+                           "no sample with md5 " + md5);
+  }
+  const SampleInfo& info = samples_[it->second];
+  Response response;
+  response.lines = {
+      "md5 " + info.md5,
+      "first_seen " + info.first_seen,
+      "events " + std::to_string(info.event_count),
+      std::string{"intact "} + (info.intact ? "yes" : "no"),
+      "label " + (info.av_label.empty() ? std::string{"-"} : info.av_label),
+      "b_cluster " + std::to_string(info.b_cluster),
+      "e_clusters " + join_ids(info.e_clusters),
+      "p_clusters " + join_ids(info.p_clusters),
+      "m_clusters " + join_ids(info.m_clusters),
+  };
+  return response;
+}
+
+Response ServeView::cluster(int id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= b_members_.size()) {
+    return Response::error(ErrorCode::kNotFound,
+                           "no b-cluster " + std::to_string(id));
+  }
+  const std::vector<std::size_t>& members =
+      b_members_[static_cast<std::size_t>(id)];
+  Response response;
+  response.lines.push_back("cluster " + std::to_string(id));
+  response.lines.push_back("size " + std::to_string(members.size()));
+  std::int64_t first = std::numeric_limits<std::int64_t>::max();
+  std::int64_t last = std::numeric_limits<std::int64_t>::min();
+  for (std::size_t member : members) {
+    const SampleInfo& info = samples_[member];
+    response.lines.push_back("member " + info.md5 + ' ' + info.first_seen +
+                             ' ' + std::to_string(info.event_count));
+    first = std::min(first, info.first_event_seconds);
+    last = std::max(last, info.last_event_seconds);
+  }
+  if (members.empty()) {
+    response.lines.push_back("timeline - - 0");
+  } else {
+    const std::int64_t weeks =
+        week_index(SimTime{last}, SimTime{first}) + 1;
+    response.lines.push_back("timeline " + format_date(SimTime{first}) + ' ' +
+                             format_date(SimTime{last}) + ' ' +
+                             std::to_string(weeks));
+  }
+  return response;
+}
+
+Response ServeView::answer(const Request& request) const {
+  switch (request.kind) {
+    case RequestKind::kLookup:
+      return lookup(request.md5);
+    case RequestKind::kCluster:
+      return cluster(request.cluster);
+    case RequestKind::kCcmap: {
+      Response response;
+      response.lines = ccmap_lines_;
+      return response;
+    }
+    case RequestKind::kHealth: {
+      Response response;
+      response.lines = {health_line_};
+      return response;
+    }
+    case RequestKind::kStats: {
+      Response response;
+      response.lines = stats_lines_;
+      return response;
+    }
+    case RequestKind::kSlow:
+      break;  // a server concern; a bare view cannot wait
+  }
+  return Response::error(ErrorCode::kBadRequest,
+                         "slow is not answerable by a view");
+}
+
+}  // namespace repro::serve

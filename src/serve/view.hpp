@@ -1,0 +1,78 @@
+// The immutable query snapshot behind the serving daemon.
+//
+// A ServeView is built once per completed epoch from the live pipeline
+// state (event database + E/P/M/B clusterings), copies everything a
+// query can touch into its own pre-rendered structures, and is then
+// shared read-only behind a std::shared_ptr. The server hot-swaps the
+// pointer when a new epoch lands (RCU style): in-flight requests keep
+// answering on the view they started with, new requests see the new
+// epoch, and no request can ever observe a half-built one. Answers are
+// pure functions of the build inputs — byte-identical at every pool
+// width — which is what lets tests and the bench golden-compare live
+// replies against a view built from the batch pipeline.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/bview.hpp"
+#include "cluster/epm.hpp"
+#include "honeypot/database.hpp"
+#include "serve/protocol.hpp"
+
+namespace repro::serve {
+
+class ServeView {
+ public:
+  /// Copies every queryable fact out of the pipeline state. The inputs
+  /// may be mutated or destroyed freely afterwards.
+  [[nodiscard]] static ServeView build(const honeypot::EventDatabase& db,
+                                       const cluster::EpmResult& e,
+                                       const cluster::EpmResult& p,
+                                       const cluster::EpmResult& m,
+                                       const analysis::BehavioralView& b,
+                                       std::uint64_t epoch);
+
+  /// Answers one parsed request. Pure and thread-safe (const state
+  /// only); kSlow is the server's business and answers BAD_REQUEST
+  /// here.
+  [[nodiscard]] Response answer(const Request& request) const;
+
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::size_t sample_count() const noexcept {
+    return samples_.size();
+  }
+
+ private:
+  /// One sample's pre-rendered lookup context.
+  struct SampleInfo {
+    std::string md5;
+    std::string first_seen;  // YYYY-MM-DD
+    std::size_t event_count = 0;
+    bool intact = false;
+    std::string av_label;  // empty = gap
+    int b_cluster = -1;
+    std::vector<int> e_clusters;  // distinct, ascending
+    std::vector<int> p_clusters;
+    std::vector<int> m_clusters;
+    /// Earliest/latest event time of the sample, for cluster timelines.
+    std::int64_t first_event_seconds = 0;
+    std::int64_t last_event_seconds = 0;
+  };
+
+  [[nodiscard]] Response lookup(const std::string& md5) const;
+  [[nodiscard]] Response cluster(int id) const;
+
+  std::uint64_t epoch_ = 0;
+  std::uint64_t event_count_ = 0;
+  std::vector<SampleInfo> samples_;           // indexed by SampleId
+  std::map<std::string, std::size_t> md5_index_;
+  std::vector<std::vector<std::size_t>> b_members_;  // cluster -> samples
+  std::vector<std::string> ccmap_lines_;
+  std::vector<std::string> stats_lines_;
+  std::string health_line_;
+};
+
+}  // namespace repro::serve

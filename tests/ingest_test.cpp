@@ -9,7 +9,9 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -19,6 +21,7 @@
 #include "ingest/queue.hpp"
 #include "ingest/report.hpp"
 #include "ingest/wal.hpp"
+#include "obs/metrics.hpp"
 #include "snapshot/checkpoint.hpp"
 #include "util/error.hpp"
 #include "util/simtime.hpp"
@@ -360,6 +363,98 @@ TEST(Queue, ShedOldestDropsTheHeadAtCapacity) {
 
 TEST(Queue, ZeroCapacityIsRejected) {
   EXPECT_THROW((BoundedRecordQueue{0, OverflowPolicy::kBlock}), ConfigError);
+}
+
+TEST(Queue, ClosedQueueNeverShedsOnARejectedPush) {
+  // Regression: push() on a closed, full kShedOldest queue used to pop
+  // and count the oldest queued record before noticing the close —
+  // losing a record that belonged to the draining consumer.
+  BoundedRecordQueue queue{2, OverflowPolicy::kShedOldest};
+  EXPECT_TRUE(queue.push(rec(1)));
+  EXPECT_TRUE(queue.push(rec(2)));
+  queue.close();
+  EXPECT_FALSE(queue.push(rec(3)));
+  BoundedRecordQueue::Stats stats = queue.stats();
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.pushed, 2u);
+  EXPECT_EQ(queue.depth(), 2u);
+  // The drain still yields both admitted records, oldest first.
+  EXPECT_EQ(*queue.pop(), rec(1));
+  EXPECT_EQ(*queue.pop(), rec(2));
+  EXPECT_FALSE(queue.pop().has_value());
+  stats = queue.stats();
+  EXPECT_EQ(stats.popped, 2u);
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST(Queue, OfferHandsBackTheEvictedItem) {
+  BoundedRecordQueue queue{2, OverflowPolicy::kShedOldest};
+  std::optional<std::vector<std::uint8_t>> evicted;
+  EXPECT_TRUE(queue.offer(rec(1), evicted));
+  EXPECT_FALSE(evicted.has_value());
+  EXPECT_TRUE(queue.offer(rec(2), evicted));
+  EXPECT_FALSE(evicted.has_value());
+  EXPECT_TRUE(queue.offer(rec(3), evicted));  // full: 1 is displaced
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, rec(1));
+  EXPECT_EQ(queue.stats().shed, 1u);
+  // A kBlock queue never evicts through the same API.
+  BoundedRecordQueue blocking{1, OverflowPolicy::kBlock};
+  EXPECT_TRUE(blocking.offer(rec(1), evicted));
+  EXPECT_FALSE(blocking.offer(rec(2), evicted));
+  EXPECT_FALSE(evicted.has_value());
+  EXPECT_EQ(blocking.stats().stalls, 1u);
+}
+
+TEST(Queue, AccountingInvariantHoldsAtEveryQuiescentPoint) {
+  // pushed == popped + shed + depth, after every single operation, for
+  // both overflow policies over a scripted mix of admits and takes.
+  for (const OverflowPolicy policy :
+       {OverflowPolicy::kBlock, OverflowPolicy::kShedOldest}) {
+    BoundedRecordQueue queue{3, policy};
+    const auto check = [&] {
+      const BoundedRecordQueue::Stats stats = queue.stats();
+      EXPECT_EQ(stats.pushed, stats.popped + stats.shed + queue.depth());
+    };
+    for (std::uint8_t i = 0; i < 10; ++i) {
+      (void)queue.offer(rec(i));
+      check();
+      if (i % 3 == 2) {
+        (void)queue.try_pop();
+        check();
+      }
+    }
+    queue.close();
+    (void)queue.push(rec(99));
+    check();
+    while (queue.try_pop().has_value()) check();
+    check();
+  }
+}
+
+TEST(Queue, ShedAndStallTotalsReachTheDeterministicChannel) {
+  // The queue's overflow accounting is a pure function of the plan and
+  // record sequence, so it is exported on the deterministic metrics
+  // channel (what ABL-10/11 gate in CI).
+  IngestReport report;
+  report.queue_pushed = 40;
+  report.queue_shed = 3;
+  report.queue_stalls = 7;
+  report.queue_high_water = 4;
+  repro::obs::MetricsRegistry metrics;
+  publish_ingest_metrics(metrics, report);
+  const auto counters =
+      metrics.counter_values(repro::obs::Channel::kDeterministic);
+  const auto value = [&](std::string_view name) -> std::uint64_t {
+    for (const auto& [key, count] : counters) {
+      if (key == name) return count;
+    }
+    ADD_FAILURE() << name << " not on the deterministic channel";
+    return 0;
+  };
+  EXPECT_EQ(value("ingest.queue.pushed"), 40u);
+  EXPECT_EQ(value("ingest.queue.shed"), 3u);
+  EXPECT_EQ(value("ingest.queue.stalls"), 7u);
 }
 
 TEST(Queue, BlockingPushPopAcrossThreads) {

@@ -1,0 +1,32 @@
+// Golden corpus: RL003 — unordered iteration on the serving path. This
+// file lives under a directory named serve/ (mirroring src/serve),
+// which the rule gates: query replies are golden-compared byte-for-byte
+// against a view built from the batch pipeline, so a hash-seed-
+// dependent walk while rendering an answer would make the served bytes
+// vary run to run and break the kill-anywhere serving guarantee. Never
+// compiled; consumed by tests/lint_test.cpp.
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::string render_members(
+    const std::unordered_map<std::string, std::size_t>& md5_index) {
+  std::string out;
+  for (const auto& [md5, id] : md5_index) {  // expect(RL003)
+    out += md5;
+    out += '\n';
+  }
+  return out;
+}
+
+// Pre-rendering from id-ordered vectors (what ServeView::build does) is
+// the sanctioned pattern:
+std::string render_sorted(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}

@@ -1,0 +1,21 @@
+// Golden corpus: RL006 — <chrono> on the serving path. Request
+// deadlines are wall-clock territory, but the clock still has to come
+// through the single audited seam (obs::Stopwatch / monotonic_now_ns /
+// sleep_ms): a serve translation unit including <chrono> directly would
+// open a second, unaudited wall-clock channel right next to the
+// byte-identity guarantees. Never compiled; consumed by
+// tests/lint_test.cpp.
+#include <chrono>  // expect(RL006)
+#include <cstdint>
+
+std::int64_t deadline_ns_wrong() {
+  return std::chrono::nanoseconds{1'000'000}.count();  // expect(RL006)
+}
+
+// The sanctioned pattern charges elapsed time through the obs seam:
+//
+//   const obs::Stopwatch clock;
+//   if (clock.elapsed_ns() > budget_ns) reply_timeout();
+std::int64_t deadline_ns_right(std::int64_t budget_ms) {
+  return budget_ms * 1'000'000;
+}

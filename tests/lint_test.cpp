@@ -182,6 +182,10 @@ TEST(Engine, Rl003OnlyFiresOnExportPathDirectories) {
   // for byte-identity and its recovery scan feeds deterministic
   // counters, so hash-order must not leak in there either.
   EXPECT_FALSE(lint_source("src/ingest/wal.cpp", source).empty());
+  // src/serve joined with the query daemon: replies are golden-compared
+  // byte-for-byte against the batch build, so answer rendering must
+  // never walk in hash order.
+  EXPECT_FALSE(lint_source("src/serve/view.cpp", source).empty());
   EXPECT_TRUE(lint_source("src/malware/landscape.cpp", source).empty());
 }
 

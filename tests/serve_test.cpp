@@ -1,0 +1,740 @@
+// Tests for the crash-tolerant query daemon (src/serve) and the serving
+// scenario (scenario::serve_streaming_dataset) — the headline guarantee:
+// a daemon serving over the streaming epoch loop, killed and restarted
+// at arbitrary points, answers every query with bytes identical to a
+// view built from the one-shot batch pipeline, at every thread width.
+// Degradation paths (BUSY shedding, typed TIMEOUT, injected slow
+// clients / disconnects / accept failures, UNAVAILABLE before the first
+// epoch) are exercised against a live loopback socket, and the torture
+// test runs concurrent clients against hot-swapping views under TSan.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stopwatch.hpp"
+#include "scenario/paper.hpp"
+#include "scenario/serve.hpp"
+#include "scenario/stream.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/view.hpp"
+#include "snapshot/checkpoint.hpp"
+#include "util/error.hpp"
+
+namespace repro::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- Loopback test client ---------------------------------------------------
+
+/// Minimal blocking client for the line protocol: connects to the
+/// daemon, sends request lines, reads full framed responses.
+class Client {
+ public:
+  explicit Client(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_TRUE(fd_ >= 0);
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<const struct sockaddr*>(&addr),
+                        sizeof addr),
+              0)
+        << std::strerror(errno);
+  }
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  void close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  /// Sends raw bytes (append the '\n' yourself — partial writes are how
+  /// the disconnect paths get exercised).
+  bool send_raw(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads one framed response ("OK <n>" + n lines, or one ERR line).
+  /// Returns the exact wire bytes; empty string = connection closed.
+  std::string read_response() {
+    std::string head = read_line();
+    if (head.empty()) return {};
+    std::string out = head;
+    if (head.rfind("OK ", 0) == 0) {
+      const std::size_t count = static_cast<std::size_t>(
+          std::strtoul(head.c_str() + 3, nullptr, 10));
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::string line = read_line();
+        if (line.empty()) return {};
+        out += line;
+      }
+    }
+    return out;
+  }
+
+  /// One full round trip.
+  std::string ask(const std::string& request) {
+    if (!send_raw(request + "\n")) return {};
+    return read_response();
+  }
+
+ private:
+  /// Reads through the next '\n' (inclusive); empty on EOF/error.
+  std::string read_line() {
+    std::size_t eol;
+    while ((eol = buffer_.find('\n')) == std::string::npos) {
+      char chunk[1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return {};
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+    std::string line = buffer_.substr(0, eol + 1);
+    buffer_.erase(0, eol + 1);
+    return line;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+// --- Shared fixtures --------------------------------------------------------
+
+scenario::ScenarioOptions small_options() {
+  scenario::ScenarioOptions options;
+  options.scale = 0.04;
+  options.seed = 11;
+  return options;
+}
+
+/// The batch-built reference view every serving answer is compared to.
+const ServeView& batch_view() {
+  static const ServeView view = [] {
+    const scenario::Dataset ds = scenario::build_paper_dataset(small_options());
+    return ServeView::build(ds.db, ds.e, ds.p, ds.m, ds.b, 3);
+  }();
+  return view;
+}
+
+/// An md5 and b-cluster id that actually exist in the small dataset.
+struct KnownFacts {
+  std::string md5;
+  int b_cluster = -1;
+};
+
+KnownFacts known_facts() {
+  static const KnownFacts facts = [] {
+    const scenario::Dataset ds = scenario::build_paper_dataset(small_options());
+    KnownFacts out;
+    out.md5 = ds.db.samples().front().md5;
+    for (const auto& sample : ds.db.samples()) {
+      const int c = ds.b.cluster_of_sample(sample.id);
+      if (c >= 0) {
+        out.md5 = sample.md5;
+        out.b_cluster = c;
+        break;
+      }
+    }
+    return out;
+  }();
+  return facts;
+}
+
+/// The query script replies are golden-compared over: every verb, hits
+/// and misses both.
+std::vector<std::string> query_script() {
+  const KnownFacts& facts = known_facts();
+  return {
+      "health",
+      "stats",
+      "ccmap",
+      "lookup " + facts.md5,
+      "lookup ffffffffffffffffffffffffffffffff",
+      "cluster " + std::to_string(facts.b_cluster),
+      "cluster 999999",
+  };
+}
+
+/// What the reference view would put on the wire for `request`.
+std::string expected_bytes(const ServeView& view, const std::string& request) {
+  return render(view.answer(parse_request(request)));
+}
+
+fs::path fresh_dir(const std::string& tag) {
+  const fs::path dir = fs::path{testing::TempDir()} / ("serve-" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+/// Starts a standalone server with a published batch view.
+struct LiveServer {
+  explicit LiveServer(ServerOptions options) : server{std::move(options)} {
+    server.start();
+    server.publish(std::make_shared<const ServeView>(batch_view()));
+  }
+  Server server;
+};
+
+// --- Protocol ---------------------------------------------------------------
+
+TEST(Protocol, ParsesEveryVerb) {
+  EXPECT_EQ(parse_request("health").kind, RequestKind::kHealth);
+  EXPECT_EQ(parse_request("stats").kind, RequestKind::kStats);
+  EXPECT_EQ(parse_request("ccmap").kind, RequestKind::kCcmap);
+  const Request lookup = parse_request("lookup abc123");
+  EXPECT_EQ(lookup.kind, RequestKind::kLookup);
+  EXPECT_EQ(lookup.md5, "abc123");
+  const Request cluster = parse_request("cluster 42");
+  EXPECT_EQ(cluster.kind, RequestKind::kCluster);
+  EXPECT_EQ(cluster.cluster, 42);
+  const Request slow = parse_request("slow 250");
+  EXPECT_EQ(slow.kind, RequestKind::kSlow);
+  EXPECT_EQ(slow.slow_ms, 250);
+}
+
+TEST(Protocol, RejectsEverythingOutsideTheGrammar) {
+  for (const std::string line :
+       {"", "bogus", "lookup", "lookup a b", "cluster", "cluster x",
+        "cluster 1 2", "slow", "slow fast", "health now", " health",
+        "health ", "lookup  abc"}) {
+    EXPECT_THROW((void)parse_request(line), ParseError) << "'" << line << "'";
+  }
+}
+
+TEST(Protocol, RendersExactWireBytes) {
+  Response ok;
+  ok.lines = {"a 1", "b 2"};
+  EXPECT_EQ(render(ok), "OK 2\na 1\nb 2\n");
+  Response empty;
+  EXPECT_EQ(render(empty), "OK 0\n");
+  EXPECT_EQ(render(Response::error(ErrorCode::kBusy, "queue overflow")),
+            "ERR BUSY queue overflow\n");
+  EXPECT_EQ(render(Response::error(ErrorCode::kTimeout, "too slow")),
+            "ERR TIMEOUT too slow\n");
+}
+
+// --- View -------------------------------------------------------------------
+
+TEST(View, AnswersEveryVerbFromTheBatchDataset) {
+  const ServeView& view = batch_view();
+  const KnownFacts& facts = known_facts();
+  EXPECT_GT(view.sample_count(), 0u);
+  EXPECT_EQ(view.epoch(), 3u);
+
+  const Response health = view.answer(parse_request("health"));
+  ASSERT_TRUE(health.ok());
+  ASSERT_EQ(health.lines.size(), 1u);
+  EXPECT_EQ(health.lines[0].rfind("serving epoch=3 ", 0), 0u);
+
+  const Response stats = view.answer(parse_request("stats"));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.lines.size(), 9u);
+  EXPECT_EQ(stats.lines[0], "epoch 3");
+
+  const Response lookup =
+      view.answer(parse_request("lookup " + facts.md5));
+  ASSERT_TRUE(lookup.ok());
+  ASSERT_EQ(lookup.lines.size(), 9u);
+  EXPECT_EQ(lookup.lines[0], "md5 " + facts.md5);
+  EXPECT_EQ(lookup.lines[5], "b_cluster " + std::to_string(facts.b_cluster));
+
+  const Response cluster = view.answer(
+      parse_request("cluster " + std::to_string(facts.b_cluster)));
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_GE(cluster.lines.size(), 3u);
+  EXPECT_EQ(cluster.lines[0],
+            "cluster " + std::to_string(facts.b_cluster));
+  // The member that resolved facts.md5 must be listed.
+  bool member_listed = false;
+  for (const std::string& line : cluster.lines) {
+    if (line.rfind("member " + facts.md5 + " ", 0) == 0) member_listed = true;
+  }
+  EXPECT_TRUE(member_listed);
+  EXPECT_EQ(cluster.lines.back().rfind("timeline ", 0), 0u);
+
+  const Response ccmap = view.answer(parse_request("ccmap"));
+  ASSERT_TRUE(ccmap.ok());
+  ASSERT_FALSE(ccmap.lines.empty());
+  EXPECT_EQ(ccmap.lines[0].rfind("associations ", 0), 0u);
+}
+
+TEST(View, MissesAreTypedNotFound) {
+  const ServeView& view = batch_view();
+  const Response lookup =
+      view.answer(parse_request("lookup ffffffffffffffffffffffffffffffff"));
+  EXPECT_EQ(lookup.code, ErrorCode::kNotFound);
+  const Response cluster = view.answer(parse_request("cluster 999999"));
+  EXPECT_EQ(cluster.code, ErrorCode::kNotFound);
+}
+
+TEST(View, SlowIsNeverAnswerableByAView) {
+  EXPECT_EQ(batch_view().answer(parse_request("slow 5")).code,
+            ErrorCode::kBadRequest);
+}
+
+TEST(View, AnswersByteIdenticalAtEveryThreadWidth) {
+  // The serving guarantee's foundation: a view built from the pipeline
+  // at any pool width renders identical bytes for every query.
+  std::vector<std::string> reference;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    scenario::ScenarioOptions options = small_options();
+    options.threads = threads;
+    const scenario::Dataset ds = scenario::build_paper_dataset(options);
+    const ServeView view = ServeView::build(ds.db, ds.e, ds.p, ds.m, ds.b, 3);
+    std::vector<std::string> replies;
+    for (const std::string& request : query_script()) {
+      replies.push_back(expected_bytes(view, request));
+    }
+    if (reference.empty()) {
+      reference = replies;
+    } else {
+      EXPECT_EQ(replies, reference) << "threads=" << threads;
+    }
+  }
+}
+
+// --- Server over a live socket ----------------------------------------------
+
+TEST(Server, UnavailableUntilTheFirstEpochIsPublished) {
+  Server server{ServerOptions{}};
+  server.start();
+  Client client{server.port()};
+  EXPECT_EQ(client.ask("health"),
+            "ERR UNAVAILABLE no epoch published yet\n");
+  server.publish(std::make_shared<const ServeView>(batch_view()));
+  EXPECT_EQ(client.ask("health"), expected_bytes(batch_view(), "health"));
+  server.stop();
+}
+
+TEST(Server, LiveRepliesMatchTheLocalViewByteForByte) {
+  LiveServer live{ServerOptions{}};
+  Client client{live.server.port()};
+  for (const std::string& request : query_script()) {
+    EXPECT_EQ(client.ask(request), expected_bytes(batch_view(), request))
+        << request;
+  }
+  live.server.stop();
+  const ServeReport report = live.server.report();
+  EXPECT_EQ(report.accepted, 1u);
+  EXPECT_EQ(report.requests, query_script().size());
+  EXPECT_EQ(report.replies_ok + report.replies_err, report.requests);
+}
+
+TEST(Server, BadRequestKeepsTheConnectionUsable) {
+  LiveServer live{ServerOptions{}};
+  Client client{live.server.port()};
+  const std::string reply = client.ask("no-such-verb");
+  EXPECT_EQ(reply.rfind("ERR BAD_REQUEST ", 0), 0u) << reply;
+  // The protocol error is counted but the line was consumed cleanly, so
+  // the same connection keeps answering.
+  EXPECT_EQ(client.ask("health"), expected_bytes(batch_view(), "health"));
+  live.server.stop();
+  EXPECT_GE(live.server.report().protocol_errors, 1u);
+}
+
+TEST(Server, OversizedRequestLineIsATypedProtocolError) {
+  ServerOptions options;
+  options.max_line_bytes = 32;
+  LiveServer live{std::move(options)};
+  Client client{live.server.port()};
+  ASSERT_TRUE(client.send_raw(std::string(64, 'x')));
+  const std::string reply = client.read_response();
+  EXPECT_EQ(reply, "ERR BAD_REQUEST request line too long\n");
+  // Oversized lines cannot be resynced; the connection is cut.
+  EXPECT_EQ(client.read_response(), "");
+  live.server.stop();
+  EXPECT_GE(live.server.report().protocol_errors, 1u);
+}
+
+TEST(Server, SlowVerbIsDisabledOutsideDebugBuilds) {
+  LiveServer live{ServerOptions{}};
+  Client client{live.server.port()};
+  EXPECT_EQ(client.ask("slow 5"), "ERR BAD_REQUEST slow is disabled\n");
+  live.server.stop();
+}
+
+TEST(Server, DeadlineOverrunGetsATypedTimeoutAndTheConnectionIsCut) {
+  ServerOptions options;
+  options.enable_debug_commands = true;
+  options.request_deadline_ms = 50;
+  LiveServer live{std::move(options)};
+  Client client{live.server.port()};
+  EXPECT_EQ(client.ask("slow 200"), "ERR TIMEOUT request deadline exceeded\n");
+  EXPECT_EQ(client.read_response(), "");
+  live.server.stop();
+  EXPECT_GE(live.server.report().timeouts, 1u);
+}
+
+TEST(Server, HalfARequestThenSilenceTimesOut) {
+  ServerOptions options;
+  options.request_deadline_ms = 60;
+  LiveServer live{std::move(options)};
+  Client client{live.server.port()};
+  // First byte starts the clock; the newline never comes.
+  ASSERT_TRUE(client.send_raw("hea"));
+  EXPECT_EQ(client.read_response(), "ERR TIMEOUT request deadline exceeded\n");
+  EXPECT_EQ(client.read_response(), "");
+  live.server.stop();
+  EXPECT_GE(live.server.report().timeouts, 1u);
+}
+
+TEST(Server, OverloadShedsTheOldestWaiterWithBusy) {
+  ServerOptions options;
+  options.workers = 1;
+  options.admission_capacity = 1;
+  options.enable_debug_commands = true;
+  options.request_deadline_ms = 5000;
+  LiveServer live{std::move(options)};
+  // Park the single worker...
+  Client parked{live.server.port()};
+  ASSERT_TRUE(parked.send_raw("slow 400\n"));
+  obs::sleep_ms(100);  // let the worker pop `parked` before queueing more
+  // ...fill the admission queue...
+  Client waiting{live.server.port()};
+  obs::sleep_ms(100);
+  // ...and overflow it: the oldest waiter is evicted with a typed BUSY.
+  Client newest{live.server.port()};
+  EXPECT_EQ(waiting.read_response(), "ERR BUSY admission queue overflow\n");
+  EXPECT_EQ(waiting.read_response(), "");
+  // The parked request still completes; hanging up afterwards frees
+  // the single worker to pop the newest connection.
+  EXPECT_EQ(parked.read_response(), "OK 1\nslept 400\n");
+  parked.close();
+  EXPECT_EQ(newest.ask("health"), expected_bytes(batch_view(), "health"));
+  live.server.stop();
+  EXPECT_GE(live.server.report().busy_sheds, 1u);
+}
+
+TEST(Server, InjectedSlowClientsSurfaceAsTypedTimeouts) {
+  fault::FaultPlan plan;
+  plan.serve_slow_client_probability = 1.0;
+  fault::FaultInjector injector{plan};
+  ServerOptions options;
+  options.faults = &injector;
+  LiveServer live{std::move(options)};
+  Client client{live.server.port()};
+  EXPECT_EQ(client.ask("health"), "ERR TIMEOUT request deadline exceeded\n");
+  live.server.stop();
+  EXPECT_GE(live.server.report().timeouts, 1u);
+  EXPECT_GE(injector.report().serve_slow_clients, 1u);
+}
+
+TEST(Server, InjectedDisconnectsDropTheReplyNotTheServer) {
+  fault::FaultPlan plan;
+  plan.serve_disconnect_probability = 1.0;
+  fault::FaultInjector injector{plan};
+  ServerOptions options;
+  options.faults = &injector;
+  LiveServer live{std::move(options)};
+  Client client{live.server.port()};
+  EXPECT_EQ(client.ask("health"), "");
+  // The server survives and keeps accepting.
+  Client next{live.server.port()};
+  EXPECT_EQ(next.ask("health"), "");
+  live.server.stop();
+  EXPECT_GE(live.server.report().disconnects, 2u);
+  EXPECT_GE(injector.report().serve_disconnects, 2u);
+}
+
+TEST(Server, InjectedAcceptFailuresResetClientsBeforeTheFirstByte) {
+  fault::FaultPlan plan;
+  plan.serve_accept_failure_probability = 1.0;
+  fault::FaultInjector injector{plan};
+  ServerOptions options;
+  options.faults = &injector;
+  LiveServer live{std::move(options)};
+  for (int i = 0; i < 3; ++i) {
+    Client client{live.server.port()};
+    EXPECT_EQ(client.ask("health"), "");
+  }
+  live.server.stop();
+  EXPECT_GE(live.server.report().accept_failures, 3u);
+  EXPECT_GE(injector.report().serve_accept_failures, 3u);
+}
+
+TEST(Server, GracefulStopAnswersEverythingAlreadyAdmitted) {
+  ServerOptions options;
+  options.workers = 1;
+  options.enable_debug_commands = true;
+  options.request_deadline_ms = 5000;
+  LiveServer live{std::move(options)};
+  Client parked{live.server.port()};
+  ASSERT_TRUE(parked.send_raw("slow 300\n"));
+  obs::sleep_ms(100);
+  Client admitted{live.server.port()};
+  ASSERT_TRUE(admitted.send_raw("health\n"));
+  obs::sleep_ms(50);
+  live.server.stop();
+  // Both the in-flight slow request and the queued one were answered
+  // before the workers joined.
+  EXPECT_EQ(parked.read_response(), "OK 1\nslept 300\n");
+  EXPECT_EQ(admitted.read_response(), expected_bytes(batch_view(), "health"));
+}
+
+TEST(Server, OptionsValidate) {
+  const auto bad = [](auto mutate) {
+    ServerOptions options;
+    mutate(options);
+    EXPECT_THROW(Server{options}, ConfigError);
+  };
+  bad([](ServerOptions& o) { o.workers = 0; });
+  bad([](ServerOptions& o) { o.admission_capacity = 0; });
+  bad([](ServerOptions& o) { o.request_deadline_ms = 0; });
+  bad([](ServerOptions& o) { o.max_line_bytes = 0; });
+}
+
+TEST(Server, MetricsSplitDeterministicSwapsFromRuntimeTraffic) {
+  ServeReport report;
+  report.epoch_swaps = 3;
+  report.requests = 17;
+  report.timeouts = 2;
+  obs::MetricsRegistry metrics;
+  publish_serve_metrics(metrics, report);
+  const auto deterministic =
+      metrics.counter_values(obs::Channel::kDeterministic);
+  ASSERT_EQ(deterministic.size(), 1u);
+  EXPECT_EQ(deterministic[0].first, "serve.epoch_swaps");
+  EXPECT_EQ(deterministic[0].second, 3u);
+  bool requests_runtime = false;
+  for (const auto& [name, value] : metrics.counter_values(
+           obs::Channel::kRuntime)) {
+    if (name == "serve.requests") requests_runtime = value == 17u;
+  }
+  EXPECT_TRUE(requests_runtime);
+}
+
+// --- Concurrent torture (the TSan target) -----------------------------------
+
+TEST(Server, ConcurrentClientsSurviveHotSwapsDeadlinesAndRudeDisconnects) {
+  ServerOptions options;
+  options.workers = 4;
+  options.admission_capacity = 32;
+  options.enable_debug_commands = true;
+  options.request_deadline_ms = 2000;
+  LiveServer live{std::move(options)};
+  const std::uint16_t port = live.server.port();
+
+  std::atomic<bool> swapping{true};
+  std::thread swapper{[&] {
+    // Hot-swap views the whole time clients are querying: no request
+    // may ever observe a half-built epoch.
+    std::uint64_t epoch = 4;
+    while (swapping.load(std::memory_order_relaxed)) {
+      const scenario::Dataset ds =
+          scenario::build_paper_dataset(small_options());
+      live.server.publish(std::make_shared<const ServeView>(
+          ServeView::build(ds.db, ds.e, ds.p, ds.m, ds.b, epoch++)));
+      obs::sleep_ms(5);
+    }
+  }};
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 12;
+  std::atomic<int> completed{0};
+  std::atomic<int> malformed{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      const std::vector<std::string> script = query_script();
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        Client client{port};
+        if (c % 4 == 3 && i % 3 == 2) {
+          // The rude client: half a request, then gone mid-line.
+          (void)client.send_raw("look");
+          client.close();
+          continue;
+        }
+        const std::string request = script[static_cast<std::size_t>(
+            (c + i) % static_cast<int>(script.size()))];
+        const std::string reply = client.ask(request);
+        if (reply.empty()) continue;  // shed or raced the swap — fine
+        completed.fetch_add(1, std::memory_order_relaxed);
+        const bool framed = reply.rfind("OK ", 0) == 0 ||
+                            reply.rfind("ERR ", 0) == 0;
+        if (!framed) malformed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  swapping.store(false, std::memory_order_relaxed);
+  swapper.join();
+  live.server.stop();
+
+  EXPECT_EQ(malformed.load(), 0);
+  EXPECT_GT(completed.load(), 0);
+  const ServeReport report = live.server.report();
+  EXPECT_GE(report.requests, static_cast<std::uint64_t>(completed.load()));
+  EXPECT_GT(report.epoch_swaps, 1u);
+}
+
+// --- The serving scenario ----------------------------------------------------
+
+/// Drives serve_streaming_dataset on a worker thread, queries the
+/// script once the final epoch is visible, then releases the linger
+/// loop. Returns the live replies in script order.
+struct ScenarioRun {
+  std::vector<std::string> replies;
+  scenario::ServeOutcome outcome;
+};
+
+ScenarioRun run_and_query(const scenario::ScenarioOptions& options,
+                          const scenario::StreamOptions& stream) {
+  ScenarioRun out;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint16_t> port{0};
+  scenario::ServeRunOptions run;
+  run.server.request_deadline_ms = 10000;
+  run.on_ready = [&](std::uint16_t p) {
+    port.store(p, std::memory_order_release);
+  };
+  run.stop = &stop;
+  run.poll_ms = 10;
+
+  std::thread client{[&] {
+    while (port.load(std::memory_order_acquire) == 0) obs::sleep_ms(5);
+    const std::uint16_t p = port.load(std::memory_order_acquire);
+    const std::string want =
+        "serving epoch=" + std::to_string(stream.epochs) + " ";
+    // Wait until the final epoch's view is live (earlier epochs and
+    // UNAVAILABLE both answer, just not with the final health line).
+    for (;;) {
+      Client probe{p};
+      const std::string health = probe.ask("health");
+      if (health.rfind("OK 1\n" + want, 0) == 0) break;
+      obs::sleep_ms(10);
+    }
+    Client session{p};
+    for (const std::string& request : query_script()) {
+      out.replies.push_back(session.ask(request));
+    }
+    stop.store(true, std::memory_order_relaxed);
+  }};
+  out.outcome = scenario::serve_streaming_dataset(options, stream, run);
+  client.join();
+  return out;
+}
+
+/// The reference: what a view built from the one-shot batch pipeline
+/// would answer, epoch-stamped with the stream's epoch count.
+std::vector<std::string> batch_replies(const scenario::ScenarioOptions& options,
+                                       std::size_t epochs) {
+  const scenario::Dataset ds = scenario::build_paper_dataset(options);
+  const ServeView view =
+      ServeView::build(ds.db, ds.e, ds.p, ds.m, ds.b, epochs);
+  std::vector<std::string> replies;
+  for (const std::string& request : query_script()) {
+    replies.push_back(expected_bytes(view, request));
+  }
+  return replies;
+}
+
+TEST(ServeScenario, LiveAnswersMatchTheBatchBuildAtEveryThreadWidth) {
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    scenario::ScenarioOptions options = small_options();
+    options.threads = threads;
+    scenario::ScenarioOptions batch = options;
+    const fs::path root = fresh_dir("widths-" + std::to_string(threads));
+    scenario::StreamOptions stream;
+    stream.epochs = 3;
+    stream.wal_dir = (root / "wal").string();
+    options.checkpoint.directory = (root / "ckpt").string();
+
+    const ScenarioRun run = run_and_query(options, stream);
+    EXPECT_EQ(run.replies, batch_replies(batch, stream.epochs))
+        << "threads=" << threads;
+    EXPECT_EQ(run.outcome.serve.epoch_swaps, stream.epochs);
+    EXPECT_GE(run.outcome.serve.replies_ok, 1u);
+  }
+}
+
+TEST(ServeScenario, KilledMidServeRestartsAndAnswersByteIdentical) {
+  // The kill-anywhere serving guarantee: interrupt the stream while the
+  // daemon is up (clients may be mid-query), verify the daemon drained
+  // before the interrupt escaped, restart, and require every reply to
+  // match the batch build byte-for-byte — at every thread width.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    scenario::ScenarioOptions options = small_options();
+    options.threads = threads;
+    scenario::ScenarioOptions batch = options;
+    const fs::path root = fresh_dir("kill-" + std::to_string(threads));
+    scenario::StreamOptions stream;
+    stream.epochs = 3;
+    stream.wal_dir = (root / "wal").string();
+    options.checkpoint.directory = (root / "ckpt").string();
+
+    scenario::StreamOptions crashing = stream;
+    crashing.after_append = [](std::uint64_t appended) {
+      if (appended == 23) {
+        throw snapshot::CheckpointInterrupted{"simulated crash mid-serve"};
+      }
+    };
+    scenario::ServeRunOptions run;  // no linger: drain as soon as it lands
+    std::atomic<std::uint16_t> port{0};
+    run.on_ready = [&](std::uint16_t p) {
+      port.store(p, std::memory_order_release);
+    };
+    std::thread client{[&] {
+      // Hammer the daemon until the crash tears it down mid-session.
+      while (port.load(std::memory_order_acquire) == 0) obs::sleep_ms(2);
+      const std::uint16_t p = port.load(std::memory_order_acquire);
+      for (;;) {
+        Client probe{p};
+        if (probe.ask("health").empty()) return;  // daemon drained
+      }
+    }};
+    EXPECT_THROW(
+        (void)scenario::serve_streaming_dataset(options, crashing, run),
+        snapshot::CheckpointInterrupted);
+    client.join();
+
+    // Restart over the same WAL + checkpoints; the port is free again
+    // (the drain-before-rethrow contract) and the resumed run serves
+    // exactly what the batch pipeline would.
+    const ScenarioRun resumed = run_and_query(options, stream);
+    EXPECT_EQ(resumed.replies, batch_replies(batch, stream.epochs))
+        << "threads=" << threads;
+    // A rerun over the completed state restores everything, replays no
+    // epoch, and still stamps the same epoch number (the fallback
+    // publish) — replies stay byte-identical.
+    const ScenarioRun rerun = run_and_query(options, stream);
+    EXPECT_EQ(rerun.replies, batch_replies(batch, stream.epochs));
+    EXPECT_EQ(rerun.outcome.serve.epoch_swaps, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace repro::serve

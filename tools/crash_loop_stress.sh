@@ -10,11 +10,19 @@
 # exercised here with real SIGKILL (exit 137) rather than the in-test
 # exception seams.
 #
+# Every round runs under a hard per-round timeout: a child that hangs
+# (instead of dying or completing) is SIGKILLed by timeout(1) and the
+# round is retried at the same kill point, up to a bounded number of
+# retries — a single wedged child can no longer hang the CI
+# crash-stress job forever.
+#
 # Usage: tools/crash_loop_stress.sh [path/to/build_paper_dataset]
 # Knobs: REPRO_STRESS_SCALE (default 0.05), REPRO_STRESS_SEED (2008),
 #        REPRO_STRESS_EPOCHS (4), REPRO_STRESS_STEP (13, records
 #        between consecutive kill points), REPRO_STRESS_FAULTS
-#        (paper; set to none to stress without fault injection).
+#        (paper; set to none to stress without fault injection),
+#        REPRO_STRESS_ROUND_TIMEOUT (120s per round),
+#        REPRO_STRESS_RETRIES (3 hung-round retries per kill point).
 set -u
 
 BIN=${1:-build/tools/build_paper_dataset/build_paper_dataset}
@@ -24,6 +32,15 @@ EPOCHS=${REPRO_STRESS_EPOCHS:-4}
 STEP=${REPRO_STRESS_STEP:-13}
 FAULTS=${REPRO_STRESS_FAULTS:-paper}
 MAX_ROUNDS=${REPRO_STRESS_MAX_ROUNDS:-500}
+ROUND_TIMEOUT=${REPRO_STRESS_ROUND_TIMEOUT:-120}
+RETRIES=${REPRO_STRESS_RETRIES:-3}
+
+# timeout(1) guards each round; without it a hung child hangs the job.
+TIMEOUT_CMD="timeout"
+if ! command -v "$TIMEOUT_CMD" >/dev/null 2>&1; then
+  echo "crash_loop_stress: timeout(1) not found; rounds run unguarded" >&2
+  TIMEOUT_CMD=""
+fi
 
 if [ ! -x "$BIN" ]; then
   echo "crash_loop_stress: $BIN not found or not executable" >&2
@@ -43,6 +60,7 @@ echo "== baseline: one-shot batch build (seed $SEED, scale $SCALE," \
 
 kill_at=7
 round=0
+hung_retries=0
 while :; do
   round=$((round + 1))
   if [ "$round" -gt "$MAX_ROUNDS" ]; then
@@ -51,8 +69,11 @@ while :; do
   fi
   # Run through an inner shell with silenced stderr so the "Killed"
   # job notice lands in /dev/null instead of the log; the 137 exit
-  # status still propagates.
-  sh -c '"$@" >/dev/null 2>&1' crash-loop \
+  # status still propagates. timeout(1) bounds the round: a hung child
+  # gets SIGTERM at $ROUND_TIMEOUT (exit 124), then SIGKILL 10s later.
+  # shellcheck disable=SC2086  # intentional: empty TIMEOUT_CMD vanishes
+  $TIMEOUT_CMD ${TIMEOUT_CMD:+-k 10 "$ROUND_TIMEOUT"} \
+     sh -c '"$@" >/dev/null 2>&1' crash-loop \
      "$BIN" --seed "$SEED" --scale "$SCALE" --faults "$FAULTS" \
      --epochs "$EPOCHS" \
      --wal-dir "$work/wal" --checkpoint-dir "$work/ckpt" \
@@ -64,12 +85,28 @@ while :; do
          "reached)"
     break
   fi
+  if [ "$rc" -eq 124 ]; then
+    # The child wedged and timeout(1) reaped it. The WAL + checkpoint
+    # state on disk is still valid (that is the whole durability
+    # contract), so retry the same kill point a bounded number of
+    # times before declaring the build hung.
+    hung_retries=$((hung_retries + 1))
+    if [ "$hung_retries" -gt "$RETRIES" ]; then
+      echo "crash_loop_stress: round $round hung ${ROUND_TIMEOUT}s" \
+           "$hung_retries times at kill point $kill_at; giving up" >&2
+      exit 1
+    fi
+    echo "== round $round: hung after ${ROUND_TIMEOUT}s, retry" \
+         "$hung_retries/$RETRIES at kill point $kill_at"
+    continue
+  fi
   if [ "$rc" -ne 137 ]; then
     echo "crash_loop_stress: round $round exited $rc (expected 137 from" \
          "SIGKILL at record $kill_at)" >&2
     exit 1
   fi
   echo "== round $round: SIGKILLed after $kill_at appends, resuming"
+  hung_retries=0
   kill_at=$((kill_at + STEP))
 done
 

@@ -226,8 +226,8 @@ constexpr RuleDef kRules[] = {
      "chrono clocks) outside util/rng and util/simtime"},
     {"RL003",
      "range-for over unordered containers on export or clustering paths "
-     "(src/io, src/report, src/snapshot, src/cluster, src/ingest); use "
-     "repro::sorted_keys/sorted_items"},
+     "(src/io, src/report, src/snapshot, src/cluster, src/ingest, "
+     "src/serve); use repro::sorted_keys/sorted_items"},
     {"RL004",
      "raw std:: exception throw; translate to repro::ParseError / "
      "ConfigError / IoError"},
@@ -374,7 +374,7 @@ struct Checker {
   void check_unordered_iteration() {
     if (!in_dir(path, "io") && !in_dir(path, "report") &&
         !in_dir(path, "snapshot") && !in_dir(path, "cluster") &&
-        !in_dir(path, "ingest")) {
+        !in_dir(path, "ingest") && !in_dir(path, "serve")) {
       return;
     }
     // Pass 1: names declared with an unordered_* type in this file.
