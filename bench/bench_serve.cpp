@@ -25,6 +25,11 @@
 //
 //   REPRO_BENCH_SCALE=0.25 ./bench_serve [--check <EXPERIMENTS.md>]
 //                                        [--out <file.json>]
+//
+// repro-lint: allow-file(RL008) the port/final_epoch_live handshakes
+// are textbook release/acquire pairs (writer publishes, reader spins),
+// and the remaining relaxed cells are per-client statistics read only
+// after every client thread has joined.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -52,6 +57,7 @@
 #include "scenario/stream.hpp"
 #include "serve/protocol.hpp"
 #include "serve/view.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -106,8 +112,13 @@ class Client {
     if (head.empty()) return {};
     std::string out = head;
     if (head.rfind("OK ", 0) == 0) {
+      std::string_view count_text{head};
+      count_text.remove_prefix(3);
+      if (!count_text.empty() && count_text.back() == '\n') {
+        count_text.remove_suffix(1);
+      }
       const std::size_t count = static_cast<std::size_t>(
-          std::strtoul(head.c_str() + 3, nullptr, 10));
+          repro::parse_u64(count_text, "bench response line count"));
       for (std::size_t i = 0; i < count; ++i) {
         const std::string line = read_line();
         if (line.empty()) return {};

@@ -1,5 +1,10 @@
 #include "fault/injector.hpp"
 
+// repro-lint: allow-file(RL008) every atomic here is an independent
+// statistic counter (fetch_add/load, no cross-variable invariants); the
+// deterministic totals are reconciled after join(), so relaxed ordering
+// cannot reorder anything another thread depends on.
+
 #include <sstream>
 
 #include "util/rng.hpp"

@@ -274,6 +274,11 @@ RecoveredWal recover_wal(const WalOptions& options, std::uint64_t fingerprint,
     std::error_code ec;
     std::uintmax_t size = fs::file_size(path, ec);
     if (ec) size = 0;
+    // Best-effort evidence move, not a durability publish: recovery
+    // correctness never depends on the quarantined file surviving a
+    // crash — losing it just loses debug evidence, and the fallback is
+    // deletion anyway.
+    // repro-lint: allow(RL010) quarantine rename is not a durability publish
     fs::rename(path, snapshot::unique_quarantine_path(path), ec);
     if (ec) fs::remove(path, ec);  // last resort: never rescan it
     ++report.quarantined_files;

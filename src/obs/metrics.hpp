@@ -1,5 +1,10 @@
 // Deterministic observability metrics.
 //
+// repro-lint: allow-file(RL008) the inline Counter/Gauge/Histogram
+// mutators use relaxed atomics: each cell is an independent statistic
+// with no cross-variable invariant, and every reader either runs after
+// the writers join or tolerates a stale point-in-time value.
+//
 // A MetricsRegistry holds named counters, gauges and histograms split
 // across two channels:
 //

@@ -48,6 +48,9 @@ ServeOutcome serve_streaming_dataset(const ScenarioOptions& options,
                                 outcome.dataset.b, stream.epochs)));
   }
 
+  // Lone stop flag polled in a sleep loop; no data is published through
+  // it, so relaxed visibility (bounded by the poll interval) is enough.
+  // repro-lint: allow(RL008) stop flag publishes no data
   while (run.stop != nullptr && !run.stop->load(std::memory_order_relaxed)) {
     obs::sleep_ms(run.poll_ms);
   }

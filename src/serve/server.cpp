@@ -1,5 +1,11 @@
 #include "serve/server.hpp"
 
+// repro-lint: allow-file(RL008) the counters_ bank is per-worker
+// request/byte/error statistics, each a lone fetch_add/load with no
+// ordering relationship to the data it counts; report() is called
+// after stop() joins the workers, and the live /stats endpoint
+// documents that it serves point-in-time values.
+
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <poll.h>

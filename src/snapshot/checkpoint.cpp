@@ -293,6 +293,11 @@ std::string unique_quarantine_path(const std::string& path) {
 
 void CheckpointStore::quarantine(const std::string& path, bool stale) {
   std::error_code ec;
+  // Best-effort evidence move, not a durability publish: resume
+  // correctness only requires that the bad checkpoint stop matching the
+  // live naming scheme, which the rename achieves even if it is lost in
+  // a crash (the next scan simply re-quarantines).
+  // repro-lint: allow(RL010) quarantine rename is not a durability publish
   fs::rename(path, unique_quarantine_path(path), ec);
   if (ec) fs::remove(path, ec);  // last resort: never resume from it
   ++activity_.quarantined;

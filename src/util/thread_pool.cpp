@@ -1,5 +1,12 @@
 #include "util/thread_pool.hpp"
 
+// repro-lint: allow-file(RL008) relaxed ordering here covers only the
+// pool's self-observation: queue-depth/steal statistics and the
+// monotonic-max gauge CAS in raise_to(), all single-cell values read
+// after join(). The atomics that carry the actual work handoff
+// (Job::next claims, Job::done completion counts) deliberately stay on
+// the default seq_cst and are NOT annotated away.
+
 #include <system_error>
 
 #include "util/error.hpp"

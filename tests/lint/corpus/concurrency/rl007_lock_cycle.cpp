@@ -1,0 +1,24 @@
+// Golden corpus: RL007 — two functions acquire the same pair of
+// mutexes in opposite orders, so the project-wide acquisition graph
+// has a cycle and every edge on it is flagged at its acquisition site.
+#include <mutex>
+
+class Rl007CyclePair {
+ public:
+  void alpha_then_beta();
+  void beta_then_alpha();
+
+ private:
+  std::mutex rl007_alpha_;
+  std::mutex rl007_beta_;
+};
+
+void Rl007CyclePair::alpha_then_beta() {
+  std::lock_guard<std::mutex> outer{rl007_alpha_};
+  std::lock_guard<std::mutex> inner{rl007_beta_};  // expect(RL007)
+}
+
+void Rl007CyclePair::beta_then_alpha() {
+  std::lock_guard<std::mutex> outer{rl007_beta_};
+  std::lock_guard<std::mutex> inner{rl007_alpha_};  // expect(RL007)
+}

@@ -1,0 +1,29 @@
+// Golden corpus: RL007 clean — every path acquires the two mutexes in
+// the same documented order (first, then second), including through a
+// call edge, so the acquisition graph stays acyclic.
+#include <mutex>
+
+class Rl007OrderedPair {
+ public:
+  void nested_in_order();
+  void take_second_alone();
+  void nested_via_call();
+
+ private:
+  std::mutex rl007_first_;
+  std::mutex rl007_second_;
+};
+
+void Rl007OrderedPair::nested_in_order() {
+  std::lock_guard<std::mutex> outer{rl007_first_};
+  std::lock_guard<std::mutex> inner{rl007_second_};
+}
+
+void Rl007OrderedPair::take_second_alone() {
+  std::lock_guard<std::mutex> guard{rl007_second_};
+}
+
+void Rl007OrderedPair::nested_via_call() {
+  std::lock_guard<std::mutex> outer{rl007_first_};
+  take_second_alone();
+}

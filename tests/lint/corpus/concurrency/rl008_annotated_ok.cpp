@@ -1,0 +1,11 @@
+// Golden corpus: RL008 clean — the default seq_cst ordering needs no
+// annotation, and the one relaxed site carries its written proof.
+#include <atomic>
+
+std::atomic<int> rl008_ok_counter{0};
+
+void rl008_ok_bump() {
+  rl008_ok_counter.fetch_add(1);
+  // repro-lint: allow(RL008) independent statistic counter, read only after join
+  rl008_ok_counter.fetch_add(1, std::memory_order_relaxed);
+}

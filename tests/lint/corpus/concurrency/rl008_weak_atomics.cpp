@@ -1,0 +1,13 @@
+// Golden corpus: RL008 — explicit non-seq_cst memory orders (both the
+// C++11 constant spelling and the C++20 scoped spelling) and volatile,
+// none carrying a written proof.
+#include <atomic>
+
+std::atomic<int> rl008_counter{0};
+volatile int rl008_flag = 0;  // expect(RL008)
+
+void rl008_bump() {
+  rl008_counter.fetch_add(1, std::memory_order_relaxed);  // expect(RL008)
+  rl008_counter.store(2, std::memory_order::release);     // expect(RL008)
+  rl008_counter.load();  // default seq_cst needs no annotation
+}

@@ -1,0 +1,33 @@
+// Golden corpus: RL009 — blocking operations inside held lock scopes:
+// a direct syscall, the same syscall one call level deep, and a
+// condition-variable wait that re-checks nothing on spurious wakeup.
+#include <condition_variable>
+#include <mutex>
+
+class Rl009Blocky {
+ public:
+  void direct_fsync(int fd);
+  void indirect_fsync(int fd);
+  void bare_wait();
+
+ private:
+  std::mutex rl009_mutex_;
+  std::condition_variable rl009_cv_;
+};
+
+void rl009_sync_helper(int fd) { fsync(fd); }
+
+void Rl009Blocky::direct_fsync(int fd) {
+  std::lock_guard<std::mutex> guard{rl009_mutex_};
+  fsync(fd);  // expect(RL009)
+}
+
+void Rl009Blocky::indirect_fsync(int fd) {
+  std::lock_guard<std::mutex> guard{rl009_mutex_};
+  rl009_sync_helper(fd);  // expect(RL009)
+}
+
+void Rl009Blocky::bare_wait() {
+  std::unique_lock<std::mutex> lk{rl009_mutex_};
+  rl009_cv_.wait(lk);  // expect(RL009)
+}

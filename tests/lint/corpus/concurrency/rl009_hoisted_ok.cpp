@@ -1,0 +1,32 @@
+// Golden corpus: RL009 clean — the lock protects only the in-memory
+// copy, the blocking work happens after the guard's block ends, and
+// the condition-variable wait carries a predicate.
+#include <condition_variable>
+#include <mutex>
+
+class Rl009Hoisted {
+ public:
+  void copy_then_sync(int fd);
+  void predicated_wait();
+
+ private:
+  std::mutex rl009_ok_mutex_;
+  std::condition_variable rl009_ok_cv_;
+  bool rl009_ok_ready_ = false;
+  int rl009_ok_value_ = 0;
+};
+
+void Rl009Hoisted::copy_then_sync(int fd) {
+  int snapshot = 0;
+  {
+    std::lock_guard<std::mutex> guard{rl009_ok_mutex_};
+    snapshot = rl009_ok_value_;
+  }
+  (void)snapshot;
+  fsync(fd);
+}
+
+void Rl009Hoisted::predicated_wait() {
+  std::unique_lock<std::mutex> lk{rl009_ok_mutex_};
+  rl009_ok_cv_.wait(lk, [this] { return rl009_ok_ready_; });
+}

@@ -1,0 +1,20 @@
+// Golden corpus: RL010 clean — the full durability protocol around
+// every rename: fsync the written file, rename, fsync the directory;
+// once spelled directly and once through the conventional helpers.
+void rl010_ok_fsync_file(int fd) { fsync(fd); }
+
+void rl010_ok_fsync_parent(int dir_fd) { fsync(dir_fd); }
+
+void rl010_ok_publish_direct(int fd, int dir_fd, const char* tmp,
+                             const char* live) {
+  fsync(fd);
+  rename(tmp, live);
+  fsync(dir_fd);
+}
+
+void rl010_ok_publish_via_helpers(int fd, int dir_fd, const char* tmp,
+                                  const char* live) {
+  rl010_ok_fsync_file(fd);
+  rename(tmp, live);
+  rl010_ok_fsync_parent(dir_fd);
+}

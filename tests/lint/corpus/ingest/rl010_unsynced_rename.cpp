@@ -1,0 +1,25 @@
+// Golden corpus: RL010 — renames on the durability path (this file
+// lives under an ingest/ directory) missing one or both sides of the
+// fsync protocol. The first two functions each miss exactly one side;
+// the std::filesystem variant misses both, so its line carries two
+// findings.
+#include <filesystem>
+
+namespace fs = std::filesystem;
+
+void rl010_publish_without_prior_fsync(const char* tmp, const char* live,
+                                       int dir_fd) {
+  rename(tmp, live);  // expect(RL010)
+  fsync(dir_fd);
+}
+
+void rl010_publish_without_dir_fsync(int fd, const char* tmp,
+                                     const char* live) {
+  fsync(fd);
+  rename(tmp, live);  // expect(RL010)
+}
+
+void rl010_bare_quarantine(const fs::path& from, const fs::path& to) {
+  std::error_code ec;
+  fs::rename(from, to, ec);  // expect(RL010) expect(RL010)
+}

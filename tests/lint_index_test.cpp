@@ -1,0 +1,364 @@
+// Tests for phase 1 of repro-lint v2: the cross-TU project index
+// (tools/repro_lint/index.hpp). The concurrency/durability rules are
+// only as good as the facts extracted here, so lock-scope extraction,
+// call-edge resolution and qualified-name collision behavior get
+// pinned directly against small in-memory translation units.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "index.hpp"
+
+namespace {
+
+using repro::lint::CallSite;
+using repro::lint::DurabilityOp;
+using repro::lint::FunctionInfo;
+using repro::lint::ProjectIndex;
+
+ProjectIndex build_one(const std::string& path, const std::string& content) {
+  return ProjectIndex::build({{path, content}});
+}
+
+const FunctionInfo* find_fn(const ProjectIndex& index,
+                            const std::string& qualified) {
+  for (const FunctionInfo& fn : index.functions()) {
+    if (fn.qualified_name == qualified) return &fn;
+  }
+  return nullptr;
+}
+
+const CallSite* find_call(const FunctionInfo& fn, const std::string& name) {
+  for (const CallSite& call : fn.calls) {
+    if (call.name == name) return &call;
+  }
+  return nullptr;
+}
+
+// ------------------------------------------------------ function names
+
+TEST(IndexFunctions, QualifiesInlineAndOutOfLineDefinitions) {
+  const auto index = build_one("a.cpp", R"cpp(
+    class Widget {
+     public:
+      void inline_method() { helper(); }
+      void out_of_line();
+    };
+    void Widget::out_of_line() {}
+    void free_function() {}
+  )cpp");
+  EXPECT_NE(find_fn(index, "Widget::inline_method"), nullptr);
+  EXPECT_NE(find_fn(index, "Widget::out_of_line"), nullptr);
+  EXPECT_NE(find_fn(index, "free_function"), nullptr);
+  // The in-class declaration of out_of_line (no body) is not a second
+  // definition.
+  int out_of_line_count = 0;
+  for (const FunctionInfo& fn : index.functions()) {
+    if (fn.name == "out_of_line") ++out_of_line_count;
+  }
+  EXPECT_EQ(out_of_line_count, 1);
+}
+
+TEST(IndexFunctions, HandlesCtorInitListsAndQualifiers) {
+  const auto index = build_one("a.cpp", R"cpp(
+    class Holder {
+     public:
+      Holder() : value_(1), name_("x") { touch(); }
+      int get() const noexcept { return value_; }
+
+     private:
+      int value_;
+      const char* name_;
+    };
+  )cpp");
+  const FunctionInfo* ctor = find_fn(index, "Holder::Holder");
+  ASSERT_NE(ctor, nullptr);
+  EXPECT_NE(find_call(*ctor, "touch"), nullptr);
+  EXPECT_NE(find_fn(index, "Holder::get"), nullptr);
+}
+
+// -------------------------------------------------- lock-scope extraction
+
+TEST(IndexLocks, GuardScopeRunsToEndOfEnclosingBlock) {
+  const auto index = build_one("a.cpp", R"cpp(
+    #include <mutex>
+    class Counter {
+     public:
+      void bump() {
+        {
+          std::lock_guard<std::mutex> guard{mutex_};
+          ++n_;
+        }
+        after_unlock();
+      }
+
+     private:
+      std::mutex mutex_;
+      int n_ = 0;
+    };
+  )cpp");
+  const FunctionInfo* fn = find_fn(index, "Counter::bump");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->locks.size(), 1u);
+  EXPECT_EQ(fn->locks[0].mutex, "Counter::mutex_");
+  const CallSite* after = find_call(*fn, "after_unlock");
+  ASSERT_NE(after, nullptr);
+  // The call after the inner block closes is NOT inside the lock scope.
+  EXPECT_GE(after->token, fn->locks[0].end);
+}
+
+TEST(IndexLocks, ScopedLockNamesEveryMutex) {
+  const auto index = build_one("a.cpp", R"cpp(
+    #include <mutex>
+    class Pair {
+     public:
+      void both() { std::scoped_lock guard{left_, right_}; }
+
+     private:
+      std::mutex left_;
+      std::mutex right_;
+    };
+  )cpp");
+  const FunctionInfo* fn = find_fn(index, "Pair::both");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->locks.size(), 2u);
+  EXPECT_EQ(fn->locks[0].mutex, "Pair::left_");
+  EXPECT_EQ(fn->locks[1].mutex, "Pair::right_");
+}
+
+TEST(IndexLocks, LockTagsAreNotMutexes) {
+  const auto index = build_one("a.cpp", R"cpp(
+    #include <mutex>
+    class Deferred {
+     public:
+      void later() { std::unique_lock<std::mutex> lk{mutex_, std::defer_lock}; }
+
+     private:
+      std::mutex mutex_;
+    };
+  )cpp");
+  const FunctionInfo* fn = find_fn(index, "Deferred::later");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->locks.size(), 1u);
+  EXPECT_EQ(fn->locks[0].mutex, "Deferred::mutex_");
+}
+
+TEST(IndexLocks, FunctionLocalMutexBindsToTheFunction) {
+  const auto index = build_one("a.cpp", R"cpp(
+    #include <mutex>
+    void isolated() {
+      std::mutex local;
+      std::lock_guard<std::mutex> guard{local};
+    }
+  )cpp");
+  const FunctionInfo* fn = find_fn(index, "isolated");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->locks.size(), 1u);
+  EXPECT_EQ(fn->locks[0].mutex, "isolated::local");
+}
+
+// --------------------------------------------- qualified-name collisions
+
+TEST(IndexMutexes, SameMemberNameStaysDistinctPerClass) {
+  const auto index = ProjectIndex::build({
+      {"q.cpp", R"cpp(
+        #include <mutex>
+        class Queue {
+         public:
+          void push() { std::lock_guard<std::mutex> g{mutex_}; }
+         private:
+          std::mutex mutex_;
+        };
+      )cpp"},
+      {"r.cpp", R"cpp(
+        #include <mutex>
+        class Registry {
+         public:
+          void add() { std::lock_guard<std::mutex> g{mutex_}; }
+         private:
+          std::mutex mutex_;
+        };
+      )cpp"},
+  });
+  const FunctionInfo* push = find_fn(index, "Queue::push");
+  const FunctionInfo* add = find_fn(index, "Registry::add");
+  ASSERT_NE(push, nullptr);
+  ASSERT_NE(add, nullptr);
+  ASSERT_EQ(push->locks.size(), 1u);
+  ASSERT_EQ(add->locks.size(), 1u);
+  EXPECT_EQ(push->locks[0].mutex, "Queue::mutex_");
+  EXPECT_EQ(add->locks[0].mutex, "Registry::mutex_");
+}
+
+TEST(IndexMutexes, UnknownNameFallsBackToSharedBucket) {
+  const auto index = build_one("a.cpp", R"cpp(
+    #include <mutex>
+    void mystery(std::mutex& external) {
+      std::lock_guard<std::mutex> g{external};
+    }
+  )cpp");
+  const FunctionInfo* fn = find_fn(index, "mystery");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->locks.size(), 1u);
+  // Unresolvable names merge into a conservative by-name bucket.
+  EXPECT_EQ(fn->locks[0].mutex, "?::external");
+}
+
+TEST(IndexMutexes, UniqueMemberNameResolvesAcrossFiles) {
+  const auto index = ProjectIndex::build({
+      {"decl.cpp", R"cpp(
+        #include <mutex>
+        class Owner {
+         public:
+          void use();
+         private:
+          std::mutex one_of_a_kind_;
+        };
+      )cpp"},
+      {"use.cpp", R"cpp(
+        #include <mutex>
+        void Owner::use() {
+          std::lock_guard<std::mutex> g{one_of_a_kind_};
+        }
+      )cpp"},
+  });
+  const FunctionInfo* fn = find_fn(index, "Owner::use");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->locks.size(), 1u);
+  EXPECT_EQ(fn->locks[0].mutex, "Owner::one_of_a_kind_");
+}
+
+// ----------------------------------------------------- call resolution
+
+TEST(IndexCalls, UniqueBareNameResolvesAcrossFiles) {
+  const auto index = ProjectIndex::build({
+      {"caller.cpp", "void caller() { helper_somewhere(); }"},
+      {"callee.cpp", "void helper_somewhere() {}"},
+  });
+  const FunctionInfo* caller = find_fn(index, "caller");
+  ASSERT_NE(caller, nullptr);
+  const CallSite* call = find_call(*caller, "helper_somewhere");
+  ASSERT_NE(call, nullptr);
+  const FunctionInfo* callee = index.resolve(*call);
+  ASSERT_NE(callee, nullptr);
+  EXPECT_EQ(callee->qualified_name, "helper_somewhere");
+}
+
+TEST(IndexCalls, AmbiguousNamePrefersSameClass) {
+  const auto index = ProjectIndex::build({
+      {"a.cpp", R"cpp(
+        class Alpha {
+         public:
+          void reset() {}
+          void drive() { reset(); }
+        };
+      )cpp"},
+      {"b.cpp", R"cpp(
+        class Beta {
+         public:
+          void reset() {}
+        };
+      )cpp"},
+  });
+  const FunctionInfo* drive = find_fn(index, "Alpha::drive");
+  ASSERT_NE(drive, nullptr);
+  const CallSite* call = find_call(*drive, "reset");
+  ASSERT_NE(call, nullptr);
+  const FunctionInfo* callee = index.resolve(*call);
+  ASSERT_NE(callee, nullptr);
+  EXPECT_EQ(callee->qualified_name, "Alpha::reset");
+}
+
+TEST(IndexCalls, AmbiguousNameWithNoClassContextResolvesToNothing) {
+  const auto index = ProjectIndex::build({
+      {"a.cpp", R"cpp(
+        class Alpha {
+         public:
+          void reset() {}
+        };
+      )cpp"},
+      {"b.cpp", R"cpp(
+        class Beta {
+         public:
+          void reset() {}
+        };
+      )cpp"},
+      {"c.cpp", "void outsider() { reset(); }"},
+  });
+  const FunctionInfo* outsider = find_fn(index, "outsider");
+  ASSERT_NE(outsider, nullptr);
+  const CallSite* call = find_call(*outsider, "reset");
+  ASSERT_NE(call, nullptr);
+  // Two candidates, neither in the caller's (empty) class: unresolved
+  // beats resolving to the wrong TU.
+  EXPECT_EQ(index.resolve(*call), nullptr);
+}
+
+// ------------------------------------------- blocking/durability events
+
+TEST(IndexBlocking, CvWaitWithoutPredicateIsBlocking) {
+  const auto index = build_one("a.cpp", R"cpp(
+    #include <condition_variable>
+    #include <mutex>
+    class Waiter {
+     public:
+      void bare() {
+        std::unique_lock<std::mutex> lk{mutex_};
+        cv_.wait(lk);
+      }
+      void predicated() {
+        std::unique_lock<std::mutex> lk{mutex_};
+        cv_.wait(lk, [this] { return ready_; });
+      }
+
+     private:
+      std::mutex mutex_;
+      std::condition_variable cv_;
+      bool ready_ = false;
+    };
+  )cpp");
+  const FunctionInfo* bare = find_fn(index, "Waiter::bare");
+  const FunctionInfo* predicated = find_fn(index, "Waiter::predicated");
+  ASSERT_NE(bare, nullptr);
+  ASSERT_NE(predicated, nullptr);
+  ASSERT_EQ(bare->blocking.size(), 1u);
+  EXPECT_EQ(bare->blocking[0].what, "wait without predicate");
+  EXPECT_TRUE(predicated->blocking.empty());
+}
+
+TEST(IndexDurability, RecordsFsyncAndRenameInOrder) {
+  const auto index = build_one("a.cpp", R"cpp(
+    void publish(int fd, int dir_fd, const char* tmp, const char* live) {
+      fsync(fd);
+      rename(tmp, live);
+      fsync(dir_fd);
+    }
+  )cpp");
+  const FunctionInfo* fn = find_fn(index, "publish");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->durability.size(), 3u);
+  EXPECT_EQ(fn->durability[0].kind, DurabilityOp::Kind::kFsync);
+  EXPECT_EQ(fn->durability[1].kind, DurabilityOp::Kind::kRename);
+  EXPECT_EQ(fn->durability[2].kind, DurabilityOp::Kind::kFsync);
+  EXPECT_LT(fn->durability[0].token, fn->durability[1].token);
+  EXPECT_LT(fn->durability[1].token, fn->durability[2].token);
+}
+
+TEST(IndexDurability, FilesystemRenameCountsThroughTheAlias) {
+  const auto index = build_one("a.cpp", R"cpp(
+    #include <filesystem>
+    namespace fs = std::filesystem;
+    void shuffle(const fs::path& a, const fs::path& b) {
+      fs::rename(a, b);
+    }
+  )cpp");
+  const FunctionInfo* fn = find_fn(index, "shuffle");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->durability.size(), 1u);
+  EXPECT_EQ(fn->durability[0].kind, DurabilityOp::Kind::kRename);
+  ASSERT_EQ(fn->blocking.size(), 1u);
+  EXPECT_EQ(fn->blocking[0].what, "filesystem::rename");
+}
+
+}  // namespace

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "util/error.hpp"
 
 namespace repro::lint {
 namespace {
@@ -224,11 +225,11 @@ TEST(Engine, DiagnosticsAreOrderedByLine) {
   }
 }
 
-TEST(Engine, RuleCatalogNamesSixRules) {
+TEST(Engine, RuleCatalogNamesTenRules) {
   const auto catalog = rule_catalog();
-  ASSERT_EQ(catalog.size(), 6u);
+  ASSERT_EQ(catalog.size(), 10u);
   EXPECT_EQ(catalog.front().first, "RL001");
-  EXPECT_EQ(catalog.back().first, "RL006");
+  EXPECT_EQ(catalog.back().first, "RL010");
 }
 
 TEST(Engine, Rl006OnlyFiresOutsideTheStopwatchSeam) {
@@ -247,6 +248,129 @@ TEST(Engine, Rl006OnlyFiresOutsideTheStopwatchSeam) {
   EXPECT_TRUE(lint_source("src/util/simtime.cpp", source).empty());
   // util files other than simtime are not exempt.
   EXPECT_FALSE(lint_source("src/util/thread_pool.cpp", source).empty());
+}
+
+TEST(Engine, FileScopeSuppressionCoversEverySiteOfTheNamedRule) {
+  const std::string source =
+      "// repro-lint: allow-file(RL008) counter bank, read after join\n"
+      "#include <atomic>\n"
+      "std::atomic<int> a{0};\n"
+      "void f() {\n"
+      "  a.fetch_add(1, std::memory_order_relaxed);\n"
+      "  a.fetch_add(1, std::memory_order_relaxed);\n"
+      "  throw std::runtime_error(\"still caught\");\n"
+      "}\n";
+  const auto diagnostics = lint_source("src/util/counters.cpp", source);
+  // Both RL008 sites are covered; the unrelated RL004 still fires.
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "RL004");
+}
+
+TEST(Engine, UnreadablePathThrowsTypedIoError) {
+  EXPECT_THROW(
+      (void)lint_path(kCorpusDir / "does_not_exist" / "missing.cpp"),
+      repro::IoError);
+}
+
+TEST(Engine, JsonOutputIsByteStableAndSorted) {
+  const std::string source =
+      "#include <atomic>\n"
+      "std::atomic<int> a{0};\n"
+      "void f() {\n"
+      "  a.store(1, std::memory_order_relaxed);\n"
+      "  throw std::runtime_error(\"boom\");\n"
+      "}\n";
+  const auto first = lint_source("src/util/j.cpp", source);
+  const auto second = lint_source("src/util/j.cpp", source);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(diagnostics_to_json(first), diagnostics_to_json(second));
+  // Sorted by (file, line, rule, message) and counted per rule.
+  const std::string json = diagnostics_to_json(first);
+  EXPECT_LT(json.find("\"RL004\": 1"), json.size());
+  EXPECT_LT(json.find("\"RL008\": 1"), json.size());
+  EXPECT_LT(json.find("\"total\": 2"), json.size());
+  const std::size_t rl004 = json.find("\"rule\": \"RL004\"");
+  const std::size_t rl008 = json.find("\"rule\": \"RL008\"");
+  ASSERT_NE(rl004, std::string::npos);
+  ASSERT_NE(rl008, std::string::npos);
+  EXPECT_LT(rl008, rl004);  // line 4 sorts before line 5
+}
+
+TEST(Engine, JsonEmptyDocumentIsExactBytes) {
+  EXPECT_EQ(diagnostics_to_json({}),
+            "{\n"
+            "  \"tool\": \"repro-lint\",\n"
+            "  \"version\": 2,\n"
+            "  \"total\": 0,\n"
+            "  \"rule_counts\": {\n"
+            "    \"RL001\": 0,\n    \"RL002\": 0,\n    \"RL003\": 0,\n"
+            "    \"RL004\": 0,\n    \"RL005\": 0,\n    \"RL006\": 0,\n"
+            "    \"RL007\": 0,\n    \"RL008\": 0,\n    \"RL009\": 0,\n"
+            "    \"RL010\": 0\n"
+            "  },\n"
+            "  \"diagnostics\": []\n"
+            "}\n");
+}
+
+TEST(Engine, BaselineSuppressesBySuffixAndRoundTrips) {
+  const std::string source =
+      "void f() { throw std::runtime_error(\"boom\"); }\n";
+  auto diagnostics = lint_source("/abs/prefix/src/util/b.cpp", source);
+  ASSERT_EQ(diagnostics.size(), 1u);
+  // Entries emitted against one machine's absolute paths still match on
+  // another machine via suffix comparison.
+  const std::string baseline =
+      "# comment lines and blanks are ignored\n\n" +
+      diagnostics_to_baseline(diagnostics, "/abs/prefix/");
+  EXPECT_TRUE(apply_baseline(diagnostics, baseline).empty());
+  // A different message (or rule) does not match.
+  auto other = diagnostics;
+  other[0].message = "something else";
+  EXPECT_EQ(apply_baseline(other, baseline).size(), 1u);
+  // Malformed lines never suppress by accident.
+  EXPECT_EQ(apply_baseline(diagnostics, "RL004 src/util/b.cpp\n").size(), 1u);
+}
+
+TEST(Engine, Rl007FlagsBothEdgesOfACrossTuCycle) {
+  const auto diagnostics = lint_project({
+      {"src/a.cpp",
+       "#include <mutex>\n"
+       "class L { public: void ab(); void ba();\n"
+       " private: std::mutex a_; std::mutex b_; };\n"
+       "void L::ab() {\n"
+       "  std::lock_guard<std::mutex> g{a_};\n"
+       "  std::lock_guard<std::mutex> h{b_};\n"
+       "}\n"},
+      {"src/b.cpp",
+       "#include <mutex>\n"
+       "void L::ba() {\n"
+       "  std::lock_guard<std::mutex> g{b_};\n"
+       "  std::lock_guard<std::mutex> h{a_};\n"
+       "}\n"},
+  });
+  ASSERT_EQ(diagnostics.size(), 2u);
+  EXPECT_EQ(diagnostics[0].rule, "RL007");
+  EXPECT_EQ(diagnostics[1].rule, "RL007");
+  EXPECT_EQ(diagnostics[0].file, "src/a.cpp");
+  EXPECT_EQ(diagnostics[1].file, "src/b.cpp");
+}
+
+TEST(Engine, Rl009SeesBlockingThroughOneCrossTuCallLevel) {
+  const auto diagnostics = lint_project({
+      {"src/caller.cpp",
+       "#include <mutex>\n"
+       "class C { public: void locked();\n"
+       " private: std::mutex m_; };\n"
+       "void C::locked() {\n"
+       "  std::lock_guard<std::mutex> g{m_};\n"
+       "  cross_tu_sync();\n"
+       "}\n"},
+      {"src/callee.cpp", "void cross_tu_sync() { fsync(3); }\n"},
+  });
+  ASSERT_EQ(diagnostics.size(), 1u);
+  EXPECT_EQ(diagnostics[0].rule, "RL009");
+  EXPECT_EQ(diagnostics[0].file, "src/caller.cpp");
+  EXPECT_EQ(diagnostics[0].line, 6);
 }
 
 }  // namespace

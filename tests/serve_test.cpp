@@ -7,6 +7,12 @@
 // clients / disconnects / accept failures, UNAVAILABLE before the first
 // epoch) are exercised against a live loopback socket, and the torture
 // test runs concurrent clients against hot-swapping views under TSan.
+//
+// repro-lint: allow-file(RL008) the ready-port handshakes are
+// release/acquire pairs (daemon publishes the bound port, the test
+// spins on it), and the relaxed cells are stop flags and per-client
+// tallies that are only read after the threads join; TSan runs this
+// file and would flag any ordering these arguments get wrong.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>

@@ -1,0 +1,569 @@
+#include "index.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace repro::lint {
+
+namespace {
+
+const std::set<std::string_view> kKeywords = {
+    "if",     "for",    "while",    "switch",        "catch",
+    "return", "sizeof", "alignof",  "static_assert", "decltype",
+    "new",    "delete", "throw",    "co_await",      "co_return",
+    "assert", "defined", "alignas", "typeid",        "noexcept",
+};
+
+const std::set<std::string_view> kGuardTypes = {
+    "lock_guard", "unique_lock", "scoped_lock", "shared_lock",
+};
+
+const std::set<std::string_view> kLockTags = {
+    "adopt_lock", "defer_lock", "try_to_lock",
+};
+
+/// Non-member calls that block on the OS (RL009's primitive events).
+const std::set<std::string_view> kBlockingSyscalls = {
+    "fsync", "fdatasync", "read",  "write",    "pread",    "pwrite",
+    "readv", "writev",    "recv",  "recvfrom", "send",     "sendto",
+    "accept", "accept4",  "poll",  "ppoll",    "select",   "connect",
+    "sleep", "usleep",    "nanosleep", "sleep_ms", "flock",
+};
+
+/// std::filesystem (or its conventional `fs` alias) operations that hit
+/// the disk. Pure path arithmetic (`fs::path`) deliberately excluded.
+const std::set<std::string_view> kFilesystemIo = {
+    "rename",        "remove",      "remove_all",   "copy_file",
+    "copy",          "resize_file", "exists",       "file_size",
+    "create_directory", "create_directories", "directory_iterator",
+    "recursive_directory_iterator", "last_write_time", "status",
+    "canonical",     "equivalent",  "temp_directory_path",
+};
+
+/// Normalizes to forward slashes so directory gating works on any host.
+std::string normalized(std::string_view path) {
+  std::string out{path};
+  std::replace(out.begin(), out.end(), '\\', '/');
+  return out;
+}
+
+std::string file_stem(const std::string& path) {
+  return std::filesystem::path{path}.stem().string();
+}
+
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdentifier; }
+
+/// Token-index matching for (), {} and [] — computed once per file so
+/// scope extraction never rescans.
+std::vector<std::size_t> match_brackets(const std::vector<Token>& tokens) {
+  constexpr std::size_t kNone = ~std::size_t{0};
+  std::vector<std::size_t> match(tokens.size(), kNone);
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "(" || t.text == "{" || t.text == "[") {
+      stack.push_back(i);
+    } else if (t.text == ")" || t.text == "}" || t.text == "]") {
+      if (stack.empty()) continue;  // tolerate damaged input
+      match[stack.back()] = i;
+      match[i] = stack.back();
+      stack.pop_back();
+    }
+  }
+  return match;
+}
+
+/// Skips a template argument list starting at `<`; returns one past the
+/// matching `>` (treating `>>` as two closers), or `from` when the
+/// angle expression never closes within `limit`.
+std::size_t skip_angles(const std::vector<Token>& tokens, std::size_t from,
+                        std::size_t limit) {
+  int depth = 0;
+  for (std::size_t j = from; j < limit; ++j) {
+    const Token& t = tokens[j];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "<") ++depth;
+    if (t.text == ">") --depth;
+    if (t.text == ">>") depth -= 2;
+    if (t.text == ";") return from;  // statement ended: not a template list
+    if (depth <= 0) return j + 1;
+  }
+  return from;
+}
+
+}  // namespace
+
+ProjectIndex ProjectIndex::build(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  ProjectIndex index;
+  index.files_.reserve(sources.size());
+  for (const auto& [path, content] : sources) {
+    IndexedFile file;
+    file.path = normalized(path);
+    file.lexed = lex(content);
+    index.files_.push_back(std::move(file));
+  }
+  // Deterministic order regardless of how the caller enumerated files.
+  std::sort(index.files_.begin(), index.files_.end(),
+            [](const IndexedFile& a, const IndexedFile& b) {
+              return a.path < b.path;
+            });
+  for (IndexedFile& file : index.files_) index.index_file(file);
+  for (std::size_t i = 0; i < index.functions_.size(); ++i) {
+    index.functions_by_name_[index.functions_[i].name].push_back(
+        static_cast<int>(i));
+  }
+  for (std::size_t i = 0; i < index.mutexes_.size(); ++i) {
+    index.mutexes_by_member_[index.mutexes_[i].member_name].push_back(
+        static_cast<int>(i));
+  }
+  for (IndexedFile& file : index.files_) index.resolve_lock_names(file);
+  index.resolve_calls();
+  return index;
+}
+
+void ProjectIndex::index_file(IndexedFile& file) {
+  const std::vector<Token>& tokens = file.lexed.tokens;
+  const std::vector<std::size_t> match = match_brackets(tokens);
+  constexpr std::size_t kNone = ~std::size_t{0};
+
+  struct ClassScope {
+    std::string name;
+    std::size_t close = 0;  // token index of the class's `}`
+  };
+  std::vector<ClassScope> classes;
+
+  const auto class_path = [&] {
+    std::string out;
+    for (const ClassScope& scope : classes) {
+      if (!out.empty()) out += "::";
+      out += scope.name;
+    }
+    return out;
+  };
+
+  const auto at = [&](std::size_t i) -> const Token* {
+    return i < tokens.size() ? &tokens[i] : nullptr;
+  };
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    while (!classes.empty() && i > classes.back().close) classes.pop_back();
+    const Token& t = tokens[i];
+
+    // class/struct definitions open a qualification scope. `enum class`
+    // is not one, and neither is a forward declaration or a
+    // `template <class T>` parameter.
+    if (is_ident(t) && (t.text == "class" || t.text == "struct") &&
+        (i == 0 || tokens[i - 1].text != "enum")) {
+      const Token* name = at(i + 1);
+      if (name == nullptr || !is_ident(*name)) continue;
+      std::size_t open = kNone;
+      const Token* after = at(i + 2);
+      if (after != nullptr && is_punct(*after, "{")) {
+        open = i + 2;
+      } else if (after != nullptr &&
+                 (is_punct(*after, ":") || after->text == "final")) {
+        // Base clause: scan to the `{` that opens the body (a `;` first
+        // means this was only a declaration).
+        for (std::size_t j = i + 2; j < tokens.size(); ++j) {
+          if (is_punct(tokens[j], "{")) {
+            open = j;
+            break;
+          }
+          if (is_punct(tokens[j], ";")) break;
+        }
+      }
+      if (open != kNone && match[open] != kNone) {
+        classes.push_back(ClassScope{name->text, match[open]});
+      }
+      continue;
+    }
+
+    // Member/namespace-scope mutex declarations: `std::mutex name_;`
+    // (with or without `mutable`). Function-local declarations are
+    // handled by the body walk below.
+    if (is_ident(t) && t.text == "mutex") {
+      const Token* name = at(i + 1);
+      const Token* semi = at(i + 2);
+      if (name != nullptr && is_ident(name[0]) && semi != nullptr &&
+          is_punct(*semi, ";")) {
+        MutexDecl decl;
+        decl.member_name = name->text;
+        const std::string owner =
+            classes.empty() ? file_stem(file.path) : class_path();
+        decl.qualified_name = owner + "::" + name->text;
+        decl.file = file.path;
+        decl.line = name->line;
+        mutexes_.push_back(std::move(decl));
+      }
+      continue;
+    }
+
+    // Function definitions: IDENT [::IDENT]* `(` args `)` [qualifiers]
+    // [ctor-init-list] `{`.
+    if (!is_punct(t, "(") || i == 0) continue;
+    const Token& callee = tokens[i - 1];
+    if (!is_ident(callee) || kKeywords.count(callee.text) > 0 ||
+        kGuardTypes.count(callee.text) > 0) {
+      continue;
+    }
+    const std::size_t close = match[i];
+    if (close == kNone) continue;
+
+    // Walk the post-parameter tokens looking for the body `{`.
+    std::size_t k = close + 1;
+    bool is_definition = false;
+    while (k < tokens.size()) {
+      const Token& u = tokens[k];
+      if (is_ident(u) && (u.text == "const" || u.text == "noexcept" ||
+                          u.text == "override" || u.text == "final" ||
+                          u.text == "mutable")) {
+        ++k;
+        continue;
+      }
+      if (is_punct(u, "&") || is_punct(u, "&&")) {
+        ++k;
+        continue;
+      }
+      if (is_punct(u, "(")) {
+        // noexcept(...) argument.
+        if (match[k] == kNone) break;
+        k = match[k] + 1;
+        continue;
+      }
+      if (is_punct(u, "->")) {
+        // Trailing return type: scan to the body or statement end.
+        ++k;
+        while (k < tokens.size() && !is_punct(tokens[k], "{") &&
+               !is_punct(tokens[k], ";")) {
+          ++k;
+        }
+        continue;
+      }
+      if (is_punct(u, ":")) {
+        // Constructor init list: IDENT (…) or IDENT {…}, comma-joined.
+        ++k;
+        while (k < tokens.size()) {
+          while (k < tokens.size() && (is_ident(tokens[k]) ||
+                 is_punct(tokens[k], "::"))) {
+            ++k;
+          }
+          if (k < tokens.size() && is_punct(tokens[k], "<")) {
+            k = skip_angles(tokens, k, tokens.size());
+          }
+          if (k >= tokens.size() ||
+              (!is_punct(tokens[k], "(") && !is_punct(tokens[k], "{")) ||
+              match[k] == kNone) {
+            break;
+          }
+          k = match[k] + 1;
+          if (k < tokens.size() && is_punct(tokens[k], ",")) {
+            ++k;
+            continue;
+          }
+          break;
+        }
+        continue;
+      }
+      if (is_punct(u, "{")) {
+        is_definition = true;
+      }
+      break;
+    }
+    if (!is_definition || k >= tokens.size() || match[k] == kNone) continue;
+
+    // Collect the (possibly qualified) name written before the `(`.
+    std::size_t first = i - 1;
+    std::string explicit_qual;
+    {
+      std::vector<std::string> parts;
+      std::size_t p = i - 1;
+      parts.push_back(tokens[p].text);
+      while (p >= 2 && is_punct(tokens[p - 1], "::") &&
+             is_ident(tokens[p - 2])) {
+        p -= 2;
+        parts.push_back(tokens[p].text);
+      }
+      first = p;
+      for (std::size_t q = parts.size(); q-- > 1;) {
+        if (!explicit_qual.empty()) explicit_qual += "::";
+        explicit_qual += parts[q];
+      }
+    }
+    (void)first;
+
+    FunctionInfo fn;
+    fn.name = callee.text;
+    fn.class_name = class_path();
+    if (!explicit_qual.empty()) {
+      fn.class_name = fn.class_name.empty()
+                          ? explicit_qual
+                          : fn.class_name + "::" + explicit_qual;
+    }
+    fn.qualified_name =
+        fn.class_name.empty() ? fn.name : fn.class_name + "::" + fn.name;
+    fn.file = file.path;
+    fn.line = callee.line;
+    fn.body_begin = k;
+    fn.body_end = match[k];
+    index_body(fn, tokens, match);
+    file.functions.push_back(static_cast<int>(functions_.size()));
+    functions_.push_back(std::move(fn));
+    i = match[k];  // skip the body in this scan
+  }
+}
+
+void ProjectIndex::index_body(FunctionInfo& fn,
+                              const std::vector<Token>& tokens,
+                              const std::vector<std::size_t>& match) {
+  constexpr std::size_t kNone = ~std::size_t{0};
+  std::set<std::string> local_mutexes;
+
+  const auto at = [&](std::size_t i) -> const Token* {
+    return i < tokens.size() ? &tokens[i] : nullptr;
+  };
+  const auto member_access_before = [&](std::size_t i) {
+    return i > 0 && tokens[i - 1].kind == TokKind::kPunct &&
+           (tokens[i - 1].text == "." || tokens[i - 1].text == "->");
+  };
+  /// Innermost `{` enclosing token index i within the body.
+  const auto enclosing_block_end = [&](std::size_t i) {
+    std::size_t best = fn.body_end;
+    for (std::size_t j = fn.body_begin; j < i; ++j) {
+      if (is_punct(tokens[j], "{") && match[j] != kNone && match[j] > i &&
+          match[j] <= best) {
+        best = match[j];
+      }
+    }
+    return best;
+  };
+
+  for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+    const Token& t = tokens[i];
+    if (!is_ident(t)) continue;
+
+    // Function-local mutex declarations.
+    if (t.text == "mutex") {
+      const Token* name = at(i + 1);
+      const Token* semi = at(i + 2);
+      if (name != nullptr && is_ident(*name) && semi != nullptr &&
+          is_punct(*semi, ";")) {
+        local_mutexes.insert(name->text);
+      }
+      continue;
+    }
+
+    // Lock-guard scopes.
+    if (kGuardTypes.count(t.text) > 0) {
+      std::size_t j = i + 1;
+      if (j < fn.body_end && is_punct(tokens[j], "<")) {
+        j = skip_angles(tokens, j, fn.body_end);
+      }
+      const Token* var = at(j);
+      if (var == nullptr || !is_ident(*var)) continue;
+      ++j;
+      if (j >= fn.body_end ||
+          (!is_punct(tokens[j], "{") && !is_punct(tokens[j], "(")) ||
+          match[j] == kNone) {
+        continue;
+      }
+      const std::size_t open = j;
+      const std::size_t close = match[j];
+      const std::size_t scope_end = enclosing_block_end(i);
+      // Split the guard arguments on top-level commas; each names one
+      // mutex (scoped_lock can take several). The mutex is the last
+      // identifier of its expression (`job.mutex` -> `mutex`).
+      std::string last_ident;
+      int depth = 0;
+      for (std::size_t p = open + 1; p <= close; ++p) {
+        const Token& u = tokens[p];
+        const bool at_end = p == close;
+        if (u.kind == TokKind::kPunct &&
+            (u.text == "(" || u.text == "{" || u.text == "[")) {
+          ++depth;
+        }
+        if (u.kind == TokKind::kPunct &&
+            (u.text == ")" || u.text == "}" || u.text == "]") && !at_end) {
+          --depth;
+        }
+        if ((at_end || (depth == 0 && is_punct(u, ","))) &&
+            !last_ident.empty() && kLockTags.count(last_ident) == 0) {
+          LockScope scope;
+          scope.raw_name = last_ident;
+          if (local_mutexes.count(last_ident) > 0) {
+            scope.mutex = fn.qualified_name + "::" + last_ident;
+          }
+          scope.line = t.line;
+          scope.begin = i;
+          scope.end = scope_end;
+          fn.locks.push_back(std::move(scope));
+          last_ident.clear();
+          continue;
+        }
+        if (at_end) break;
+        if (is_ident(u) && u.text != "std") last_ident = u.text;
+      }
+      i = close;
+      continue;
+    }
+
+    // std::filesystem I/O (also via the conventional `fs` alias).
+    if ((t.text == "filesystem" || t.text == "fs") &&
+        i + 2 < fn.body_end && is_punct(tokens[i + 1], "::") &&
+        is_ident(tokens[i + 2]) && kFilesystemIo.count(tokens[i + 2].text) > 0) {
+      fn.blocking.push_back(BlockingOp{
+          "filesystem::" + tokens[i + 2].text, tokens[i + 2].line, i + 2});
+      if (tokens[i + 2].text == "rename") {
+        fn.durability.push_back(
+            DurabilityOp{DurabilityOp::Kind::kRename, tokens[i + 2].line,
+                         i + 2});
+      }
+      i += 2;
+      continue;
+    }
+
+    // Call sites (and the blocking/durability events among them).
+    const bool call = i + 1 < fn.body_end && is_punct(tokens[i + 1], "(");
+    if (!call || kKeywords.count(t.text) > 0) continue;
+    const bool member = member_access_before(i);
+
+    CallSite site;
+    site.name = t.text;
+    site.line = t.line;
+    site.token = i;
+    site.member = member;
+    fn.calls.push_back(site);
+
+    if (!member && kBlockingSyscalls.count(t.text) > 0) {
+      fn.blocking.push_back(BlockingOp{t.text, t.line, i});
+    }
+    if (!member && (t.text == "fsync" || t.text == "fdatasync")) {
+      fn.durability.push_back(
+          DurabilityOp{DurabilityOp::Kind::kFsync, t.line, i});
+    }
+    if (!member && t.text == "rename") {
+      fn.durability.push_back(
+          DurabilityOp{DurabilityOp::Kind::kRename, t.line, i});
+    }
+    if (member && (t.text == "wait" || t.text == "wait_for" ||
+                   t.text == "wait_until")) {
+      // A condition-variable wait without a predicate re-checks nothing
+      // on spurious wakeup. wait(lock) has 1 argument, wait_for
+      // (lock, dur) has 2; the predicate overloads add one more.
+      const std::size_t open = i + 1;
+      const std::size_t close = match[open];
+      if (close != kNone) {
+        int args = 0;
+        int depth = 0;
+        for (std::size_t p = open + 1; p < close; ++p) {
+          const Token& u = tokens[p];
+          if (u.kind != TokKind::kPunct) {
+            if (args == 0) args = 1;
+            continue;
+          }
+          if (args == 0) args = 1;
+          if (u.text == "(" || u.text == "{" || u.text == "[") ++depth;
+          if (u.text == ")" || u.text == "}" || u.text == "]") --depth;
+          if (depth == 0 && u.text == ",") ++args;
+        }
+        const int needed = t.text == "wait" ? 2 : 3;
+        if (args > 0 && args < needed) {
+          fn.blocking.push_back(
+              BlockingOp{t.text + " without predicate", t.line, i});
+        }
+      }
+    }
+  }
+}
+
+void ProjectIndex::resolve_lock_names(IndexedFile& file) {
+  for (const int fn_index : file.functions) {
+    FunctionInfo& fn = functions_[static_cast<std::size_t>(fn_index)];
+    for (LockScope& scope : fn.locks) {
+      if (!scope.mutex.empty()) continue;  // function-local, already bound
+      // 1. A member of the enclosing class (or a class nested in it).
+      if (!fn.class_name.empty()) {
+        const MutexDecl* found = nullptr;
+        bool ambiguous = false;
+        for (const MutexDecl& decl : mutexes_) {
+          if (decl.member_name != scope.raw_name) continue;
+          if (decl.qualified_name ==
+                  fn.class_name + "::" + scope.raw_name ||
+              decl.qualified_name.rfind(fn.class_name + "::", 0) == 0) {
+            if (found != nullptr && found->qualified_name !=
+                                        decl.qualified_name) {
+              ambiguous = true;
+            }
+            found = &decl;
+          }
+        }
+        if (found != nullptr && !ambiguous) {
+          scope.mutex = found->qualified_name;
+          continue;
+        }
+      }
+      // 2. A unique member name across the whole project.
+      const auto it = mutexes_by_member_.find(scope.raw_name);
+      if (it != mutexes_by_member_.end() && it->second.size() == 1) {
+        scope.mutex =
+            mutexes_[static_cast<std::size_t>(it->second.front())]
+                .qualified_name;
+        continue;
+      }
+      // 3. Collision or unknown: fall back to a shared by-name bucket.
+      // Conservative for deadlock detection (distinct mutexes sharing a
+      // name merge into one node); the index tests pin this behavior.
+      scope.mutex = "?::" + scope.raw_name;
+    }
+  }
+}
+
+void ProjectIndex::resolve_calls() {
+  for (FunctionInfo& fn : functions_) {
+    for (CallSite& call : fn.calls) {
+      const auto it = functions_by_name_.find(call.name);
+      if (it == functions_by_name_.end()) continue;
+      const std::vector<int>& candidates = it->second;
+      if (candidates.size() == 1) {
+        call.callee = candidates.front();
+        continue;
+      }
+      // Prefer a same-class candidate; ambiguity resolves to nothing
+      // rather than to the wrong TU.
+      int same_class = -1;
+      bool ambiguous = false;
+      for (const int c : candidates) {
+        if (functions_[static_cast<std::size_t>(c)].class_name ==
+            fn.class_name) {
+          if (same_class != -1) ambiguous = true;
+          same_class = c;
+        }
+      }
+      if (same_class != -1 && !ambiguous) call.callee = same_class;
+    }
+  }
+}
+
+std::vector<int> ProjectIndex::functions_named(std::string_view name) const {
+  const auto it = functions_by_name_.find(name);
+  return it == functions_by_name_.end() ? std::vector<int>{} : it->second;
+}
+
+const FunctionInfo* ProjectIndex::resolve(const CallSite& call) const {
+  if (call.callee < 0) return nullptr;
+  return &functions_[static_cast<std::size_t>(call.callee)];
+}
+
+std::set<std::string> ProjectIndex::direct_locks(
+    const FunctionInfo& fn) const {
+  std::set<std::string> out;
+  for (const LockScope& scope : fn.locks) out.insert(scope.mutex);
+  return out;
+}
+
+}  // namespace repro::lint

@@ -1,0 +1,208 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace repro::lint {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Records `// repro-lint: allow(RL001, RL002) reason` and
+/// `// repro-lint: allow-file(RL008) reason` suppressions. A line
+/// comment sharing its line with code covers that line; a comment
+/// standing alone covers the next line too. allow-file covers the
+/// whole file wherever it appears.
+void record_allows(LexedFile& out, std::string_view comment, int line,
+                   bool comment_only_line) {
+  const std::size_t tag = comment.find("repro-lint:");
+  if (tag == std::string_view::npos) return;
+  bool file_scope = false;
+  std::size_t open = comment.find("allow-file(", tag);
+  if (open != std::string_view::npos) {
+    file_scope = true;
+    open += std::string_view{"allow-file("}.size();
+  } else {
+    open = comment.find("allow(", tag);
+    if (open == std::string_view::npos) return;
+    open += std::string_view{"allow("}.size();
+  }
+  const std::size_t close = comment.find(')', open);
+  if (close == std::string_view::npos) return;
+  std::string_view list = comment.substr(open, close - open);
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    const std::string_view rule =
+        trimmed(comma == std::string_view::npos ? list : list.substr(0, comma));
+    if (!rule.empty()) {
+      if (file_scope) {
+        out.file_allows.emplace(rule);
+      } else {
+        out.allows[line].emplace(rule);
+        if (comment_only_line) out.allows[line + 1].emplace(rule);
+      }
+    }
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+}
+
+/// Multi-char punctuators the rules care about; everything else lexes
+/// as single characters. `::` must be one token so a lone `:` reliably
+/// marks a range-for.
+constexpr std::string_view kPunct2[] = {
+    "::", "==", "!=", "<=", ">=", "->", "++", "--", "&&",
+    "||", "<<", ">>", "+=", "-=", "*=", "/=", "|=", "&=",
+};
+
+}  // namespace
+
+std::string_view trimmed(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front())) != 0) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back())) != 0) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+LexedFile lex(std::string_view src) {
+  LexedFile out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  const auto line_has_code = [&] {
+    return !out.tokens.empty() && out.tokens.back().line == line;
+  };
+  const auto push = [&](TokKind kind, std::string text) {
+    out.tokens.push_back(Token{kind, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Line comment (and suppression carrier).
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      record_allows(out, src.substr(i, end - i), line, !line_has_code());
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t end = src.find("*/", i + 2);
+      end = (end == std::string_view::npos) ? n : end + 2;
+      for (std::size_t j = i; j < end; ++j) {
+        if (src[j] == '\n') ++line;
+      }
+      i = end;
+      continue;
+    }
+    // String literal (escapes honored); content never reaches rules.
+    if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '"') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      push(TokKind::kString, "\"\"");
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '\'') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      push(TokKind::kCharLit, "''");
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && is_ident_char(src[j])) ++j;
+      std::string text{src.substr(i, j - i)};
+      // Raw string literal: R"( ... )" (also u8R, uR, UR, LR prefixes).
+      if (j < n && src[j] == '"' &&
+          (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
+           text == "LR")) {
+        const std::size_t open = src.find('(', j);
+        if (open != std::string_view::npos) {
+          const std::string delim =
+              ")" + std::string{src.substr(j + 1, open - j - 1)} + "\"";
+          std::size_t end = src.find(delim, open);
+          end = (end == std::string_view::npos) ? n : end + delim.size();
+          for (std::size_t k = j; k < end; ++k) {
+            if (src[k] == '\n') ++line;
+          }
+          push(TokKind::kString, "\"\"");
+          i = end;
+          continue;
+        }
+      }
+      push(TokKind::kIdentifier, std::move(text));
+      i = j;
+      continue;
+    }
+    if (is_digit(c) || (c == '.' && i + 1 < n && is_digit(src[i + 1]))) {
+      std::size_t j = i;
+      while (j < n) {
+        const char d = src[j];
+        if (is_ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      push(TokKind::kNumber, std::string{src.substr(i, j - i)});
+      i = j;
+      continue;
+    }
+    bool matched = false;
+    if (i + 1 < n) {
+      const std::string_view two = src.substr(i, 2);
+      for (const std::string_view op : kPunct2) {
+        if (two == op) {
+          push(TokKind::kPunct, std::string{two});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      push(TokKind::kPunct, std::string{c});
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace repro::lint

@@ -1,0 +1,47 @@
+// Lexer-lite tokenizer shared by both analyzer phases.
+//
+// Phase 1 (tools/repro_lint/index.*) builds the cross-TU index from
+// these token streams; phase 2 (lint.cpp) runs the per-file rules over
+// the same stream. The lexer strips comments, collapses string/char
+// literals to empty placeholders (so literal contents never reach a
+// rule), and records suppression comments:
+//
+//   // repro-lint: allow(RL001, RL002) reason
+//     silences the named rule(s) on its own line, or on the next line
+//     when the comment stands alone.
+//   // repro-lint: allow-file(RL008) reason
+//     silences the named rule(s) for the whole file — used where one
+//     written argument genuinely covers every site in the file (e.g. a
+//     bank of independent relaxed statistic counters).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::lint {
+
+enum class TokKind { kIdentifier, kNumber, kString, kCharLit, kPunct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line = 0;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  /// line -> rule ids allowed on that line by inline suppressions.
+  std::map<int, std::set<std::string, std::less<>>> allows;
+  /// rule ids allowed for the whole file by allow-file suppressions.
+  std::set<std::string, std::less<>> file_allows;
+};
+
+[[nodiscard]] LexedFile lex(std::string_view src);
+
+/// Strips leading and trailing whitespace.
+[[nodiscard]] std::string_view trimmed(std::string_view text);
+
+}  // namespace repro::lint

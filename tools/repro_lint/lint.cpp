@@ -1,214 +1,18 @@
 #include "lint.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <sstream>
 
+#include "index.hpp"
+#include "lexer.hpp"
+#include "util/error.hpp"
+
 namespace repro::lint {
 
 namespace {
-
-// ----------------------------------------------------------------- lexer
-
-enum class TokKind { kIdentifier, kNumber, kString, kCharLit, kPunct };
-
-struct Token {
-  TokKind kind;
-  std::string text;
-  int line = 0;
-};
-
-struct LexedFile {
-  std::vector<Token> tokens;
-  /// line -> rule ids allowed on that line by inline suppressions.
-  std::map<int, std::set<std::string, std::less<>>> allows;
-};
-
-bool is_ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
-
-std::string_view trimmed(std::string_view text) {
-  while (!text.empty() &&
-         std::isspace(static_cast<unsigned char>(text.front())) != 0) {
-    text.remove_prefix(1);
-  }
-  while (!text.empty() &&
-         std::isspace(static_cast<unsigned char>(text.back())) != 0) {
-    text.remove_suffix(1);
-  }
-  return text;
-}
-
-/// Records `// repro-lint: allow(RL001, RL002) reason` suppressions.
-/// A comment sharing its line with code covers that line; a comment
-/// standing alone covers the next line too.
-void record_allows(LexedFile& out, std::string_view comment, int line,
-                   bool comment_only_line) {
-  const std::size_t tag = comment.find("repro-lint:");
-  if (tag == std::string_view::npos) return;
-  const std::size_t open = comment.find("allow(", tag);
-  if (open == std::string_view::npos) return;
-  const std::size_t close = comment.find(')', open);
-  if (close == std::string_view::npos) return;
-  std::string_view list = comment.substr(open + 6, close - open - 6);
-  while (!list.empty()) {
-    const std::size_t comma = list.find(',');
-    const std::string_view rule =
-        trimmed(comma == std::string_view::npos ? list : list.substr(0, comma));
-    if (!rule.empty()) {
-      out.allows[line].emplace(rule);
-      if (comment_only_line) out.allows[line + 1].emplace(rule);
-    }
-    if (comma == std::string_view::npos) break;
-    list.remove_prefix(comma + 1);
-  }
-}
-
-/// Multi-char punctuators the rules care about; everything else lexes
-/// as single characters. `::` must be one token so a lone `:` reliably
-/// marks a range-for.
-constexpr std::string_view kPunct2[] = {
-    "::", "==", "!=", "<=", ">=", "->", "++", "--", "&&",
-    "||", "<<", ">>", "+=", "-=", "*=", "/=", "|=", "&=",
-};
-
-LexedFile lex(std::string_view src) {
-  LexedFile out;
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-
-  const auto line_has_code = [&] {
-    return !out.tokens.empty() && out.tokens.back().line == line;
-  };
-  const auto push = [&](TokKind kind, std::string text) {
-    out.tokens.push_back(Token{kind, std::move(text), line});
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      ++i;
-      continue;
-    }
-    // Line comment (and suppression carrier).
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      std::size_t end = src.find('\n', i);
-      if (end == std::string_view::npos) end = n;
-      record_allows(out, src.substr(i, end - i), line, !line_has_code());
-      i = end;
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      std::size_t end = src.find("*/", i + 2);
-      end = (end == std::string_view::npos) ? n : end + 2;
-      for (std::size_t j = i; j < end; ++j) {
-        if (src[j] == '\n') ++line;
-      }
-      i = end;
-      continue;
-    }
-    // String literal (escapes honored); content never reaches rules.
-    if (c == '"') {
-      std::size_t j = i + 1;
-      while (j < n && src[j] != '"') {
-        if (src[j] == '\\' && j + 1 < n) ++j;
-        if (src[j] == '\n') ++line;
-        ++j;
-      }
-      push(TokKind::kString, "\"\"");
-      i = (j < n) ? j + 1 : n;
-      continue;
-    }
-    if (c == '\'') {
-      std::size_t j = i + 1;
-      while (j < n && src[j] != '\'') {
-        if (src[j] == '\\' && j + 1 < n) ++j;
-        ++j;
-      }
-      push(TokKind::kCharLit, "''");
-      i = (j < n) ? j + 1 : n;
-      continue;
-    }
-    if (is_ident_start(c)) {
-      std::size_t j = i;
-      while (j < n && is_ident_char(src[j])) ++j;
-      std::string text{src.substr(i, j - i)};
-      // Raw string literal: R"( ... )" (also u8R, uR, UR, LR prefixes).
-      if (j < n && src[j] == '"' &&
-          (text == "R" || text == "u8R" || text == "uR" || text == "UR" ||
-           text == "LR")) {
-        const std::size_t open = src.find('(', j);
-        if (open != std::string_view::npos) {
-          const std::string delim =
-              ")" + std::string{src.substr(j + 1, open - j - 1)} + "\"";
-          std::size_t end = src.find(delim, open);
-          end = (end == std::string_view::npos) ? n : end + delim.size();
-          for (std::size_t k = j; k < end; ++k) {
-            if (src[k] == '\n') ++line;
-          }
-          push(TokKind::kString, "\"\"");
-          i = end;
-          continue;
-        }
-      }
-      push(TokKind::kIdentifier, std::move(text));
-      i = j;
-      continue;
-    }
-    if (is_digit(c) || (c == '.' && i + 1 < n && is_digit(src[i + 1]))) {
-      std::size_t j = i;
-      while (j < n) {
-        const char d = src[j];
-        if (is_ident_char(d) || d == '.' || d == '\'') {
-          ++j;
-        } else if ((d == '+' || d == '-') && j > i &&
-                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
-                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
-          ++j;
-        } else {
-          break;
-        }
-      }
-      push(TokKind::kNumber, std::string{src.substr(i, j - i)});
-      i = j;
-      continue;
-    }
-    bool matched = false;
-    if (i + 1 < n) {
-      const std::string_view two = src.substr(i, 2);
-      for (const std::string_view op : kPunct2) {
-        if (two == op) {
-          push(TokKind::kPunct, std::string{two});
-          i += 2;
-          matched = true;
-          break;
-        }
-      }
-    }
-    if (!matched) {
-      push(TokKind::kPunct, std::string{c});
-      ++i;
-    }
-  }
-  return out;
-}
 
 // ----------------------------------------------------------- rule engine
 
@@ -237,6 +41,20 @@ constexpr RuleDef kRules[] = {
     {"RL006",
      "direct <chrono> use outside src/obs and util/simtime; all wall-clock "
      "access goes through the audited obs/stopwatch seam"},
+    {"RL007",
+     "lock-order cycle in the cross-TU lock acquisition graph; a cycle is "
+     "a potential deadlock between pool, queues, WAL and serve workers"},
+    {"RL008",
+     "explicit non-seq_cst memory order or volatile without a written "
+     "proof (// repro-lint: allow(RL008) <why the weaker order is safe>)"},
+    {"RL009",
+     "blocking call (fsync/read/write/accept/sleep/std::filesystem I/O or "
+     "predicate-less condition-variable wait) inside a held lock scope, "
+     "directly or one call level deep"},
+    {"RL010",
+     "rename on the durability path (src/ingest, src/snapshot) not "
+     "dominated by an fsync of the written file and followed by a "
+     "directory fsync"},
 };
 
 const std::set<std::string_view> kParseFns = {
@@ -265,6 +83,15 @@ const std::set<std::string_view> kUnorderedTypes = {
     "unordered_multiset",
 };
 
+const std::set<std::string_view> kWeakOrders = {
+    "memory_order_relaxed", "memory_order_acquire", "memory_order_release",
+    "memory_order_acq_rel", "memory_order_consume",
+};
+
+const std::set<std::string_view> kWeakOrderTails = {
+    "relaxed", "acquire", "release", "acq_rel", "consume",
+};
+
 /// Normalizes to forward slashes so directory gating works on any host.
 std::string normalized(std::string_view path) {
   std::string out{path};
@@ -277,24 +104,27 @@ bool in_dir(const std::string& path, std::string_view dir) {
          std::string::npos;
 }
 
+bool rule_enabled(const Options& options, std::string_view rule) {
+  return options.only.empty() || options.only.count(rule) > 0;
+}
+
+bool suppressed(const LexedFile& lx, int line, std::string_view rule) {
+  if (lx.file_allows.count(rule) > 0) return true;
+  const auto it = lx.allows.find(line);
+  return it != lx.allows.end() && it->second.count(rule) > 0;
+}
+
+// ----------------------------------------------- per-file rules (phase 2a)
+
 struct Checker {
-  const std::string path;
+  const std::string& path;
   const LexedFile& lx;
   const Options& options;
-  std::vector<Diagnostic> diagnostics;
-
-  [[nodiscard]] bool rule_enabled(std::string_view rule) const {
-    return options.only.empty() || options.only.count(rule) > 0;
-  }
-
-  [[nodiscard]] bool suppressed(int line, std::string_view rule) const {
-    const auto it = lx.allows.find(line);
-    return it != lx.allows.end() && it->second.count(rule) > 0;
-  }
+  std::vector<Diagnostic>& diagnostics;
 
   void emit(int line, std::string_view rule, std::string message,
             std::string suggestion) {
-    if (!rule_enabled(rule) || suppressed(line, rule)) return;
+    if (!rule_enabled(options, rule) || suppressed(lx, line, rule)) return;
     diagnostics.push_back(Diagnostic{path, line, std::string{rule},
                                      std::move(message),
                                      std::move(suggestion)});
@@ -561,7 +391,313 @@ struct Checker {
            "the sentinel an integer");
     }
   }
+
+  // RL008 — atomics audit: every explicit weakening of the default
+  // seq_cst ordering (and every volatile, which provides neither
+  // atomicity nor ordering) must carry a written proof in an allow
+  // annotation. Weak orders are correct exactly when someone has
+  // argued why; this rule makes the argument a build artifact.
+  void check_atomics_audit() {
+    for (std::size_t i = 0; i < lx.tokens.size(); ++i) {
+      const Token& t = lx.tokens[i];
+      if (t.kind != TokKind::kIdentifier) continue;
+      if (t.text == "volatile") {
+        emit(t.line, "RL008",
+             "'volatile' — provides neither atomicity nor inter-thread "
+             "ordering; concurrent state goes through std::atomic",
+             "use std::atomic<> (default seq_cst), or annotate with "
+             "// repro-lint: allow(RL008) <proof> if this is MMIO-style "
+             "access the repo genuinely needs");
+        continue;
+      }
+      std::string order;
+      if (kWeakOrders.count(t.text) > 0) {
+        order = t.text;
+      } else if (t.text == "memory_order" && punct_at(i + 1, "::")) {
+        const Token* tail = at(i + 2);
+        if (tail != nullptr && tail->kind == TokKind::kIdentifier &&
+            kWeakOrderTails.count(tail->text) > 0) {
+          order = "memory_order::" + tail->text;
+        }
+      }
+      if (order.empty()) continue;
+      emit(t.line, "RL008",
+           "explicit weak memory order '" + order +
+               "' — non-seq_cst orderings are banned unless the line (or "
+               "file) carries a written proof of why the weaker order is "
+               "safe",
+           "drop the argument to use the default seq_cst ordering, or "
+           "annotate with // repro-lint: allow(RL008) <proof> (allow-file "
+           "when one argument covers every site in the file)");
+    }
+  }
 };
+
+// ------------------------------------------- project rules (phase 2b)
+
+/// Shared emit path for the index-backed rules: finds the lexed file a
+/// diagnostic lands in so line and file-scope suppressions apply.
+struct ProjectChecker {
+  const ProjectIndex& index;
+  const Options& options;
+  std::vector<Diagnostic>& diagnostics;
+  std::map<std::string, const LexedFile*, std::less<>> lexed_by_path;
+
+  explicit ProjectChecker(const ProjectIndex& index_, const Options& options_,
+                          std::vector<Diagnostic>& diagnostics_)
+      : index(index_), options(options_), diagnostics(diagnostics_) {
+    for (const IndexedFile& file : index.files()) {
+      lexed_by_path.emplace(file.path, &file.lexed);
+    }
+  }
+
+  void emit(const std::string& file, int line, std::string_view rule,
+            std::string message, std::string suggestion) {
+    if (!rule_enabled(options, rule)) return;
+    const auto it = lexed_by_path.find(file);
+    if (it != lexed_by_path.end() && suppressed(*it->second, line, rule)) {
+      return;
+    }
+    diagnostics.push_back(Diagnostic{file, line, std::string{rule},
+                                     std::move(message),
+                                     std::move(suggestion)});
+  }
+
+  // RL007 — lock-order cycles. Build the acquisition graph (edge M -> N
+  // when N is acquired while M is held, directly or through one level
+  // of resolved calls), then flag every edge inside a strongly
+  // connected component: those are the acquisitions that can deadlock.
+  void check_lock_order() {
+    struct Edge {
+      std::string from;
+      std::string to;
+      std::string file;
+      int line = 0;
+      std::string via;  // callee qualified name, "" for direct nesting
+    };
+    std::vector<Edge> edges;
+    for (const FunctionInfo& fn : index.functions()) {
+      for (const LockScope& held : fn.locks) {
+        for (const LockScope& inner : fn.locks) {
+          if (inner.begin <= held.begin || inner.begin >= held.end) continue;
+          edges.push_back(
+              Edge{held.mutex, inner.mutex, fn.file, inner.line, ""});
+        }
+        for (const CallSite& call : fn.calls) {
+          if (call.token <= held.begin || call.token >= held.end) continue;
+          const FunctionInfo* callee = index.resolve(call);
+          if (callee == nullptr || callee == &fn) continue;
+          for (const std::string& target : index.direct_locks(*callee)) {
+            edges.push_back(Edge{held.mutex, target, fn.file, call.line,
+                                 callee->qualified_name});
+          }
+        }
+      }
+    }
+
+    // Strongly connected components over the mutex graph (iterative
+    // Tarjan). Any SCC of size > 1, or any self-edge, is a cycle.
+    std::map<std::string, std::vector<std::string>> adjacency;
+    for (const Edge& e : edges) adjacency[e.from].push_back(e.to);
+    std::map<std::string, int> component;
+    {
+      std::map<std::string, int> order_of;
+      std::map<std::string, int> low_of;
+      std::map<std::string, bool> on_stack;
+      std::vector<std::string> stack;
+      int order = 0;
+      int components = 0;
+      struct Frame {
+        std::string node;
+        std::size_t next_child = 0;
+      };
+      for (const auto& [root, unused] : adjacency) {
+        (void)unused;
+        if (order_of.count(root) > 0) continue;
+        std::vector<Frame> frames{Frame{root, 0}};
+        while (!frames.empty()) {
+          Frame& frame = frames.back();
+          const std::string node = frame.node;
+          if (frame.next_child == 0 && order_of.count(node) == 0) {
+            order_of[node] = low_of[node] = order++;
+            stack.push_back(node);
+            on_stack[node] = true;
+          }
+          bool descended = false;
+          const auto adj_it = adjacency.find(node);
+          if (adj_it != adjacency.end()) {
+            while (frame.next_child < adj_it->second.size()) {
+              const std::string& child = adj_it->second[frame.next_child++];
+              if (order_of.count(child) == 0) {
+                frames.push_back(Frame{child, 0});
+                descended = true;
+                break;
+              }
+              if (on_stack[child]) {
+                low_of[node] = std::min(low_of[node], order_of[child]);
+              }
+            }
+          }
+          if (descended) continue;
+          if (low_of[node] == order_of[node]) {
+            for (;;) {
+              const std::string popped = stack.back();
+              stack.pop_back();
+              on_stack[popped] = false;
+              component[popped] = components;
+              if (popped == node) break;
+            }
+            ++components;
+          }
+          frames.pop_back();
+          if (!frames.empty()) {
+            low_of[frames.back().node] =
+                std::min(low_of[frames.back().node], low_of[node]);
+          }
+        }
+      }
+    }
+    std::map<int, std::size_t> scc_size;
+    for (const auto& [node, c] : component) ++scc_size[c];
+
+    for (const Edge& e : edges) {
+      const bool self_cycle = e.from == e.to;
+      const auto from_it = component.find(e.from);
+      const auto to_it = component.find(e.to);
+      const bool in_cycle =
+          self_cycle ||
+          (from_it != component.end() && to_it != component.end() &&
+           from_it->second == to_it->second &&
+           scc_size[from_it->second] > 1);
+      if (!in_cycle) continue;
+      std::string message =
+          self_cycle
+              ? "mutex '" + e.from + "' acquired again while already held"
+              : "lock-order cycle: '" + e.to + "' acquired while '" +
+                    e.from + "' is held, and the reverse order exists "
+                    "elsewhere in the acquisition graph";
+      if (!e.via.empty()) message += " (via call to " + e.via + "())";
+      emit(e.file, e.line, "RL007", std::move(message),
+           "acquire mutexes in one documented order everywhere (see the "
+           "lock hierarchy in DESIGN.md §9), or narrow one guard so the "
+           "scopes never nest");
+    }
+  }
+
+  // RL009 — no blocking calls under a held lock, directly or through
+  // one level of resolved intra-project calls.
+  void check_blocking_under_lock() {
+    for (const FunctionInfo& fn : index.functions()) {
+      for (const LockScope& held : fn.locks) {
+        for (const BlockingOp& op : fn.blocking) {
+          if (op.token <= held.begin || op.token >= held.end) continue;
+          emit(fn.file, op.line, "RL009",
+               "blocking '" + op.what + "' while holding '" + held.mutex +
+                   "' — stalls every thread contending on the lock and "
+                   "invites deadlock on the serve/WAL hot paths",
+               "hoist the blocking operation out of the critical section: "
+               "copy what it needs under the lock, unlock, then block");
+        }
+        for (const CallSite& call : fn.calls) {
+          if (call.token <= held.begin || call.token >= held.end) continue;
+          const FunctionInfo* callee = index.resolve(call);
+          if (callee == nullptr || callee == &fn || callee->blocking.empty()) {
+            continue;
+          }
+          emit(fn.file, call.line, "RL009",
+               "call to " + callee->qualified_name + "() performs blocking '" +
+                   callee->blocking.front().what + "' while '" + held.mutex +
+                   "' is held",
+               "hoist the call out of the critical section: copy what it "
+               "needs under the lock, unlock, then call");
+        }
+      }
+    }
+  }
+
+  // RL010 — durability ordering on the crash-safety paths: every rename
+  // must see an fsync of the written file before it and a directory
+  // fsync after it, in the same function (an fsync inside a directly
+  // called project function counts — that is how fsync_or_throw and
+  // fsync_dir factor the protocol).
+  void check_durability_ordering() {
+    const auto fsyncs_directly = [](const FunctionInfo& fn) {
+      return std::any_of(fn.durability.begin(), fn.durability.end(),
+                         [](const DurabilityOp& op) {
+                           return op.kind == DurabilityOp::Kind::kFsync;
+                         });
+    };
+    for (const FunctionInfo& fn : index.functions()) {
+      if (!in_dir(fn.file, "ingest") && !in_dir(fn.file, "snapshot")) {
+        continue;
+      }
+      for (const DurabilityOp& op : fn.durability) {
+        if (op.kind != DurabilityOp::Kind::kRename) continue;
+        const auto fsync_on_side = [&](bool before) {
+          for (const DurabilityOp& other : fn.durability) {
+            if (other.kind != DurabilityOp::Kind::kFsync) continue;
+            if (before ? other.token < op.token : other.token > op.token) {
+              return true;
+            }
+          }
+          for (const CallSite& call : fn.calls) {
+            if (before ? call.token >= op.token : call.token <= op.token) {
+              continue;
+            }
+            const FunctionInfo* callee = index.resolve(call);
+            if (callee != nullptr && callee != &fn &&
+                fsyncs_directly(*callee)) {
+              return true;
+            }
+          }
+          return false;
+        };
+        if (!fsync_on_side(/*before=*/true)) {
+          emit(fn.file, op.line, "RL010",
+               "rename in " + fn.qualified_name +
+                   "() without a preceding fsync of the written file — a "
+                   "crash can publish the final name over unsynced bytes",
+               "fsync the written file (or call a helper that does, e.g. "
+               "fsync_or_throw) before the rename, as in snapshot "
+               "atomic_write");
+        }
+        if (!fsync_on_side(/*before=*/false)) {
+          emit(fn.file, op.line, "RL010",
+               "rename in " + fn.qualified_name +
+                   "() not followed by a directory fsync — the directory "
+                   "entry itself can vanish in a crash after the rename",
+               "fsync the parent directory (or call a helper that does, "
+               "e.g. fsync_dir) after the rename, as in snapshot "
+               "atomic_write");
+        }
+      }
+    }
+  }
+};
+
+void sort_and_dedupe(std::vector<Diagnostic>& diagnostics) {
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  diagnostics.erase(
+      std::unique(diagnostics.begin(), diagnostics.end(),
+                  [](const Diagnostic& a, const Diagnostic& b) {
+                    return a.file == b.file && a.line == b.line &&
+                           a.rule == b.rule && a.message == b.message;
+                  }),
+      diagnostics.end());
+}
+
+bool excluded(const Options& options, const std::string& path) {
+  for (const std::string& needle : options.excludes) {
+    if (path.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
 
 }  // namespace
 
@@ -573,23 +709,38 @@ std::vector<std::pair<std::string, std::string>> rule_catalog() {
   return out;
 }
 
+std::vector<Diagnostic> lint_project(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const Options& options) {
+  std::vector<std::pair<std::string, std::string>> kept;
+  kept.reserve(sources.size());
+  for (const auto& [path, content] : sources) {
+    if (!excluded(options, normalized(path))) kept.emplace_back(path, content);
+  }
+  const ProjectIndex index = ProjectIndex::build(kept);
+  std::vector<Diagnostic> diagnostics;
+  for (const IndexedFile& file : index.files()) {
+    Checker checker{file.path, file.lexed, options, diagnostics};
+    checker.check_parse_calls();
+    checker.check_nondeterminism();
+    checker.check_chrono_quarantine();
+    checker.check_unordered_iteration();
+    checker.check_raw_throws();
+    checker.check_float_equality();
+    checker.check_atomics_audit();
+  }
+  ProjectChecker project{index, options, diagnostics};
+  project.check_lock_order();
+  project.check_blocking_under_lock();
+  project.check_durability_ordering();
+  sort_and_dedupe(diagnostics);
+  return diagnostics;
+}
+
 std::vector<Diagnostic> lint_source(const std::string& path,
                                     std::string_view content,
                                     const Options& options) {
-  const LexedFile lx = lex(content);
-  Checker checker{normalized(path), lx, options, {}};
-  checker.check_parse_calls();
-  checker.check_nondeterminism();
-  checker.check_chrono_quarantine();
-  checker.check_unordered_iteration();
-  checker.check_raw_throws();
-  checker.check_float_equality();
-  std::stable_sort(checker.diagnostics.begin(), checker.diagnostics.end(),
-                   [](const Diagnostic& a, const Diagnostic& b) {
-                     return a.line != b.line ? a.line < b.line
-                                             : a.rule < b.rule;
-                   });
-  return std::move(checker.diagnostics);
+  return lint_project({{path, std::string{content}}}, options);
 }
 
 namespace {
@@ -599,38 +750,175 @@ bool lintable_extension(const std::filesystem::path& path) {
   return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
 }
 
-std::string read_file(const std::filesystem::path& path) {
+std::string read_file_or_throw(const std::filesystem::path& path) {
   std::ifstream in{path, std::ios::binary};
   if (!in) {
-    throw std::runtime_error("repro-lint: cannot open " + path.string());
+    // RL004's own discipline applies to the linter too: an unreadable
+    // input is an OS-level failure, so it surfaces as the typed IoError.
+    throw IoError("repro-lint: cannot open " + path.string());
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return std::move(buffer).str();
 }
 
+std::string json_escaped(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(static_cast<unsigned char>(c) >> 4) & 0xF];
+          out += kHex[static_cast<unsigned char>(c) & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::vector<Diagnostic> lint_paths(
+    const std::vector<std::filesystem::path>& paths, const Options& options) {
+  std::vector<std::filesystem::path> files;
+  for (const std::filesystem::path& path : paths) {
+    if (std::filesystem::is_directory(path)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(path)) {
+        if (entry.is_regular_file() && lintable_extension(entry.path())) {
+          files.push_back(entry.path());
+        }
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.reserve(files.size());
+  for (const std::filesystem::path& file : files) {
+    const std::string path = file.generic_string();
+    if (excluded(options, normalized(path))) continue;
+    sources.emplace_back(path, read_file_or_throw(file));
+  }
+  return lint_project(sources, options);
+}
 
 std::vector<Diagnostic> lint_path(const std::filesystem::path& path,
                                   const Options& options) {
-  std::vector<std::filesystem::path> files;
-  if (std::filesystem::is_directory(path)) {
-    for (const auto& entry :
-         std::filesystem::recursive_directory_iterator(path)) {
-      if (entry.is_regular_file() && lintable_extension(entry.path())) {
-        files.push_back(entry.path());
+  return lint_paths({path}, options);
+}
+
+std::string diagnostics_to_json(const std::vector<Diagnostic>& diagnostics) {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& [id, summary] : rule_catalog()) {
+    (void)summary;
+    counts[id] = 0;
+  }
+  for (const Diagnostic& d : diagnostics) ++counts[d.rule];
+
+  std::string out = "{\n  \"tool\": \"repro-lint\",\n  \"version\": 2,\n";
+  out += "  \"total\": " + std::to_string(diagnostics.size()) + ",\n";
+  out += "  \"rule_counts\": {";
+  bool first = true;
+  for (const auto& [rule, count] : counts) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + json_escaped(rule) + "\": " + std::to_string(count);
+    first = false;
+  }
+  out += "\n  },\n  \"diagnostics\": [";
+  first = true;
+  for (const Diagnostic& d : diagnostics) {
+    out += first ? "\n" : ",\n";
+    out += "    {\"file\": \"" + json_escaped(d.file) + "\", ";
+    out += "\"line\": " + std::to_string(d.line) + ", ";
+    out += "\"rule\": \"" + json_escaped(d.rule) + "\", ";
+    out += "\"message\": \"" + json_escaped(d.message) + "\", ";
+    out += "\"suggestion\": \"" + json_escaped(d.suggestion) + "\"}";
+    first = false;
+  }
+  out += diagnostics.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::vector<Diagnostic> apply_baseline(std::vector<Diagnostic> diagnostics,
+                                       std::string_view baseline_text) {
+  struct Entry {
+    std::string rule;
+    std::string file_suffix;
+    std::string message;
+  };
+  std::vector<Entry> entries;
+  std::size_t start = 0;
+  while (start <= baseline_text.size()) {
+    std::size_t end = baseline_text.find('\n', start);
+    if (end == std::string_view::npos) end = baseline_text.size();
+    const std::string_view line =
+        trimmed(baseline_text.substr(start, end - start));
+    start = end + 1;
+    if (line.empty() || line.front() == '#') {
+      if (end == baseline_text.size()) break;
+      continue;
+    }
+    const std::size_t first = line.find('|');
+    const std::size_t second =
+        first == std::string_view::npos ? std::string_view::npos
+                                        : line.find('|', first + 1);
+    if (second == std::string_view::npos) {
+      if (end == baseline_text.size()) break;
+      continue;  // malformed line: never silently suppress by accident
+    }
+    entries.push_back(Entry{std::string{line.substr(0, first)},
+                            std::string{line.substr(first + 1,
+                                                    second - first - 1)},
+                            std::string{line.substr(second + 1)}});
+    if (end == baseline_text.size()) break;
+  }
+  const auto matches = [&](const Diagnostic& d) {
+    for (const Entry& entry : entries) {
+      if (d.rule != entry.rule || d.message != entry.message) continue;
+      if (d.file == entry.file_suffix || d.file.ends_with(entry.file_suffix)) {
+        return true;
       }
     }
-  } else {
-    files.push_back(path);
-  }
-  std::sort(files.begin(), files.end());
-  std::vector<Diagnostic> out;
-  for (const std::filesystem::path& file : files) {
-    std::vector<Diagnostic> found =
-        lint_source(file.generic_string(), read_file(file), options);
-    out.insert(out.end(), std::make_move_iterator(found.begin()),
-               std::make_move_iterator(found.end()));
+    return false;
+  };
+  diagnostics.erase(
+      std::remove_if(diagnostics.begin(), diagnostics.end(), matches),
+      diagnostics.end());
+  return diagnostics;
+}
+
+std::string diagnostics_to_baseline(const std::vector<Diagnostic>& diagnostics,
+                                    std::string_view strip_prefix) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    std::string file = d.file;
+    if (!strip_prefix.empty() && file.rfind(strip_prefix, 0) == 0) {
+      file.erase(0, strip_prefix.size());
+    }
+    out += d.rule + "|" + file + "|" + d.message + "\n";
   }
   return out;
 }
@@ -638,29 +926,53 @@ std::vector<Diagnostic> lint_path(const std::filesystem::path& path,
 int run_cli(int argc, const char* const* argv) {
   Options options;
   bool fix_suggestions = false;
+  bool emit_baseline = false;
+  std::string format = "text";
+  std::string baseline_path;
   std::vector<std::filesystem::path> paths;
+  const auto split_rules = [&](std::string_view list) {
+    while (!list.empty()) {
+      const std::size_t comma = list.find(',');
+      const std::string_view rule = trimmed(
+          comma == std::string_view::npos ? list : list.substr(0, comma));
+      if (!rule.empty()) options.only.emplace(rule);
+      if (comma == std::string_view::npos) break;
+      list.remove_prefix(comma + 1);
+    }
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--fix-suggestions") {
       fix_suggestions = true;
+    } else if (arg == "--emit-baseline") {
+      emit_baseline = true;
     } else if (arg.rfind("--only=", 0) == 0) {
-      std::string_view list = arg.substr(7);
-      while (!list.empty()) {
-        const std::size_t comma = list.find(',');
-        const std::string_view rule = trimmed(
-            comma == std::string_view::npos ? list : list.substr(0, comma));
-        if (!rule.empty()) options.only.emplace(rule);
-        if (comma == std::string_view::npos) break;
-        list.remove_prefix(comma + 1);
-      }
+      split_rules(arg.substr(7));
+    } else if (arg == "--only" && i + 1 < argc) {
+      split_rules(argv[++i]);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = std::string{arg.substr(9)};
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = std::string{arg.substr(11)};
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg.rfind("--exclude=", 0) == 0) {
+      options.excludes.emplace_back(arg.substr(10));
+    } else if (arg == "--exclude" && i + 1 < argc) {
+      options.excludes.emplace_back(argv[++i]);
     } else if (arg == "--list-rules") {
       for (const auto& [id, summary] : rule_catalog()) {
         std::cout << id << "  " << summary << "\n";
       }
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: repro_lint [--fix-suggestions] [--only=RL001,...] "
-                   "[--list-rules] <file-or-dir>...\n";
+      std::cout
+          << "usage: repro_lint [--fix-suggestions] [--only=RL001,...]\n"
+             "                  [--format=text|json] [--baseline=FILE]\n"
+             "                  [--exclude=SUBSTR]... [--emit-baseline]\n"
+             "                  [--list-rules] <file-or-dir>...\n";
       return 0;
     } else if (arg.rfind("-", 0) == 0) {
       std::cerr << "repro-lint: unknown option '" << arg << "'\n";
@@ -671,20 +983,34 @@ int run_cli(int argc, const char* const* argv) {
   }
   if (paths.empty()) {
     std::cerr << "usage: repro_lint [--fix-suggestions] [--only=RL001,...] "
-                 "<file-or-dir>...\n";
+                 "[--format=text|json] [--baseline=FILE] <file-or-dir>...\n";
     return 2;
   }
-  std::size_t total = 0;
-  std::size_t files = 0;
-  for (const std::filesystem::path& path : paths) {
-    std::vector<Diagnostic> diagnostics;
-    try {
-      diagnostics = lint_path(path, options);
-    } catch (const std::exception& error) {
-      std::cerr << error.what() << "\n";
-      return 2;
+  if (format != "text" && format != "json") {
+    std::cerr << "repro-lint: unknown format '" << format << "'\n";
+    return 2;
+  }
+
+  std::vector<Diagnostic> diagnostics;
+  try {
+    diagnostics = lint_paths(paths, options);
+    if (!baseline_path.empty()) {
+      diagnostics = apply_baseline(
+          diagnostics,
+          read_file_or_throw(std::filesystem::path{baseline_path}));
     }
-    ++files;
+  } catch (const std::exception& error) {
+    std::cerr << error.what() << "\n";
+    return 2;
+  }
+
+  if (emit_baseline) {
+    std::cout << diagnostics_to_baseline(diagnostics);
+    return diagnostics.empty() ? 0 : 1;
+  }
+  if (format == "json") {
+    std::cout << diagnostics_to_json(diagnostics);
+  } else {
     for (const Diagnostic& d : diagnostics) {
       std::cout << d.file << ":" << d.line << ": " << d.rule << ": "
                 << d.message << "\n";
@@ -692,13 +1018,19 @@ int run_cli(int argc, const char* const* argv) {
         std::cout << "    suggestion: " << d.suggestion << "\n";
       }
     }
-    total += diagnostics.size();
   }
-  if (total == 0) {
+  // Per-rule counts on stderr in every mode, so a CI log shows at a
+  // glance which rule regressed even when the JSON went to an artifact.
+  std::map<std::string, std::size_t> counts;
+  for (const Diagnostic& d : diagnostics) ++counts[d.rule];
+  for (const auto& [rule, count] : counts) {
+    std::cerr << "repro-lint: " << rule << ": " << count << "\n";
+  }
+  if (diagnostics.empty()) {
     std::cerr << "repro-lint: clean\n";
     return 0;
   }
-  std::cerr << "repro-lint: " << total << " diagnostic(s)\n";
+  std::cerr << "repro-lint: " << diagnostics.size() << " diagnostic(s)\n";
   return 1;
 }
 

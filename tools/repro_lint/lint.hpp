@@ -1,9 +1,14 @@
-// repro-lint: a repo-specific determinism & error-handling linter.
+// repro-lint: a repo-specific determinism, error-handling and
+// concurrency/durability linter.
 //
-// The reproduction's value rests on bit-identical pipeline output, so a
-// handful of C++ constructs that are merely stylistic elsewhere are
-// correctness bugs here. This tool enforces them as named, suppressible
-// rules over a lexer-lite token stream (no libclang dependency):
+// The reproduction's value rests on bit-identical pipeline output and
+// on crash guarantees that survive a 17-month-style live deployment,
+// so a handful of C++ constructs that are merely stylistic elsewhere
+// are correctness bugs here. This tool enforces them as named,
+// suppressible rules in two phases: phase 1 builds a cross-TU project
+// index (per-function token streams, mutex declarations, lock-guard
+// scopes, call edges by qualified name — see index.hpp), phase 2 runs
+// the rules over it (no libclang dependency):
 //
 //   RL001  unchecked numeric parsing (std::stoi/atoi/strtol/sscanf
 //          family) — use the checked repro::parse_* wrappers
@@ -12,9 +17,10 @@
 //          std::random_device, std::chrono clocks) outside util/rng
 //          and util/simtime.
 //   RL003  range-for over unordered_{map,set} in export-path
-//          directories (src/io, src/report, src/snapshot) — iteration
-//          order leaks into serialized bytes; use
-//          repro::sorted_keys/sorted_items (util/sorted.hpp).
+//          directories (src/io, src/report, src/snapshot, src/cluster,
+//          src/ingest, src/serve) — iteration order leaks into
+//          serialized bytes; use repro::sorted_keys/sorted_items
+//          (util/sorted.hpp).
 //   RL004  raw std:: exception throws (std::runtime_error,
 //          std::invalid_argument, ...) — translate to ParseError /
 //          ConfigError / IoError so parse boundaries stay typed.
@@ -24,10 +30,30 @@
 //          qualified name) outside src/obs and util/simtime — all wall-
 //          clock access goes through the audited obs/stopwatch seam so
 //          timing can never leak into deterministic output.
+//   RL007  lock-order cycles — the lock acquisition graph (which
+//          mutexes are acquired while which others are held, across
+//          one level of call edges) must stay acyclic; a cycle is a
+//          potential deadlock between the pool, queues, WAL and serve
+//          workers.
+//   RL008  atomics audit — explicit non-seq_cst memory orders and
+//          `volatile` are banned outside an annotated allowlist
+//          (`// repro-lint: allow(RL008) <proof>`), so every relaxed
+//          ordering carries a written argument.
+//   RL009  no blocking calls under a lock — fsync/read/write/accept/
+//          sleep_ms/std::filesystem I/O and condition-variable waits
+//          without a predicate inside a held lock-guard scope
+//          (including via one level of intra-project call indirection).
+//   RL010  durability ordering — in src/ingest and src/snapshot every
+//          rename must be dominated by an fsync of the written file in
+//          the same function and followed by a directory fsync (the
+//          WAL's crash-safety protocol as a checkable state machine).
 //
 // Inline suppression: `// repro-lint: allow(RL001) reason` silences the
 // named rule(s) on its own line, or on the next line when the comment
-// stands alone. Diagnostics are GCC-style `file:line: RLxxx: message`.
+// stands alone; `// repro-lint: allow-file(RL008) reason` silences a
+// rule for the whole file when one written argument covers every site.
+// Diagnostics are GCC-style `file:line: RLxxx: message`, or a sorted,
+// byte-stable JSON document under --format=json.
 #pragma once
 
 #include <filesystem>
@@ -41,7 +67,7 @@ namespace repro::lint {
 struct Diagnostic {
   std::string file;
   int line = 0;
-  std::string rule;        // "RL001" .. "RL006"
+  std::string rule;        // "RL001" .. "RL010"
   std::string message;
   std::string suggestion;  // printed by --fix-suggestions
 };
@@ -49,21 +75,60 @@ struct Diagnostic {
 struct Options {
   /// When non-empty, only these rule ids are checked.
   std::set<std::string, std::less<>> only;
+  /// Files whose normalized path contains any of these substrings are
+  /// skipped entirely (e.g. the golden corpus under tests/lint).
+  std::vector<std::string> excludes;
 };
 
 /// All rule ids this build knows, with a one-line description each.
 [[nodiscard]] std::vector<std::pair<std::string, std::string>> rule_catalog();
 
 /// Lints one in-memory translation unit. `path` supplies the directory
-/// context rules RL003/RL005 key on; it is not opened.
+/// context rules RL003/RL005/RL010 key on; it is not opened. The
+/// project rules (RL007–RL010) run over a single-file index, so call
+/// edges resolve within this TU only.
 [[nodiscard]] std::vector<Diagnostic> lint_source(const std::string& path,
                                                   std::string_view content,
                                                   const Options& options = {});
 
+/// Two-phase lint over a set of in-memory translation units: builds the
+/// cross-TU index once, then runs every rule. Diagnostics come back
+/// sorted by (file, line, rule, message).
+[[nodiscard]] std::vector<Diagnostic> lint_project(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    const Options& options = {});
+
 /// Lints a file or directory tree (*.cpp, *.cc, *.hpp, *.h), reading
-/// from disk. Throws std::runtime_error when a file cannot be read.
+/// from disk. All files under every path form one project index, so
+/// cross-TU call edges resolve across the whole tree. Throws
+/// repro::IoError when a file cannot be read.
 [[nodiscard]] std::vector<Diagnostic> lint_path(
     const std::filesystem::path& path, const Options& options = {});
+
+/// Like lint_path but over several roots sharing one project index.
+[[nodiscard]] std::vector<Diagnostic> lint_paths(
+    const std::vector<std::filesystem::path>& paths,
+    const Options& options = {});
+
+/// Machine-readable diagnostics: a single JSON document with the
+/// diagnostics sorted by (file, line, rule, message) and a per-rule
+/// count summary. Byte-stable: same diagnostics, same bytes — no
+/// timestamps, no environment, fixed key order.
+[[nodiscard]] std::string diagnostics_to_json(
+    const std::vector<Diagnostic>& diagnostics);
+
+/// One baseline entry per line: `rule|path-suffix|message`. Diagnostics
+/// matching an entry (rule and message exactly, file by path suffix)
+/// are suppressed; `#` lines and blank lines are ignored.
+[[nodiscard]] std::vector<Diagnostic> apply_baseline(
+    std::vector<Diagnostic> diagnostics, std::string_view baseline_text);
+
+/// Renders diagnostics in the baseline format accepted by
+/// apply_baseline, with `strip_prefix` removed from file paths so the
+/// committed baseline stays machine-independent.
+[[nodiscard]] std::string diagnostics_to_baseline(
+    const std::vector<Diagnostic>& diagnostics,
+    std::string_view strip_prefix = {});
 
 /// The `repro_lint` CLI: returns 0 when clean, 1 when diagnostics were
 /// emitted, 2 on usage or I/O errors.

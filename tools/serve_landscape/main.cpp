@@ -41,6 +41,9 @@ namespace {
 std::atomic<bool> g_stop{false};
 
 extern "C" void handle_stop_signal(int) {
+  // Lone stop flag set from a signal handler; no data is published
+  // through it and the linger loop tolerates any store-to-poll delay.
+  // repro-lint: allow(RL008) stop flag publishes no data
   g_stop.store(true, std::memory_order_relaxed);
 }
 
