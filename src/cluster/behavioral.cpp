@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <numeric>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "cluster/minhash.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace repro::cluster {
@@ -69,12 +72,13 @@ class UnionFind {
   std::vector<std::size_t> size_;
 };
 
-std::vector<std::vector<std::uint64_t>> id_sets(
-    const std::vector<const sandbox::BehavioralProfile*>& profiles,
-    ThreadPool* pool) {
-  std::vector<std::vector<std::uint64_t>> ids(profiles.size());
+/// Fills ids[base..] with the feature-id sets of profiles[base..],
+/// fanned out over the pool when one is attached.
+void fill_id_sets(const std::vector<const sandbox::BehavioralProfile*>& profiles,
+                  std::vector<std::vector<std::uint64_t>>& ids,
+                  std::size_t base, ThreadPool* pool) {
   const auto fill = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
+    for (std::size_t i = base + begin; i < base + end; ++i) {
       if (profiles[i] == nullptr) {
         throw ConfigError("cluster_profiles: null profile pointer");
       }
@@ -82,11 +86,32 @@ std::vector<std::vector<std::uint64_t>> id_sets(
     }
   };
   if (pool != nullptr) {
-    pool->parallel_for(profiles.size(), 64, fill);
+    pool->parallel_for(profiles.size() - base, 64, fill);
   } else {
-    fill(0, profiles.size());
+    fill(0, profiles.size() - base);
   }
-  return ids;
+}
+
+/// Feature-id sets of every profile. With an attached signature cache
+/// the store's id-set cache is the backing storage: only ids of items
+/// appended since the previous pass are recomputed (profiles are
+/// immutable, so the cached prefix is bit-identical to a fresh
+/// extraction). Without one, `scratch` holds a freshly computed set.
+const std::vector<std::vector<std::uint64_t>>& id_sets(
+    const std::vector<const sandbox::BehavioralProfile*>& profiles,
+    const BehavioralOptions& options,
+    std::vector<std::vector<std::uint64_t>>& scratch) {
+  SignatureStore* cache = options.signature_cache;
+  if (cache == nullptr) {
+    scratch.assign(profiles.size(), {});
+    fill_id_sets(profiles, scratch, 0, options.pool);
+    return scratch;
+  }
+  if (cache->id_sets.size() > profiles.size()) cache->id_sets.clear();
+  const std::size_t have = cache->id_sets.size();
+  cache->id_sets.resize(profiles.size());
+  fill_id_sets(profiles, cache->id_sets, have, options.pool);
+  return cache->id_sets;
 }
 
 /// One MinHash signature pass over every id set, banded into an LSH
@@ -97,22 +122,86 @@ LshIndex build_lsh_index(const std::vector<std::vector<std::uint64_t>>& ids,
                          const BehavioralOptions& options) {
   const MinHasher hasher{options.lsh_bands * options.lsh_rows, options.seed};
   LshIndex index{options.lsh_bands, options.lsh_rows};
-  std::vector<std::vector<std::uint64_t>> signatures(ids.size());
+  // An attached signature cache supplies the unchanged prefix (items
+  // are positional and the streaming caller only ever appends) and is
+  // the backing storage for this pass — new signatures are computed
+  // straight into it, nothing is copied. A configuration change or a
+  // shrunk item list invalidates it.
+  SignatureStore* cache = options.signature_cache;
+  const std::uint64_t config =
+      signature_config(options.lsh_bands, options.lsh_rows, options.seed);
+  if (cache != nullptr &&
+      (cache->config != config || cache->signatures.size() > ids.size())) {
+    cache->config = config;
+    cache->signatures.clear();
+  }
+  std::vector<std::vector<std::uint64_t>> scratch;
+  std::vector<std::vector<std::uint64_t>>& signatures =
+      cache != nullptr ? cache->signatures : scratch;
+  const std::size_t cached = signatures.size();
+  signatures.resize(ids.size());
   const auto compute = [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
-      signatures[i] = hasher.signature(ids[i]);
+      signatures[cached + i] = hasher.signature(ids[cached + i]);
     }
   };
   if (options.pool != nullptr) {
-    options.pool->parallel_for(ids.size(), 64, compute);
+    options.pool->parallel_for(ids.size() - cached, 64, compute);
   } else {
-    compute(0, ids.size());
+    compute(0, ids.size() - cached);
+  }
+  if (cache != nullptr) {
+    cache->reused += cached;
+    cache->computed += ids.size() - cached;
   }
   for (std::size_t i = 0; i < ids.size(); ++i) {
     index.insert(i, signatures[i]);
   }
   obs::add_counter(options.metrics, "cluster.b.signatures", ids.size());
   return index;
+}
+
+/// Exact-duplicate representative of every item: rep[i] is the first
+/// index whose id set equals ids[i]. Behavioral corpora are heavily
+/// duplicated (one malware family, thousands of identical profiles),
+/// so mapping Jaccard work onto representatives collapses each
+/// duplicate class to one evaluation.
+std::vector<std::size_t> duplicate_reps(
+    const std::vector<std::vector<std::uint64_t>>& ids) {
+  std::vector<std::size_t> rep(ids.size());
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> index;
+  index.reserve(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    std::uint64_t hash = 0x84222325cbf29ce4ULL ^ ids[i].size();
+    for (const std::uint64_t id : ids[i]) hash = mix64(hash ^ id);
+    std::vector<std::size_t>& candidates = index[hash];
+    rep[i] = i;
+    for (const std::size_t candidate : candidates) {
+      if (ids[candidate] == ids[i]) {
+        rep[i] = candidate;
+        break;
+      }
+    }
+    if (rep[i] == i) candidates.push_back(i);
+  }
+  return rep;
+}
+
+/// Replays a prior partition into the union-find: items that shared a
+/// cluster are reconnected through their cluster's first member.
+void seed_partition(UnionFind& groups, const std::vector<int>& assignment) {
+  constexpr std::size_t kNone = ~std::size_t{0};
+  std::vector<std::size_t> first;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] < 0) continue;
+    const auto cluster = static_cast<std::size_t>(assignment[i]);
+    if (cluster >= first.size()) first.resize(cluster + 1, kNone);
+    if (first[cluster] == kNone) {
+      first[cluster] = i;
+    } else {
+      groups.unite(first[cluster], i);
+    }
+  }
 }
 
 /// Evaluates within-bucket pairs and unions those whose Jaccard
@@ -124,12 +213,25 @@ LshIndex build_lsh_index(const std::vector<std::vector<std::uint64_t>>& ids,
 /// so after the first successful unite the union-find short-circuits
 /// the remaining pairs in O(alpha) each — this is what keeps LSH
 /// clustering below the O(n^2) distance matrix.
+///
+/// `groups` arrives pre-seeded with the caller's prior partition over
+/// the first `old_n` items; pairs wholly inside that prefix are
+/// skipped because their edges are already present (see
+/// BehavioralOptions::prior_assignment for why that is sound).
 void unite_bucket_pairs(UnionFind& groups,
                         const std::vector<std::vector<std::uint64_t>>& ids,
                         const std::vector<std::vector<std::size_t>>& buckets,
-                        const BehavioralOptions& options) {
+                        const BehavioralOptions& options, std::size_t old_n,
+                        const std::vector<std::size_t>& reps) {
   const double threshold = options.threshold;
   ThreadPool* pool = options.pool;
+  // Jaccard is a function of the two id sets alone, so a pair of
+  // duplicate classes scores the same wherever its members co-occur.
+  // Each sweep memoizes failed representative pairs (passing pairs
+  // already short-circuit through the union-find) to evaluate every
+  // class pair at most once instead of once per shared bucket. The
+  // packed key needs both indices to fit 32 bits.
+  const bool memoize = ids.size() < (std::size_t{1} << 32);
   if (options.metrics != nullptr) {
     // Worst-case pair count is a property of the bucket contents, not
     // of the schedule — deterministic. The *performed* evaluation
@@ -150,16 +252,29 @@ void unite_bucket_pairs(UnionFind& groups,
   using Edge = std::pair<std::size_t, std::size_t>;
   const auto process = [&](const std::vector<std::size_t>& bucket,
                            UnionFind& uf, std::vector<Edge>* edges,
-                           std::uint64_t& evaluated) {
+                           std::uint64_t& evaluated,
+                           std::unordered_set<std::uint64_t>* failed) {
     for (std::size_t i = 1; i < bucket.size(); ++i) {
+      // Bucket items ascend, so bucket[i] < old_n puts every partner
+      // bucket[j < i] inside the seeded prefix too.
+      if (bucket[i] < old_n) continue;
       for (std::size_t j = 0; j < i; ++j) {
         const std::size_t a = bucket[j];
         const std::size_t b = bucket[i];
         if (uf.find(a) == uf.find(b)) continue;
+        std::uint64_t key = 0;
+        if (failed != nullptr) {
+          const std::uint64_t low = std::min(reps[a], reps[b]);
+          const std::uint64_t high = std::max(reps[a], reps[b]);
+          key = (low << 32) | high;
+          if (failed->contains(key)) continue;
+        }
         ++evaluated;
         if (jaccard_ids(ids[a], ids[b]) >= threshold) {
           uf.unite(a, b);
           if (edges != nullptr) edges->emplace_back(a, b);
+        } else if (failed != nullptr) {
+          failed->insert(key);
         }
       }
     }
@@ -167,8 +282,9 @@ void unite_bucket_pairs(UnionFind& groups,
 
   if (pool == nullptr || pool->width() == 1 || buckets.size() < 2) {
     std::uint64_t evaluated = 0;
+    std::unordered_set<std::uint64_t> failed;
     for (const auto& bucket : buckets) {
-      process(bucket, groups, nullptr, evaluated);
+      process(bucket, groups, nullptr, evaluated, memoize ? &failed : nullptr);
     }
     if (evaluations != nullptr) evaluations->add(evaluated);
     return;
@@ -198,13 +314,17 @@ void unite_bucket_pairs(UnionFind& groups,
   bounds.push_back(buckets.size());
 
   const std::size_t tasks = bounds.size() - 1;
-  const std::size_t n = ids.size();
   std::vector<std::vector<Edge>> edges(tasks);
+  // Task-local union-finds start as copies of the seeded global one so
+  // the prior partition short-circuits old/new pairs inside each task.
+  const UnionFind seeded = groups;
   pool->parallel_for(tasks, 1, [&](std::size_t task, std::size_t) {
-    UnionFind local{n};
+    UnionFind local = seeded;
     std::uint64_t evaluated = 0;
+    std::unordered_set<std::uint64_t> failed;
     for (std::size_t i = bounds[task]; i < bounds[task + 1]; ++i) {
-      process(buckets[i], local, &edges[task], evaluated);
+      process(buckets[i], local, &edges[task], evaluated,
+              memoize ? &failed : nullptr);
     }
     if (evaluations != nullptr) evaluations->add(evaluated);
   });
@@ -224,12 +344,31 @@ BehavioralClusters cluster_from_ids(
   if (n == 0) return result;
 
   UnionFind groups{n};
+  std::size_t old_n = 0;
+  if (options.prior_assignment != nullptr &&
+      options.prior_assignment->size() <= n) {
+    old_n = options.prior_assignment->size();
+    seed_partition(groups, *options.prior_assignment);
+  }
+  const std::vector<std::size_t> reps = duplicate_reps(ids);
+  if (options.threshold <= 1.0) {
+    // Duplicates share every band bucket (identical signatures) and
+    // score Jaccard 1.0, so uniting each class up front only adds
+    // edges the pair sweep would add anyway — it just spares the sweep
+    // from discovering them pair by pair.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (reps[i] != i) groups.unite(reps[i], i);
+    }
+  }
   if (index != nullptr) {
-    unite_bucket_pairs(groups, ids, index->multi_item_buckets(), options);
+    unite_bucket_pairs(groups, ids, index->multi_item_buckets(), options,
+                       old_n, reps);
   } else {
     std::uint64_t evaluated = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
+      // Pairs wholly inside the seeded prefix were already decided by
+      // the prior partition; resume at its edge.
+      for (std::size_t j = i < old_n ? old_n : i + 1; j < n; ++j) {
         if (groups.find(i) == groups.find(j)) continue;
         ++evaluated;
         if (jaccard_ids(ids[i], ids[j]) >= options.threshold) {
@@ -278,7 +417,8 @@ std::size_t BehavioralClusters::singleton_count() const noexcept {
 BehavioralClusters cluster_profiles(
     const std::vector<const sandbox::BehavioralProfile*>& profiles,
     const BehavioralOptions& options) {
-  const auto ids = id_sets(profiles, options.pool);
+  std::vector<std::vector<std::uint64_t>> scratch;
+  const auto& ids = id_sets(profiles, options, scratch);
   if (ids.empty()) return {};
   if (!options.use_lsh) return cluster_from_ids(ids, options, nullptr);
   const LshIndex index = build_lsh_index(ids, options);
@@ -291,7 +431,8 @@ PairStats pair_stats(
   PairStats stats;
   const std::size_t n = profiles.size();
   stats.exact_pairs = n * (n - 1) / 2;
-  const auto ids = id_sets(profiles, options.pool);
+  std::vector<std::vector<std::uint64_t>> scratch;
+  const auto& ids = id_sets(profiles, options, scratch);
   stats.lsh_candidate_pairs = build_lsh_index(ids, options)
                                   .candidate_pairs()
                                   .size();
@@ -304,7 +445,8 @@ ClusteringRun cluster_profiles_with_stats(
   ClusteringRun run;
   const std::size_t n = profiles.size();
   run.stats.exact_pairs = n * (n - 1) / 2;
-  const auto ids = id_sets(profiles, options.pool);
+  std::vector<std::vector<std::uint64_t>> scratch;
+  const auto& ids = id_sets(profiles, options, scratch);
   if (ids.empty()) return run;
   // One signature pass feeds both artifacts.
   const LshIndex index = build_lsh_index(ids, options);

@@ -31,6 +31,8 @@ class MetricsRegistry;
 
 namespace repro::cluster {
 
+struct SignatureStore;
+
 struct BehavioralOptions {
   /// Jaccard similarity threshold for merging.
   double threshold = 0.70;
@@ -50,6 +52,24 @@ struct BehavioralOptions {
   /// task-local union-find short-circuited, i.e. on pool width, so it
   /// lands on the runtime channel.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Optional cross-call signature cache (non-owning). The streaming
+  /// epoch loop sets this so only profiles appended since the previous
+  /// epoch are hashed; signatures of the unchanged prefix are reused.
+  /// The cache never changes the produced clusters — buckets and the
+  /// union-find are rebuilt from the (identical) signatures either way.
+  SignatureStore* signature_cache = nullptr;
+  /// Optional prior partition (non-owning): the `assignment` produced
+  /// by an earlier call over a strict prefix of this profile list with
+  /// identical options (threshold, LSH geometry, seed). Because
+  /// profiles are immutable and appended-only, two old items land in a
+  /// common bucket this call iff they did in the prior one and their
+  /// Jaccard outcome is unchanged — so every old/old edge is already
+  /// reflected in the prior partition. The union-find is seeded from
+  /// it and only pairs touching an appended item are evaluated. The
+  /// produced partition is identical to a from-scratch run; callers
+  /// that cannot guarantee the prefix/options contract must leave this
+  /// null. Ignored when its size exceeds the profile count.
+  const std::vector<int>* prior_assignment = nullptr;
 };
 
 struct BehavioralClusters {

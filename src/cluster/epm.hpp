@@ -54,6 +54,8 @@ struct EpmResult {
                                const InvariantThresholds&);
   /// Snapshot codec: rebuilds the event index on restore.
   friend struct repro::snapshot::EpmResultAccess;
+  /// Streaming engine: materializes results with the same index.
+  friend class IncrementalEpm;
   std::unordered_map<honeypot::EventId, int> event_index_;
 };
 

@@ -25,12 +25,13 @@ std::size_t InvariantTable::count(std::size_t feature) const {
   return per_feature_[feature].size();
 }
 
-const std::unordered_set<std::string>& InvariantTable::values(
+std::vector<std::string> InvariantTable::sorted_values(
     std::size_t feature) const {
   if (feature >= per_feature_.size()) {
-    throw ConfigError("InvariantTable::values: feature index out of range");
+    throw ConfigError(
+        "InvariantTable::sorted_values: feature index out of range");
   }
-  return per_feature_[feature];
+  return sorted_keys(per_feature_[feature]);
 }
 
 InvariantTable discover_invariants(const DimensionData& data,

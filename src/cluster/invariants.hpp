@@ -41,7 +41,10 @@ class InvariantTable {
   [[nodiscard]] std::size_t feature_count() const noexcept {
     return per_feature_.size();
   }
-  [[nodiscard]] const std::unordered_set<std::string>& values(
+  /// Invariant values of one feature, ascending. The only enumeration
+  /// the table offers: handing out the raw unordered_set would let a
+  /// consumer wire hash-iteration order into an export path.
+  [[nodiscard]] std::vector<std::string> sorted_values(
       std::size_t feature) const;
 
  private:

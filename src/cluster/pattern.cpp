@@ -46,10 +46,24 @@ bool Pattern::subsumes(const Pattern& other) const {
 }
 
 std::string Pattern::key() const {
+  // The key must be injective over pattern content: epm_cluster dedups
+  // patterns by key, so two distinct patterns sharing a key silently
+  // merge clusters. A wildcard renders as a bare '*'; inside literal
+  // fields the separator, the wildcard marker, and the escape itself
+  // are backslash-escaped so "a|b" cannot read as two fields and a
+  // literal "*" cannot read as a wildcard. Values free of the three
+  // special bytes render exactly as before.
   std::string out;
   for (std::size_t f = 0; f < fields_.size(); ++f) {
     if (f > 0) out += "|";
-    out += fields_[f].has_value() ? *fields_[f] : "*";
+    if (!fields_[f].has_value()) {
+      out += "*";
+      continue;
+    }
+    for (const char c : *fields_[f]) {
+      if (c == '\\' || c == '|' || c == '*') out += '\\';
+      out += c;
+    }
   }
   return out;
 }

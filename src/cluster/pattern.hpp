@@ -36,8 +36,10 @@ class Pattern {
   /// (this is equal or more general).
   [[nodiscard]] bool subsumes(const Pattern& other) const;
 
-  /// Canonical key, e.g. "*|445" — stable across runs, usable for
-  /// deduplication and as a cluster label.
+  /// Canonical key, e.g. "*|445" — stable across runs, injective over
+  /// pattern content (literal '|', '*', and '\' are backslash-escaped;
+  /// a wildcard is a bare '*'), usable for deduplication and as a
+  /// cluster label.
   [[nodiscard]] std::string key() const;
 
   /// Pretty multi-field rendering with feature names, in the style of

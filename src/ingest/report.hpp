@@ -45,6 +45,12 @@ struct IngestReport {
   // --- Epoch loop (this process run) ---
   std::uint64_t epochs_run = 0;       // epochs computed by this process
   std::uint64_t epochs_restored = 0;  // 1 when a checkpoint was resumed
+  /// Epochs whose incremental clustering results were byte-compared
+  /// against a full recompute and matched
+  /// (StreamOptions::verify_incremental). Deliberately not published as
+  /// a metric: it counts this process run's cross-check work, which a
+  /// kill/resume run legitimately does less of.
+  std::uint64_t epochs_verified = 0;
 };
 
 /// The cumulative "stream totals" group as an opaque checkpoint blob.

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "cluster/behavioral.hpp"
+#include "cluster/incremental.hpp"
+#include "cluster/minhash.hpp"
 #include "ingest/queue.hpp"
 #include "ingest/wal.hpp"
 #include "obs/metrics.hpp"
@@ -91,6 +93,23 @@ void accumulate(honeypot::EnrichmentStats& total,
   total.parse_failures += delta.parse_failures;
   total.sandbox_faults += delta.sandbox_faults;
   total.label_gaps += delta.label_gaps;
+}
+
+// Serialized forms for the --verify-incremental byte diff: the snapshot
+// codec is a pure function of the result, so equal bytes here mean
+// every downstream artifact (exports, checkpoints) is equal too.
+[[nodiscard]] std::vector<std::uint8_t> epm_bytes(
+    const cluster::EpmResult& result) {
+  ByteWriter writer;
+  snapshot::write_epm_result(writer, result);
+  return writer.take();
+}
+
+[[nodiscard]] std::vector<std::uint8_t> bview_bytes(
+    const analysis::BehavioralView& view) {
+  ByteWriter writer;
+  snapshot::write_behavioral_view(writer, view);
+  return writer.take();
 }
 
 }  // namespace
@@ -186,6 +205,15 @@ Dataset build_streaming_dataset(const ScenarioOptions& options,
   fault::FaultReport restored_slice;
   snapshot::EpmStage epm_stage;
   analysis::BehavioralView bview;
+  // Incremental clustering engines: durable counting state per EPM
+  // dimension plus the cross-epoch MinHash signature cache. Primed from
+  // the restored cut below; verify mode also runs them (its published
+  // results are the incremental ones).
+  const bool incremental = stream.incremental || stream.verify_incremental;
+  cluster::IncrementalEpm inc_e{cluster::Dimension::kEpsilon};
+  cluster::IncrementalEpm inc_p{cluster::Dimension::kPi};
+  cluster::IncrementalEpm inc_m{cluster::Dimension::kMu};
+  cluster::SignatureStore signatures;
   bool have_results = false;
   if (restored) {
     done = restored->wal_records;
@@ -195,6 +223,16 @@ Dataset build_streaming_dataset(const ScenarioOptions& options,
     epm_stage = std::move(restored->epm);
     bview = std::move(restored->behavioral);
     ingest::decode_stream_totals(restored->ingest_blob, report);
+    if (incremental) {
+      // Empty blobs (a cut written by the full-recompute path) make the
+      // engines recount from the restored rows — same state, recomputed.
+      inc_e.restore(db, epm_stage.e, restored->e_counts);
+      inc_p.restore(db, epm_stage.p, restored->p_counts);
+      inc_m.restore(db, epm_stage.m, restored->m_counts);
+      if (!restored->signature_blob.empty()) {
+        signatures = cluster::decode_signature_store(restored->signature_blob);
+      }
+    }
     have_results = true;
     report.epochs_restored = 1;
   }
@@ -303,43 +341,130 @@ Dataset build_streaming_dataset(const ScenarioOptions& options,
                                            first_sample));
     }
 
-    // Full re-clustering: E/P/M/B are global views with no incremental
-    // form (a new sample can merge previously distinct clusters), so
-    // each epoch recomputes them — this is the cost the streaming
-    // ablation (ABL-10) measures against the one-shot build.
+    // Epoch clustering. Incremental (the default): the EPM engines
+    // absorb the epoch's event delta into their durable counting state
+    // and re-generalize only flip-affected rows, and B reuses cached
+    // MinHash signatures for the unchanged profile prefix — both
+    // byte-identical to the full recompute, which `incremental = false`
+    // still runs (this is the cost pair the ABL-10 streaming ablation
+    // measures).
     {
       const obs::TraceRecorder::Scoped cluster_span{
           options.trace, "epoch.cluster", epoch_span.id()};
       const auto parent = cluster_span.id();
+      // Previous epoch's B partition (restored from the cut on warm
+      // resume). Its rows are a prefix of this epoch's — profiles are
+      // immutable and appended in sample order — so it seeds the
+      // union-find and confines Jaccard work to pairs touching the
+      // appended suffix. Copied out because the B task overwrites
+      // `bview` in place.
+      const std::vector<int> prior_b = bview.clusters().assignment;
       std::vector<std::function<void()>> tasks;
-      tasks.emplace_back([&, parent] {
-        const obs::TraceRecorder::Scoped span{options.trace, "cluster.e",
-                                              parent};
-        epm_stage.e = cluster::epm_cluster(cluster::build_epsilon_data(db));
-      });
-      tasks.emplace_back([&, parent] {
-        const obs::TraceRecorder::Scoped span{options.trace, "cluster.p",
-                                              parent};
-        epm_stage.p = cluster::epm_cluster(cluster::build_pi_data(db));
-      });
-      tasks.emplace_back([&, parent] {
-        const obs::TraceRecorder::Scoped span{options.trace, "cluster.m",
-                                              parent};
-        epm_stage.m = cluster::epm_cluster(cluster::build_mu_data(db));
-      });
-      tasks.emplace_back([&, parent] {
-        const obs::TraceRecorder::Scoped span{options.trace, "cluster.b",
-                                              parent};
-        cluster::BehavioralOptions behavioral;
-        behavioral.threshold = options.b_threshold;
-        behavioral.pool = &pool;
-        // Deliberately no metrics sink: B's work counters would
-        // accumulate once per epoch run by *this process*, which a
-        // kill-resume run does fewer of — the deterministic channel
-        // only carries final-state values (published below).
-        bview = analysis::BehavioralView::build(db, behavioral);
-      });
+      if (incremental) {
+        tasks.emplace_back([&, parent] {
+          const obs::TraceRecorder::Scoped span{options.trace, "cluster.e",
+                                                parent};
+          epm_stage.e = inc_e.update(db);
+        });
+        tasks.emplace_back([&, parent] {
+          const obs::TraceRecorder::Scoped span{options.trace, "cluster.p",
+                                                parent};
+          epm_stage.p = inc_p.update(db);
+        });
+        tasks.emplace_back([&, parent] {
+          const obs::TraceRecorder::Scoped span{options.trace, "cluster.m",
+                                                parent};
+          epm_stage.m = inc_m.update(db);
+        });
+        tasks.emplace_back([&, parent] {
+          const obs::TraceRecorder::Scoped span{options.trace, "cluster.b",
+                                                parent};
+          cluster::BehavioralOptions behavioral;
+          behavioral.threshold = options.b_threshold;
+          behavioral.pool = &pool;
+          behavioral.signature_cache = &signatures;
+          behavioral.prior_assignment = &prior_b;
+          // Deliberately no metrics sink: B's work counters would
+          // accumulate once per epoch run by *this process*, which a
+          // kill-resume run does fewer of — the deterministic channel
+          // only carries final-state values (published below).
+          bview = analysis::BehavioralView::build(db, behavioral);
+        });
+      } else {
+        tasks.emplace_back([&, parent] {
+          const obs::TraceRecorder::Scoped span{options.trace, "cluster.e",
+                                                parent};
+          epm_stage.e = cluster::epm_cluster(cluster::build_epsilon_data(db));
+        });
+        tasks.emplace_back([&, parent] {
+          const obs::TraceRecorder::Scoped span{options.trace, "cluster.p",
+                                                parent};
+          epm_stage.p = cluster::epm_cluster(cluster::build_pi_data(db));
+        });
+        tasks.emplace_back([&, parent] {
+          const obs::TraceRecorder::Scoped span{options.trace, "cluster.m",
+                                                parent};
+          epm_stage.m = cluster::epm_cluster(cluster::build_mu_data(db));
+        });
+        tasks.emplace_back([&, parent] {
+          const obs::TraceRecorder::Scoped span{options.trace, "cluster.b",
+                                                parent};
+          cluster::BehavioralOptions behavioral;
+          behavioral.threshold = options.b_threshold;
+          behavioral.pool = &pool;
+          bview = analysis::BehavioralView::build(db, behavioral);
+        });
+      }
       pool.run_tasks(tasks);
+    }
+
+    if (stream.verify_incremental) {
+      // Cross-check: run the full recompute as a second batch (so the
+      // two B passes never nest parallel_for concurrently) and diff the
+      // serialized bytes of every result.
+      snapshot::EpmStage full_epm;
+      analysis::BehavioralView full_b;
+      {
+        const obs::TraceRecorder::Scoped verify_span{
+            options.trace, "epoch.verify", epoch_span.id()};
+        const auto parent = verify_span.id();
+        std::vector<std::function<void()>> tasks;
+        tasks.emplace_back([&, parent] {
+          const obs::TraceRecorder::Scoped span{options.trace, "verify.e",
+                                                parent};
+          full_epm.e = cluster::epm_cluster(cluster::build_epsilon_data(db));
+        });
+        tasks.emplace_back([&, parent] {
+          const obs::TraceRecorder::Scoped span{options.trace, "verify.p",
+                                                parent};
+          full_epm.p = cluster::epm_cluster(cluster::build_pi_data(db));
+        });
+        tasks.emplace_back([&, parent] {
+          const obs::TraceRecorder::Scoped span{options.trace, "verify.m",
+                                                parent};
+          full_epm.m = cluster::epm_cluster(cluster::build_mu_data(db));
+        });
+        tasks.emplace_back([&, parent] {
+          const obs::TraceRecorder::Scoped span{options.trace, "verify.b",
+                                                parent};
+          cluster::BehavioralOptions behavioral;
+          behavioral.threshold = options.b_threshold;
+          behavioral.pool = &pool;
+          full_b = analysis::BehavioralView::build(db, behavioral);
+        });
+        pool.run_tasks(tasks);
+      }
+      const auto mismatch = [&](const char* dimension) {
+        throw ConfigError(
+            "verify-incremental: " + std::string{dimension} +
+            " bytes diverge from the full recompute at epoch " +
+            std::to_string(k));
+      };
+      if (epm_bytes(epm_stage.e) != epm_bytes(full_epm.e)) mismatch("epsilon");
+      if (epm_bytes(epm_stage.p) != epm_bytes(full_epm.p)) mismatch("pi");
+      if (epm_bytes(epm_stage.m) != epm_bytes(full_epm.m)) mismatch("mu");
+      if (bview_bytes(bview) != bview_bytes(full_b)) mismatch("behavioral");
+      ++report.epochs_verified;
     }
     have_results = true;
 
@@ -366,6 +491,15 @@ Dataset build_streaming_dataset(const ScenarioOptions& options,
     cut.epm = epm_stage;
     cut.behavioral = bview;
     cut.ingest_blob = ingest::encode_stream_totals(report);
+    if (incremental) {
+      // The engines' durable state travels with the cut so resume is
+      // delta-only; the full-recompute path leaves these empty and a
+      // later incremental resume recounts from the restored rows.
+      cut.e_counts = inc_e.encode_counts();
+      cut.p_counts = inc_p.encode_counts();
+      cut.m_counts = inc_m.encode_counts();
+      cut.signature_blob = cluster::encode_signature_store(signatures);
+    }
     {
       const obs::TraceRecorder::Scoped span{options.trace, "epoch.checkpoint",
                                             epoch_span.id()};
@@ -397,6 +531,18 @@ Dataset build_streaming_dataset(const ScenarioOptions& options,
   if (options.metrics != nullptr) {
     publish_dataset_metrics(*options.metrics, dataset);
     ingest::publish_ingest_metrics(*options.metrics, report);
+    if (incremental) {
+      // Final-state values of the engines' durable totals: pure
+      // functions of the record sequence and the epoch split, so they
+      // are width-stable and kill-invariant (a resumed run restores
+      // them from the cut instead of re-earning them).
+      obs::add_counter(options.metrics, "epm.instances_reclassified",
+                       inc_e.instances_reclassified() +
+                           inc_p.instances_reclassified() +
+                           inc_m.instances_reclassified());
+      obs::add_counter(options.metrics, "cluster.signatures_reused",
+                       signatures.reused);
+    }
     publish_pool_metrics(*options.metrics, pool, pool_metrics);
   }
   return dataset;

@@ -7,8 +7,11 @@
 // injected faults), buffered through a bounded backpressure queue, and
 // durably appended to the crash-safe WAL in src/ingest. The stream is
 // split into N epochs; each epoch replays its record delta into the
-// event database, enriches the delta, re-runs the E/P/M/B clusterings
-// and cuts an epoch checkpoint. A run killed at any point — mid-epoch,
+// event database, enriches the delta, advances the E/P/M/B clusterings
+// incrementally (delta counting + flip-triggered reclassification for
+// EPM, signature-cached LSH for B — byte-identical to a full recompute,
+// which StreamOptions::incremental=false still runs) and cuts an epoch
+// checkpoint. A run killed at any point — mid-epoch,
 // mid-append, mid-segment-rotation, mid-checkpoint-write — resumes
 // from the newest valid epoch cut plus the recovered WAL tail and
 // finishes with byte-identical output, which is the contract pinned by
@@ -41,6 +44,20 @@ struct StreamOptions {
   /// break the byte-identity guarantee; the kShedOldest policy is for
   /// lossy sensor-side buffers and is exercised by the ingest tests).
   std::size_t queue_capacity = 64;
+  /// Incremental epoch clustering (the default): E/P/M advance durable
+  /// per-(feature,value) counting state and re-generalize only rows
+  /// whose invariant status flipped, and B reuses cached MinHash
+  /// signatures for the unchanged profile prefix. Off re-runs the full
+  /// clustering every epoch — the pre-incremental behavior, kept as the
+  /// verification baseline and for the ABL-10 cost comparison. Both
+  /// modes produce byte-identical output.
+  bool incremental = true;
+  /// Cross-check mode: every computed epoch runs BOTH the incremental
+  /// and the full path and byte-compares their serialized results,
+  /// throwing ConfigError on the first divergence. Costs both paths per
+  /// epoch — a test/CI mode, not a production one. Implies the
+  /// incremental results are the ones published and checkpointed.
+  bool verify_incremental = false;
   /// Test seam, forwarded to WalOptions::fail_after_seal: simulated
   /// crash between sealing a segment and opening the next one.
   std::uint64_t fail_after_seal = 0;

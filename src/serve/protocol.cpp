@@ -29,6 +29,19 @@ std::vector<std::string_view> tokenize(std::string_view line) {
   throw ParseError("serve request: " + what);
 }
 
+/// Sample digests are rendered by util/hex (lowercase); a well-formed
+/// md5 argument is exactly 32 lowercase hex characters. Anything else
+/// is a malformed request, not a miss.
+bool is_md5(std::string_view token) {
+  if (token.size() != 32) return false;
+  for (const char c : token) {
+    const bool digit = c >= '0' && c <= '9';
+    const bool lower_hex = c >= 'a' && c <= 'f';
+    if (!digit && !lower_hex) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 std::string_view error_code_name(ErrorCode code) {
@@ -67,6 +80,9 @@ Request parse_request(std::string_view line) {
   Request request;
   if (verb == "lookup") {
     want(1);
+    if (!is_md5(tokens[1])) {
+      bad("lookup md5 must be 32 lowercase hex characters");
+    }
     request.kind = RequestKind::kLookup;
     request.md5 = std::string{tokens[1]};
   } else if (verb == "cluster") {

@@ -6,6 +6,7 @@
 //             | "cluster" SP int
 //             | "ccmap" | "health" | "stats"
 //             | "slow" SP int            ; debug builds only (bench seam)
+//   md5      := 32*[0-9a-f]              ; lowercase, exactly 32 chars
 //
 //   response := "OK" SP count "\n" line*count     ; count payload lines
 //             | "ERR" SP code SP message "\n"

@@ -438,7 +438,11 @@ void CheckpointStore::save_epoch(const EpochStage& stage) {
              make_section("pi", std::move(p_writer)),
              make_section("mu", std::move(m_writer)),
              make_section("behavioral", std::move(b_writer)),
-             Section{"ingest", stage.ingest_blob}},
+             Section{"ingest", stage.ingest_blob},
+             Section{"epsilon-counts", stage.e_counts},
+             Section{"pi-counts", stage.p_counts},
+             Section{"mu-counts", stage.m_counts},
+             Section{"signatures", stage.signature_blob}},
             options_.short_write_epoch == ordinal,
             "epoch " + std::to_string(stage.epoch));
   if (options_.stop_after_epoch == ordinal) {
@@ -508,6 +512,11 @@ std::optional<EpochStage> CheckpointStore::load_latest_epoch() {
       stage.behavioral =
           decode_section(decoded.sections, "behavioral", read_behavioral_view);
       stage.ingest_blob = find_section(decoded.sections, "ingest").payload;
+      stage.e_counts = find_section(decoded.sections, "epsilon-counts").payload;
+      stage.p_counts = find_section(decoded.sections, "pi-counts").payload;
+      stage.m_counts = find_section(decoded.sections, "mu-counts").payload;
+      stage.signature_blob =
+          find_section(decoded.sections, "signatures").payload;
       stage.database.db.check_consistency();
       ++activity_.restored;
       return stage;

@@ -43,9 +43,12 @@ inline constexpr std::uint32_t kSnapshotEndMagic = 0x44'4e'45'53;  // "SEND"
 // Version 2: FaultReport gained the four checked-decision counters.
 // Version 3: FaultReport gained the five ingest-delivery counters and
 // the epoch stage was added for the streaming ingest loop.
+// Version 4: the epoch stage gained the incremental-clustering state
+// sections (per-dimension EPM counting blobs + the MinHash signature
+// store).
 // Older files are quarantined as unreadable and their stages
 // recomputed — the normal graceful-degradation path, not an error.
-inline constexpr std::uint32_t kSnapshotVersion = 3;
+inline constexpr std::uint32_t kSnapshotVersion = 4;
 
 /// The pipeline's checkpointable stage boundaries, in execution order.
 enum class Stage : std::uint8_t {
@@ -147,6 +150,15 @@ struct EpochStage {
   analysis::BehavioralView behavioral;
   /// Opaque ingest stream totals (ingest::encode_stream_totals).
   std::vector<std::uint8_t> ingest_blob;
+  /// Opaque incremental-clustering state: per-dimension EPM counting
+  /// blobs (cluster::IncrementalEpm::encode_counts) and the MinHash
+  /// signature store (cluster::encode_signature_store). Empty when the
+  /// cut was written by the full-recompute path — the engines then
+  /// re-derive the state from the restored rows.
+  std::vector<std::uint8_t> e_counts;
+  std::vector<std::uint8_t> p_counts;
+  std::vector<std::uint8_t> m_counts;
+  std::vector<std::uint8_t> signature_blob;
 };
 
 class CheckpointStore {

@@ -7,7 +7,6 @@
 #include <utility>
 
 #include "util/error.hpp"
-#include "util/sorted.hpp"
 
 namespace repro::snapshot {
 
@@ -809,9 +808,7 @@ void write_epm_result(ByteWriter& writer, const cluster::EpmResult& result) {
   writer.u64(result.invariants.feature_count());
   for (std::size_t feature = 0; feature < result.invariants.feature_count();
        ++feature) {
-    // The table stores values unordered; serialize sorted so identical
-    // results produce identical snapshot bytes.
-    put_string_vector(writer, sorted_keys(result.invariants.values(feature)));
+    put_string_vector(writer, result.invariants.sorted_values(feature));
   }
   writer.u64(result.patterns.size());
   for (const cluster::Pattern& pattern : result.patterns) {

@@ -9,11 +9,13 @@
 #include "cluster/behavioral.hpp"
 #include "cluster/epm.hpp"
 #include "cluster/feature.hpp"
+#include "cluster/incremental.hpp"
 #include "cluster/invariants.hpp"
 #include "cluster/metrics.hpp"
 #include "cluster/minhash.hpp"
 #include "cluster/pattern.hpp"
 #include "cluster/pehash.hpp"
+#include "honeypot/database.hpp"
 #include "pe/builder.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -672,6 +674,417 @@ TEST(Features, EpsilonAndPiExtraction) {
   EXPECT_EQ(pi.values,
             (std::vector<std::string>{"creceive", "(none)", "9988",
                                       "PUSH/bind"}));
+}
+
+// ---------------------------------------------------- pattern key injectivity
+
+TEST(Pattern, KeyEscapesTheFieldDelimiter) {
+  // Pre-escaping, both rendered as "a|b|c" and were interned together.
+  const Pattern left{{"a|b", "c"}};
+  const Pattern right{{"a", "b|c"}};
+  EXPECT_EQ(left.key(), "a\\|b|c");
+  EXPECT_EQ(right.key(), "a|b\\|c");
+  EXPECT_NE(left.key(), right.key());
+}
+
+TEST(Pattern, KeyDistinguishesLiteralStarFromWildcard) {
+  EXPECT_EQ(Pattern{{std::nullopt}}.key(), "*");
+  EXPECT_EQ(Pattern{{"*"}}.key(), "\\*");
+  EXPECT_NE(Pattern{{"*"}}.key(), Pattern{{std::nullopt}}.key());
+}
+
+TEST(Pattern, KeyEscapesTheEscapeCharacter) {
+  // A literal backslash must not be readable as the start of an escape:
+  // ("\", wildcard) and ("\*",) must stay apart at any arity, and a
+  // lone backslash doubles.
+  EXPECT_EQ(Pattern{{"\\"}}.key(), "\\\\");
+  EXPECT_EQ(Pattern{{"\\*"}}.key(), "\\\\\\*");
+  EXPECT_NE((Pattern{{"\\|", "x"}}.key()), (Pattern{{"\\", "|x"}}.key()));
+}
+
+TEST(Epm, DelimiterInValueDoesNotMergeClusters) {
+  // Two fully-invariant value combinations whose un-escaped keys
+  // collided at "a|b|c" — they must form two clusters, not one.
+  std::vector<std::pair<std::string, std::string>> rows;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> contexts;
+  for (int i = 0; i < 12; ++i) {
+    rows.push_back({"a|b", "c"});
+    contexts.push_back({static_cast<std::uint32_t>(i % 4 + 1),
+                        static_cast<std::uint32_t>(i % 4 + 100)});
+  }
+  for (int i = 0; i < 12; ++i) {
+    rows.push_back({"a", "b|c"});
+    contexts.push_back({static_cast<std::uint32_t>(i % 4 + 1),
+                        static_cast<std::uint32_t>(i % 4 + 100)});
+  }
+  const auto result = epm_cluster(make_data(rows, contexts));
+  ASSERT_EQ(result.cluster_count(), 2u);
+  EXPECT_EQ(result.members[0].size(), 12u);
+  EXPECT_EQ(result.members[1].size(), 12u);
+}
+
+TEST(Epm, LiteralStarValueStaysDistinctFromWildcard) {
+  // Group A generalizes to (literal "*", wildcard); group B, all-unique,
+  // generalizes to (wildcard, wildcard). Un-escaped, both keys were
+  // "*|*" and the 24 rows collapsed into one cluster.
+  std::vector<std::pair<std::string, std::string>> rows;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> contexts;
+  for (int i = 0; i < 12; ++i) {
+    rows.push_back({"*", "u" + std::to_string(i)});
+    contexts.push_back({static_cast<std::uint32_t>(i % 4 + 1),
+                        static_cast<std::uint32_t>(i % 4 + 100)});
+  }
+  for (int i = 0; i < 12; ++i) {
+    rows.push_back({"q" + std::to_string(i), "w" + std::to_string(i)});
+    contexts.push_back({static_cast<std::uint32_t>(i % 4 + 1),
+                        static_cast<std::uint32_t>(i % 4 + 100)});
+  }
+  const auto result = epm_cluster(make_data(rows, contexts));
+  ASSERT_EQ(result.cluster_count(), 2u);
+  EXPECT_EQ(result.members[0].size(), 12u);
+  EXPECT_EQ(result.members[1].size(), 12u);
+}
+
+TEST(Invariants, SortedValuesAreSortedAndBoundsChecked) {
+  InvariantTable table{2};
+  table.add(0, "zeta");
+  table.add(0, "alpha");
+  table.add(0, "mid");
+  EXPECT_EQ(table.sorted_values(0),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+  EXPECT_TRUE(table.sorted_values(1).empty());
+  EXPECT_THROW((void)table.sorted_values(2), ConfigError);
+}
+
+// ---------------------------------------------------------- signature cache
+
+TEST(SignatureCache, ConfigPinsEveryParameter) {
+  const std::uint64_t base = signature_config(20, 5, 0x6c5b0001);
+  EXPECT_EQ(base, signature_config(20, 5, 0x6c5b0001));
+  EXPECT_NE(base, signature_config(21, 5, 0x6c5b0001));
+  EXPECT_NE(base, signature_config(20, 4, 0x6c5b0001));
+  EXPECT_NE(base, signature_config(20, 5, 1));
+  EXPECT_NE(base, 0u);  // 0 is reserved for "no cache yet"
+}
+
+TEST(SignatureCache, ReusesThePrefixWithoutChangingClusters) {
+  const auto profiles = dense_profiles(20);  // 40 profiles
+  const auto ptrs = pointers(profiles);
+  const std::vector<const sandbox::BehavioralProfile*> prefix(
+      ptrs.begin(), ptrs.begin() + 25);
+
+  SignatureStore cache;
+  BehavioralOptions cached;
+  cached.signature_cache = &cache;
+  const BehavioralOptions plain;
+
+  // First epoch hashes everything.
+  const auto first = cluster_profiles(prefix, cached);
+  EXPECT_EQ(cache.signatures.size(), 25u);
+  EXPECT_EQ(cache.computed, 25u);
+  EXPECT_EQ(cache.reused, 0u);
+  EXPECT_EQ(first.assignment, cluster_profiles(prefix, plain).assignment);
+
+  // Second epoch appends 15 profiles: only those are hashed.
+  const auto second = cluster_profiles(ptrs, cached);
+  EXPECT_EQ(cache.signatures.size(), 40u);
+  EXPECT_EQ(cache.computed, 40u);
+  EXPECT_EQ(cache.reused, 25u);
+  EXPECT_EQ(second.assignment, cluster_profiles(ptrs, plain).assignment);
+}
+
+TEST(SignatureCache, ParameterChangeInvalidatesTheCache) {
+  const auto profiles = dense_profiles(10);
+  const auto ptrs = pointers(profiles);
+  SignatureStore cache;
+  BehavioralOptions options;
+  options.signature_cache = &cache;
+  (void)cluster_profiles(ptrs, options);
+  const auto pinned = cache.signatures;
+  ASSERT_EQ(pinned.size(), ptrs.size());
+  // Same profiles under another seed: stale signatures must not be
+  // reused — the cache is rebuilt under the new configuration.
+  options.seed ^= 0xdead;
+  const auto reclustered = cluster_profiles(ptrs, options);
+  EXPECT_EQ(cache.config, signature_config(options.lsh_bands,
+                                           options.lsh_rows, options.seed));
+  EXPECT_EQ(cache.signatures.size(), ptrs.size());
+  EXPECT_NE(cache.signatures, pinned);
+  EXPECT_EQ(cache.reused, 0u);
+  EXPECT_EQ(cache.computed, 2 * ptrs.size());
+  // The clustering itself is seed-insensitive here: exact equality on
+  // two tight families.
+  EXPECT_EQ(reclustered.assignment,
+            cluster_profiles(ptrs, BehavioralOptions{}).assignment);
+}
+
+TEST(SignatureCache, CodecRoundTripsAndRejectsDamage) {
+  SignatureStore store;
+  store.config = signature_config(20, 5, 7);
+  store.reused = 3;
+  store.computed = 9;
+  store.signatures = {{1, 2, 3}, {}, {42}};
+  const auto blob = encode_signature_store(store);
+  const SignatureStore back = decode_signature_store(blob);
+  EXPECT_EQ(back.config, store.config);
+  EXPECT_EQ(back.reused, 3u);
+  EXPECT_EQ(back.computed, 9u);
+  EXPECT_EQ(back.signatures, store.signatures);
+
+  auto truncated = blob;
+  truncated.pop_back();
+  EXPECT_THROW((void)decode_signature_store(truncated), ParseError);
+  auto trailing = blob;
+  trailing.push_back(0);
+  EXPECT_THROW((void)decode_signature_store(trailing), ParseError);
+  auto wrong_version = blob;
+  wrong_version[0] ^= 0xff;
+  EXPECT_THROW((void)decode_signature_store(wrong_version), ParseError);
+}
+
+TEST(Behavioral, PriorAssignmentSeedingMatchesFromScratch) {
+  // Epoch-style growth: cluster a prefix, then the full list seeded
+  // with the prefix partition. The seeded run must equal the
+  // from-scratch run exactly — old/old edges are summarized by the
+  // prior partition, everything else is re-evaluated.
+  const auto profiles = dense_profiles(20);  // 40 profiles
+  const auto ptrs = pointers(profiles);
+  const std::vector<const sandbox::BehavioralProfile*> prefix(
+      ptrs.begin(), ptrs.begin() + 25);
+  for (const bool use_lsh : {false, true}) {
+    BehavioralOptions options;
+    options.threshold = 0.7;
+    options.use_lsh = use_lsh;
+    const auto first = cluster_profiles(prefix, options);
+    BehavioralOptions seeded = options;
+    seeded.prior_assignment = &first.assignment;
+    EXPECT_EQ(cluster_profiles(ptrs, seeded).assignment,
+              cluster_profiles(ptrs, options).assignment)
+        << "use_lsh=" << use_lsh;
+  }
+}
+
+TEST(Behavioral, OversizedPriorAssignmentIsIgnored) {
+  const auto profiles = dense_profiles(10);
+  const auto ptrs = pointers(profiles);
+  BehavioralOptions options;
+  const auto full = cluster_profiles(ptrs, options);
+  // A prior longer than the profile list cannot be a prefix partition;
+  // it must be ignored, not trusted.
+  const std::vector<const sandbox::BehavioralProfile*> prefix(
+      ptrs.begin(), ptrs.begin() + 5);
+  BehavioralOptions seeded = options;
+  seeded.prior_assignment = &full.assignment;
+  EXPECT_EQ(cluster_profiles(prefix, seeded).assignment,
+            cluster_profiles(prefix, options).assignment);
+}
+
+TEST(Behavioral, ExactDuplicatesMergeOnlyUnderTheThreshold) {
+  // Many byte-identical profiles: the duplicate pre-unite must merge
+  // them below/at threshold 1.0 and must stay out of the way for a
+  // pathological threshold above 1.0, where nothing can merge.
+  std::vector<sandbox::BehavioralProfile> profiles;
+  for (int i = 0; i < 12; ++i) {
+    sandbox::BehavioralProfile p;
+    for (int f = 0; f < 8; ++f) p.add("dup" + std::to_string(f));
+    profiles.push_back(std::move(p));
+  }
+  sandbox::BehavioralProfile other;
+  for (int f = 0; f < 8; ++f) other.add("other" + std::to_string(f));
+  profiles.push_back(std::move(other));
+  for (const bool use_lsh : {false, true}) {
+    BehavioralOptions options;
+    options.use_lsh = use_lsh;
+    const auto merged = cluster_profiles(pointers(profiles), options);
+    EXPECT_EQ(merged.cluster_count(), 2u) << "use_lsh=" << use_lsh;
+    for (int i = 1; i < 12; ++i) {
+      EXPECT_EQ(merged.assignment[0], merged.assignment[i]);
+    }
+    options.threshold = 1.5;
+    const auto split = cluster_profiles(pointers(profiles), options);
+    EXPECT_EQ(split.cluster_count(), profiles.size())
+        << "use_lsh=" << use_lsh;
+  }
+}
+
+// --------------------------------------------------------- incremental EPM
+
+honeypot::AttackEvent stream_event(const std::string& path,
+                                   std::uint32_t attacker,
+                                   std::uint32_t destination,
+                                   std::uint16_t port = 445) {
+  honeypot::AttackEvent event;
+  event.attacker = net::Ipv4{attacker};
+  event.honeypot = net::Ipv4{destination};
+  event.epsilon = honeypot::EpsilonObservation{path, port};
+  return event;
+}
+
+/// A stream whose recurring FSM paths cross the relevance thresholds at
+/// different points, so invariants flip mid-stream under any split.
+std::vector<honeypot::AttackEvent> flip_stream(std::size_t n) {
+  Rng rng{11};
+  std::vector<honeypot::AttackEvent> events;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string path =
+        rng.chance(0.6) ? "path" + std::to_string(rng.index(3))
+                        : "unknown/" + std::to_string(i);
+    events.push_back(stream_event(
+        path, static_cast<std::uint32_t>(rng.index(6) + 1),
+        static_cast<std::uint32_t>(rng.index(5) + 100),
+        static_cast<std::uint16_t>(rng.chance(0.5) ? 445 : 80)));
+  }
+  return events;
+}
+
+/// Field-level equality of two clusterings. The snapshot codec (and
+/// therefore every exported byte) is a pure function of these fields,
+/// so field equality here is byte equality downstream.
+void expect_same_clustering(const EpmResult& got, const EpmResult& want) {
+  ASSERT_EQ(got.patterns.size(), want.patterns.size());
+  for (std::size_t i = 0; i < got.patterns.size(); ++i) {
+    EXPECT_EQ(got.patterns[i].key(), want.patterns[i].key()) << i;
+  }
+  EXPECT_EQ(got.assignment, want.assignment);
+  EXPECT_EQ(got.members, want.members);
+  EXPECT_EQ(got.event_ids, want.event_ids);
+  EXPECT_EQ(got.schema.dimension, want.schema.dimension);
+  ASSERT_EQ(got.invariants.feature_count(), want.invariants.feature_count());
+  for (std::size_t f = 0; f < got.invariants.feature_count(); ++f) {
+    EXPECT_EQ(got.invariants.sorted_values(f),
+              want.invariants.sorted_values(f))
+        << f;
+  }
+}
+
+TEST(IncrementalEpm, MatchesTheFullRecomputeAtEverySplit) {
+  const auto events = flip_stream(60);
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{7}, std::size_t{60}}) {
+    honeypot::EventDatabase db;
+    IncrementalEpm engine{Dimension::kEpsilon};
+    std::size_t next = 0;
+    while (next < events.size()) {
+      const std::size_t stop = std::min(events.size(), next + chunk);
+      for (; next < stop; ++next) db.add_event(events[next]);
+      expect_same_clustering(engine.update(db),
+                             epm_cluster(build_epsilon_data(db)));
+    }
+    EXPECT_EQ(engine.events_seen(), events.size()) << "chunk " << chunk;
+  }
+}
+
+TEST(IncrementalEpm, SkipsEventsWithoutTheDimension) {
+  // Pi rows exist only for events whose shellcode analysis succeeded;
+  // the engine must skip the others exactly like build_pi_data does.
+  std::vector<honeypot::AttackEvent> events;
+  for (std::size_t i = 0; i < 40; ++i) {
+    auto event = stream_event("p", static_cast<std::uint32_t>(i % 5 + 1),
+                              static_cast<std::uint32_t>(i % 4 + 100));
+    if (i % 3 != 0) {
+      event.pi = honeypot::PiObservation{
+          "creceive", i % 2 == 0 ? "" : "f.exe", 9988, "PUSH/bind"};
+    }
+    events.push_back(std::move(event));
+  }
+  honeypot::EventDatabase db;
+  IncrementalEpm engine{Dimension::kPi};
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    db.add_event(events[i]);
+    if (i % 10 == 9) {
+      expect_same_clustering(engine.update(db),
+                             epm_cluster(build_pi_data(db)));
+    }
+  }
+}
+
+TEST(IncrementalEpm, CountsFlipTriggeredReclassifications) {
+  const auto events = flip_stream(60);
+  // One batch: nothing was classified before the flips, so nothing is
+  // ever reclassified.
+  honeypot::EventDatabase whole;
+  for (const auto& event : events) whole.add_event(event);
+  IncrementalEpm batch{Dimension::kEpsilon};
+  (void)batch.update(whole);
+  EXPECT_EQ(batch.instances_reclassified(), 0u);
+  // The same stream in small deltas crosses the thresholds mid-stream
+  // and re-generalizes earlier rows.
+  honeypot::EventDatabase db;
+  IncrementalEpm engine{Dimension::kEpsilon};
+  std::size_t next = 0;
+  while (next < events.size()) {
+    const std::size_t stop = std::min(events.size(), next + 6);
+    for (; next < stop; ++next) db.add_event(events[next]);
+    (void)engine.update(db);
+  }
+  EXPECT_GT(engine.instances_reclassified(), 0u);
+}
+
+TEST(IncrementalEpm, RestoreResumesFromBlobOrRecounts) {
+  const auto events = flip_stream(60);
+  honeypot::EventDatabase db;
+  IncrementalEpm engine{Dimension::kEpsilon};
+  for (std::size_t i = 0; i < 30; ++i) db.add_event(events[i]);
+  const EpmResult cut = engine.update(db);
+  const auto blob = engine.encode_counts();
+  const std::uint64_t reclassified_at_cut = engine.instances_reclassified();
+  // The live engine absorbs the tail.
+  for (std::size_t i = 30; i < events.size(); ++i) db.add_event(events[i]);
+  const EpmResult live = engine.update(db);
+
+  // Resume from the cut with the counting-state blob...
+  honeypot::EventDatabase resumed_db;
+  for (std::size_t i = 0; i < 30; ++i) resumed_db.add_event(events[i]);
+  IncrementalEpm resumed{Dimension::kEpsilon};
+  resumed.restore(resumed_db, cut, blob);
+  EXPECT_EQ(resumed.instances_reclassified(), reclassified_at_cut);
+  for (std::size_t i = 30; i < events.size(); ++i) {
+    resumed_db.add_event(events[i]);
+  }
+  expect_same_clustering(resumed.update(resumed_db), live);
+
+  // ...and from a full-recompute cut (no blob): the counts are rebuilt
+  // from the rows and the engine continues identically.
+  honeypot::EventDatabase recounted_db;
+  for (std::size_t i = 0; i < 30; ++i) recounted_db.add_event(events[i]);
+  IncrementalEpm recounted{Dimension::kEpsilon};
+  recounted.restore(recounted_db, cut, {});
+  EXPECT_EQ(recounted.instances_reclassified(), 0u);
+  for (std::size_t i = 30; i < events.size(); ++i) {
+    recounted_db.add_event(events[i]);
+  }
+  expect_same_clustering(recounted.update(recounted_db), live);
+}
+
+TEST(IncrementalEpm, RestoreRejectsInconsistentState) {
+  const auto events = flip_stream(20);
+  honeypot::EventDatabase db;
+  IncrementalEpm engine{Dimension::kEpsilon};
+  for (const auto& event : events) db.add_event(event);
+  const EpmResult cut = engine.update(db);
+  const auto blob = engine.encode_counts();
+
+  IncrementalEpm wrong_dimension{Dimension::kPi};
+  EXPECT_THROW(wrong_dimension.restore(db, cut, blob), ConfigError);
+
+  auto tampered = blob;
+  tampered[0] ^= 0xff;  // version
+  IncrementalEpm fresh{Dimension::kEpsilon};
+  EXPECT_THROW(fresh.restore(db, cut, tampered), ParseError);
+
+  // A database that moved past the cut no longer matches the blob.
+  db.add_event(stream_event("late", 1, 100));
+  IncrementalEpm stale{Dimension::kEpsilon};
+  EXPECT_THROW(stale.restore(db, cut, blob), ParseError);
+}
+
+TEST(IncrementalEpm, RejectsAShrunkenDatabase) {
+  honeypot::EventDatabase big;
+  for (const auto& event : flip_stream(10)) big.add_event(event);
+  IncrementalEpm engine{Dimension::kEpsilon};
+  (void)engine.update(big);
+  honeypot::EventDatabase small;
+  EXPECT_THROW((void)engine.update(small), ConfigError);
 }
 
 }  // namespace

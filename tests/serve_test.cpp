@@ -54,7 +54,16 @@ namespace fs = std::filesystem;
 /// daemon, sends request lines, reads full framed responses.
 class Client {
  public:
-  explicit Client(std::uint16_t port) {
+  /// Tag for probes racing a daemon teardown: a refused connection is
+  /// an expected outcome there (the listener closed between probes),
+  /// not a test failure — ask() then reports the empty "closed" reply.
+  struct MayRefuse {};
+
+  explicit Client(std::uint16_t port) : Client(port, false) {}
+  Client(std::uint16_t port, MayRefuse) : Client(port, true) {}
+
+ private:
+  Client(std::uint16_t port, bool may_refuse) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     EXPECT_TRUE(fd_ >= 0);
     struct sockaddr_in addr;
@@ -62,11 +71,16 @@ class Client {
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    EXPECT_EQ(::connect(fd_, reinterpret_cast<const struct sockaddr*>(&addr),
-                        sizeof addr),
-              0)
-        << std::strerror(errno);
+    const int rc = ::connect(
+        fd_, reinterpret_cast<const struct sockaddr*>(&addr), sizeof addr);
+    if (rc != 0 && may_refuse) {
+      close();
+      return;
+    }
+    EXPECT_EQ(rc, 0) << std::strerror(errno);
   }
+
+ public:
   ~Client() { close(); }
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
@@ -220,9 +234,10 @@ TEST(Protocol, ParsesEveryVerb) {
   EXPECT_EQ(parse_request("health").kind, RequestKind::kHealth);
   EXPECT_EQ(parse_request("stats").kind, RequestKind::kStats);
   EXPECT_EQ(parse_request("ccmap").kind, RequestKind::kCcmap);
-  const Request lookup = parse_request("lookup abc123");
+  const Request lookup =
+      parse_request("lookup 0123456789abcdef0123456789abcdef");
   EXPECT_EQ(lookup.kind, RequestKind::kLookup);
-  EXPECT_EQ(lookup.md5, "abc123");
+  EXPECT_EQ(lookup.md5, "0123456789abcdef0123456789abcdef");
   const Request cluster = parse_request("cluster 42");
   EXPECT_EQ(cluster.kind, RequestKind::kCluster);
   EXPECT_EQ(cluster.cluster, 42);
@@ -236,6 +251,20 @@ TEST(Protocol, RejectsEverythingOutsideTheGrammar) {
        {"", "bogus", "lookup", "lookup a b", "cluster", "cluster x",
         "cluster 1 2", "slow", "slow fast", "health now", " health",
         "health ", "lookup  abc"}) {
+    EXPECT_THROW((void)parse_request(line), ParseError) << "'" << line << "'";
+  }
+}
+
+TEST(Protocol, RejectsNonMd5LookupTokens) {
+  // An md5 is exactly 32 lowercase hex characters; anything else is a
+  // BAD_REQUEST before the view is ever consulted.
+  for (const std::string line :
+       {"lookup abc123",                                      // too short
+        "lookup zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz",            // not hex
+        "lookup 0123456789ABCDEF0123456789ABCDEF",            // uppercase
+        "lookup 0123456789abcdef0123456789abcde",             // 31 chars
+        "lookup 0123456789abcdef0123456789abcdef0",           // 33 chars
+        "lookup 0123456789abcdef0123456789abcdeg"}) {         // 'g'
     EXPECT_THROW((void)parse_request(line), ParseError) << "'" << line << "'";
   }
 }
@@ -367,6 +396,21 @@ TEST(Server, BadRequestKeepsTheConnectionUsable) {
   // The protocol error is counted but the line was consumed cleanly, so
   // the same connection keeps answering.
   EXPECT_EQ(client.ask("health"), expected_bytes(batch_view(), "health"));
+  live.server.stop();
+}
+
+TEST(Server, MalformedLookupMd5IsABadRequestOnTheWire) {
+  LiveServer live{ServerOptions{}};
+  Client client{live.server.port()};
+  const std::string reply = client.ask("lookup abc123");
+  EXPECT_EQ(reply,
+            "ERR BAD_REQUEST serve request: lookup md5 must be 32 lowercase "
+            "hex characters\n");
+  // A well-formed (if unknown) md5 on the same connection still parses
+  // and reaches the view.
+  EXPECT_EQ(client.ask("lookup ffffffffffffffffffffffffffffffff"),
+            expected_bytes(batch_view(),
+                           "lookup ffffffffffffffffffffffffffffffff"));
   live.server.stop();
   EXPECT_GE(live.server.report().protocol_errors, 1u);
 }
@@ -718,7 +762,9 @@ TEST(ServeScenario, KilledMidServeRestartsAndAnswersByteIdentical) {
       while (port.load(std::memory_order_acquire) == 0) obs::sleep_ms(2);
       const std::uint16_t p = port.load(std::memory_order_acquire);
       for (;;) {
-        Client probe{p};
+        // The daemon may close its listener between probes; a refused
+        // connect is the same "drained" signal as an empty reply.
+        Client probe{p, Client::MayRefuse{}};
         if (probe.ask("health").empty()) return;  // daemon drained
       }
     }};

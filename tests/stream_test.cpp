@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -17,6 +19,7 @@
 #include "scenario/paper.hpp"
 #include "scenario/stream.hpp"
 #include "snapshot/checkpoint.hpp"
+#include "snapshot/crc32.hpp"
 #include "util/error.hpp"
 
 namespace repro::scenario {
@@ -344,6 +347,198 @@ TEST(Stream, ForeignWalAndCheckpointsAreRejectedNotMixedIn) {
             }())));
   EXPECT_GT(ds.ingest.stale_segments, 0u);
   EXPECT_EQ(ds.ingest.epochs_restored, 0u);
+}
+
+// --- Incremental clustering -------------------------------------------------
+
+TEST(Stream, FullReclusterModeMatchesBatchAtEveryWidth) {
+  // The pre-incremental behavior is kept as the verification baseline;
+  // it must still be byte-identical to the batch build.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ScenarioOptions options = small_options(true);
+    options.threads = threads;
+    const fs::path root = fresh_dir("full-" + std::to_string(threads));
+    StreamOptions stream = stream_under(root, options);
+    stream.incremental = false;
+    const Dataset ds = build_streaming_dataset(options, stream);
+    EXPECT_EQ(all_csv(ds), batch_csv(true)) << "threads=" << threads;
+  }
+}
+
+TEST(Stream, VerifyIncrementalPassesAtEveryWidthUnderFaults) {
+  // The cross-check mode byte-compares every epoch's incremental
+  // results against a fresh full recompute and throws on the first
+  // divergence — so a completed run IS the proof, per width and fault
+  // plan.
+  for (const bool faults : {false, true}) {
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      ScenarioOptions options = small_options(faults);
+      options.threads = threads;
+      const fs::path root = fresh_dir("verify-" + std::to_string(threads) +
+                                      (faults ? "-f" : ""));
+      StreamOptions stream = stream_under(root, options);
+      stream.verify_incremental = true;
+      const Dataset ds = build_streaming_dataset(options, stream);
+      EXPECT_EQ(all_csv(ds), batch_csv(faults))
+          << "faults=" << faults << " threads=" << threads;
+      EXPECT_EQ(ds.ingest.epochs_verified, 3u);
+    }
+  }
+}
+
+TEST(Stream, VerifyIncrementalSurvivesKillsAtEveryEpochBoundary) {
+  for (int epoch = 1; epoch <= 3; ++epoch) {
+    ScenarioOptions options = small_options(true);
+    const fs::path root = fresh_dir("verify-kill-" + std::to_string(epoch));
+    StreamOptions stream = stream_under(root, options);
+    stream.verify_incremental = true;
+    options.checkpoint.stop_after_epoch = epoch;
+    const Dataset resumed = killed_then_resumed(options, stream);
+    EXPECT_EQ(all_csv(resumed), batch_csv(true))
+        << "killed after epoch " << epoch;
+    // A resumed process cross-checks exactly the epochs it computed
+    // itself — restored cuts are trusted, not re-verified.
+    EXPECT_EQ(resumed.ingest.epochs_verified, resumed.ingest.epochs_run);
+    EXPECT_EQ(resumed.ingest.epochs_restored, 1u);
+  }
+}
+
+TEST(Stream, VerifyIncrementalSurvivesMidEpochKills) {
+  for (const std::uint64_t kill_at : {5ull, 19ull}) {
+    ScenarioOptions options = small_options(true);
+    const fs::path root = fresh_dir("verify-append-" + std::to_string(kill_at));
+    StreamOptions stream = stream_under(root, options);
+    stream.verify_incremental = true;
+    stream.after_append = [kill_at](std::uint64_t appended) {
+      if (appended == kill_at) {
+        throw snapshot::CheckpointInterrupted{"simulated crash mid-epoch"};
+      }
+    };
+    const Dataset resumed = killed_then_resumed(options, stream);
+    EXPECT_EQ(all_csv(resumed), batch_csv(true)) << "kill_at=" << kill_at;
+    EXPECT_EQ(resumed.ingest.epochs_verified, resumed.ingest.epochs_run);
+  }
+}
+
+TEST(Stream, MixedModeResumeRecountsFromAFullModeCut) {
+  // Epoch 1's cut is written by the full-recompute path, so it carries
+  // no counting-state blobs. Resuming with the incremental default must
+  // rebuild the counts from the restored rows; verify mode cross-checks
+  // every subsequently computed epoch against the full path.
+  ScenarioOptions options = small_options(true);
+  const fs::path root = fresh_dir("mixed-mode");
+  StreamOptions stream = stream_under(root, options);
+  stream.incremental = false;
+  options.checkpoint.stop_after_epoch = 1;
+  EXPECT_THROW((void)build_streaming_dataset(options, stream),
+               snapshot::CheckpointInterrupted);
+  options.checkpoint.stop_after_epoch = 0;
+  stream.incremental = true;
+  stream.verify_incremental = true;
+  const Dataset resumed = build_streaming_dataset(options, stream);
+  EXPECT_EQ(all_csv(resumed), batch_csv(true));
+  EXPECT_EQ(resumed.ingest.epochs_restored, 1u);
+  EXPECT_EQ(resumed.ingest.epochs_run, 2u);
+  EXPECT_EQ(resumed.ingest.epochs_verified, 2u);
+}
+
+TEST(Stream, IncrementalCountersAreKillInvariant) {
+  const auto counter_of = [](const obs::MetricsRegistry& metrics,
+                             const std::string& name) -> std::uint64_t {
+    for (const auto& [counter, value] :
+         metrics.counter_values(obs::Channel::kDeterministic)) {
+      if (counter == name) return value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+
+  obs::MetricsRegistry clean_metrics;
+  ScenarioOptions clean_options = small_options(true);
+  clean_options.metrics = &clean_metrics;
+  const fs::path clean_root = fresh_dir("counters-clean");
+  (void)build_streaming_dataset(clean_options,
+                                stream_under(clean_root, clean_options));
+  const std::uint64_t reclassified =
+      counter_of(clean_metrics, "epm.instances_reclassified");
+  const std::uint64_t reused =
+      counter_of(clean_metrics, "cluster.signatures_reused");
+  // Profiles only ever accumulate, so epochs 2..N reuse a non-empty
+  // prefix.
+  EXPECT_GT(reused, 0u);
+
+  // The same stream killed after epoch 2 and resumed must publish the
+  // same final totals: both counters are whole-history values restored
+  // from the cut, not per-process ones.
+  ScenarioOptions options = small_options(true);
+  const fs::path root = fresh_dir("counters-kill");
+  StreamOptions stream = stream_under(root, options);
+  options.checkpoint.stop_after_epoch = 2;
+  EXPECT_THROW((void)build_streaming_dataset(options, stream),
+               snapshot::CheckpointInterrupted);
+  options.checkpoint.stop_after_epoch = 0;
+  obs::MetricsRegistry resumed_metrics;
+  options.metrics = &resumed_metrics;
+  (void)build_streaming_dataset(options, stream);
+  EXPECT_EQ(counter_of(resumed_metrics, "epm.instances_reclassified"),
+            reclassified);
+  EXPECT_EQ(counter_of(resumed_metrics, "cluster.signatures_reused"), reused);
+}
+
+TEST(Stream, OlderSnapshotVersionIsQuarantinedOnWarmResume) {
+  ScenarioOptions options = small_options(true);
+  const fs::path root = fresh_dir("old-version");
+  const StreamOptions stream = stream_under(root, options);
+  (void)build_streaming_dataset(options, stream);
+
+  // Rewrite every epoch cut as a version-(n-1) container with a valid
+  // trailer CRC — exactly what a file written by the previous release
+  // looks like to this one.
+  std::size_t patched = 0;
+  for (const auto& entry :
+       fs::directory_iterator(options.checkpoint.directory)) {
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with("epoch-") || !name.ends_with(".snap")) continue;
+    std::vector<std::uint8_t> bytes;
+    {
+      std::ifstream in{entry.path(), std::ios::binary};
+      ASSERT_TRUE(in) << entry.path();
+      bytes.assign(std::istreambuf_iterator<char>{in},
+                   std::istreambuf_iterator<char>{});
+    }
+    ASSERT_GT(bytes.size(), 12u);
+    bytes[4] = static_cast<std::uint8_t>(snapshot::kSnapshotVersion - 1);
+    const std::uint32_t fixed =
+        snapshot::crc32(std::span{bytes}.first(bytes.size() - 8));
+    for (int i = 0; i < 4; ++i) {
+      bytes[bytes.size() - 8 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(fixed >> (8 * i));
+    }
+    std::ofstream out{entry.path(), std::ios::binary | std::ios::trunc};
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out.flush()) << entry.path();
+    ++patched;
+  }
+  ASSERT_GT(patched, 0u);
+
+  // The resume must set the old cuts aside (not crash on them, not
+  // trust them), rebuild every epoch from the intact WAL, and export
+  // identically.
+  const Dataset resumed = build_streaming_dataset(options, stream);
+  EXPECT_EQ(all_csv(resumed), batch_csv(true));
+  EXPECT_EQ(resumed.ingest.epochs_restored, 0u);
+  EXPECT_EQ(resumed.ingest.epochs_run, 3u);
+  EXPECT_GE(resumed.checkpoint_activity.quarantined, patched);
+  bool any_quarantined = false;
+  for (const auto& entry :
+       fs::directory_iterator(options.checkpoint.directory)) {
+    if (entry.path().filename().string().find(".quarantined") !=
+        std::string::npos) {
+      any_quarantined = true;
+    }
+  }
+  EXPECT_TRUE(any_quarantined) << "old cuts must be set aside as evidence";
 }
 
 // --- Metrics ----------------------------------------------------------------

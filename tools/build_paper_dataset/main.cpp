@@ -59,6 +59,12 @@ void usage(std::ostream& os) {
         "  --epochs N             streaming mode: epoch batches (with"
         " --wal-dir)\n"
         "  --wal-dir DIR          streaming mode: WAL segment directory\n"
+        "  --full-recluster       streaming mode: full E/P/M/B recompute"
+        " per epoch\n"
+        "                         (instead of the incremental default)\n"
+        "  --verify-incremental   streaming mode: run both paths per epoch"
+        " and\n"
+        "                         byte-diff their results (fails loudly)\n"
         "  --kill-after-records N SIGKILL self after Nth WAL append"
         " (crash harness)\n"
         "  --export-dir DIR       write events/samples/clusters/profiles\n"
@@ -106,6 +112,10 @@ CliOptions parse_cli(int argc, char** argv) {
       have_epochs = true;
     } else if (arg == "--wal-dir") {
       cli.stream.wal_dir = std::string{value()};
+    } else if (arg == "--full-recluster") {
+      cli.stream.incremental = false;
+    } else if (arg == "--verify-incremental") {
+      cli.stream.verify_incremental = true;
     } else if (arg == "--kill-after-records") {
       cli.kill_after_records =
           repro::parse_u64(value(), "--kill-after-records");
@@ -127,6 +137,11 @@ CliOptions parse_cli(int argc, char** argv) {
   }
   if (cli.kill_after_records != 0 && !cli.streaming) {
     throw repro::ConfigError("--kill-after-records requires --wal-dir");
+  }
+  if (!cli.streaming &&
+      (!cli.stream.incremental || cli.stream.verify_incremental)) {
+    throw repro::ConfigError(
+        "--full-recluster/--verify-incremental require --wal-dir");
   }
   return cli;
 }
@@ -205,6 +220,10 @@ int run(int argc, char** argv) {
           ? repro::scenario::build_streaming_dataset(cli.scenario, cli.stream)
           : repro::scenario::build_paper_dataset(cli.scenario);
 
+  if (cli.stream.verify_incremental) {
+    std::cout << "verify-incremental: " << ds.ingest.epochs_verified
+              << " epoch(s) byte-identical to the full recompute\n";
+  }
   if (!cli.export_dir.empty()) export_dataset(cli.export_dir, ds);
   if (!cli.metrics_out.empty()) {
     write_file(cli.metrics_out,
