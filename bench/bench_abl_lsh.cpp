@@ -54,7 +54,7 @@ void BM_ExactClustering(benchmark::State& state) {
   const auto corpus = make_corpus(static_cast<std::size_t>(state.range(0)), 1);
   const auto ptrs = pointers(corpus);
   BehavioralOptions options;
-  options.use_lsh = false;
+  options.backend = repro::cluster::BackendKind::kExact;
   for (auto _ : state) {
     benchmark::DoNotOptimize(repro::cluster::cluster_profiles(ptrs, options));
   }
@@ -67,7 +67,7 @@ void BM_LshClustering(benchmark::State& state) {
   const auto corpus = make_corpus(static_cast<std::size_t>(state.range(0)), 1);
   const auto ptrs = pointers(corpus);
   BehavioralOptions options;
-  options.use_lsh = true;
+  options.backend = repro::cluster::BackendKind::kLsh;
   for (auto _ : state) {
     benchmark::DoNotOptimize(repro::cluster::cluster_profiles(ptrs, options));
   }
@@ -83,9 +83,9 @@ void print_summary() {
     const auto corpus = make_corpus(n, 7);
     const auto ptrs = pointers(corpus);
     BehavioralOptions exact;
-    exact.use_lsh = false;
+    exact.backend = repro::cluster::BackendKind::kExact;
     BehavioralOptions lsh;
-    lsh.use_lsh = true;
+    lsh.backend = repro::cluster::BackendKind::kLsh;
     const auto exact_clusters = repro::cluster::cluster_profiles(ptrs, exact);
     // One signature pass serves both the LSH clustering and its
     // candidate-pair statistics.

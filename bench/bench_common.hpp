@@ -17,8 +17,19 @@
 #include "scenario/paper.hpp"
 #include "util/error.hpp"
 #include "util/parse.hpp"
+#include "util/strings.hpp"
 
 namespace repro::bench {
+
+/// Canonical JSON token for a quality/ratio metric. Quality metrics
+/// divide by zero on degenerate landscapes (single planted cluster, no
+/// multi-member truth pairs), and `%.4f` renders those as bare
+/// `nan`/`inf` — which no JSON parser (including the --check gates
+/// downstream) accepts. json_double emits quoted "NaN"/"Infinity"
+/// sentinels for non-finite values instead.
+inline std::string json_quality(double value) {
+  return json_double(value, 4);
+}
 
 inline scenario::ScenarioOptions options_from_env() {
   scenario::ScenarioOptions options;

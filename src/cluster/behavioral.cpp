@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "cluster/backend.hpp"
 #include "cluster/minhash.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
@@ -92,72 +93,17 @@ void fill_id_sets(const std::vector<const sandbox::BehavioralProfile*>& profiles
   }
 }
 
-/// Feature-id sets of every profile. With an attached signature cache
-/// the store's id-set cache is the backing storage: only ids of items
-/// appended since the previous pass are recomputed (profiles are
-/// immutable, so the cached prefix is bit-identical to a fresh
-/// extraction). Without one, `scratch` holds a freshly computed set.
-const std::vector<std::vector<std::uint64_t>>& id_sets(
-    const std::vector<const sandbox::BehavioralProfile*>& profiles,
-    const BehavioralOptions& options,
-    std::vector<std::vector<std::uint64_t>>& scratch) {
-  SignatureStore* cache = options.signature_cache;
-  if (cache == nullptr) {
-    scratch.assign(profiles.size(), {});
-    fill_id_sets(profiles, scratch, 0, options.pool);
-    return scratch;
-  }
-  if (cache->id_sets.size() > profiles.size()) cache->id_sets.clear();
-  const std::size_t have = cache->id_sets.size();
-  cache->id_sets.resize(profiles.size());
-  fill_id_sets(profiles, cache->id_sets, have, options.pool);
-  return cache->id_sets;
-}
-
 /// One MinHash signature pass over every id set, banded into an LSH
-/// index. The signature computation (the expensive part) fans out over
-/// the pool into disjoint slots; the bucket-map inserts stay serial so
-/// every bucket's item list is built in ascending index order.
+/// index. The bucket-map inserts stay serial so every bucket's item
+/// list is built in ascending index order.
 LshIndex build_lsh_index(const std::vector<std::vector<std::uint64_t>>& ids,
                          const BehavioralOptions& options) {
-  const MinHasher hasher{options.lsh_bands * options.lsh_rows, options.seed};
-  LshIndex index{options.lsh_bands, options.lsh_rows};
-  // An attached signature cache supplies the unchanged prefix (items
-  // are positional and the streaming caller only ever appends) and is
-  // the backing storage for this pass — new signatures are computed
-  // straight into it, nothing is copied. A configuration change or a
-  // shrunk item list invalidates it.
-  SignatureStore* cache = options.signature_cache;
-  const std::uint64_t config =
-      signature_config(options.lsh_bands, options.lsh_rows, options.seed);
-  if (cache != nullptr &&
-      (cache->config != config || cache->signatures.size() > ids.size())) {
-    cache->config = config;
-    cache->signatures.clear();
-  }
   std::vector<std::vector<std::uint64_t>> scratch;
-  std::vector<std::vector<std::uint64_t>>& signatures =
-      cache != nullptr ? cache->signatures : scratch;
-  const std::size_t cached = signatures.size();
-  signatures.resize(ids.size());
-  const auto compute = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      signatures[cached + i] = hasher.signature(ids[cached + i]);
-    }
-  };
-  if (options.pool != nullptr) {
-    options.pool->parallel_for(ids.size() - cached, 64, compute);
-  } else {
-    compute(0, ids.size() - cached);
-  }
-  if (cache != nullptr) {
-    cache->reused += cached;
-    cache->computed += ids.size() - cached;
-  }
+  const auto& signatures = detail::minhash_signatures(ids, options, scratch);
+  LshIndex index{options.lsh_bands, options.lsh_rows};
   for (std::size_t i = 0; i < ids.size(); ++i) {
     index.insert(i, signatures[i]);
   }
-  obs::add_counter(options.metrics, "cluster.b.signatures", ids.size());
   return index;
 }
 
@@ -408,6 +354,74 @@ BehavioralClusters cluster_from_ids(
 
 }  // namespace
 
+namespace detail {
+
+/// Feature-id sets of every profile. With an attached signature cache
+/// the store's id-set cache is the backing storage: only ids of items
+/// appended since the previous pass are recomputed (profiles are
+/// immutable, so the cached prefix is bit-identical to a fresh
+/// extraction). Without one, `scratch` holds a freshly computed set.
+const std::vector<std::vector<std::uint64_t>>& profile_id_sets(
+    const std::vector<const sandbox::BehavioralProfile*>& profiles,
+    const BehavioralOptions& options,
+    std::vector<std::vector<std::uint64_t>>& scratch) {
+  SignatureStore* cache = options.signature_cache;
+  if (cache == nullptr) {
+    scratch.assign(profiles.size(), {});
+    fill_id_sets(profiles, scratch, 0, options.pool);
+    return scratch;
+  }
+  if (cache->id_sets.size() > profiles.size()) cache->id_sets.clear();
+  const std::size_t have = cache->id_sets.size();
+  cache->id_sets.resize(profiles.size());
+  fill_id_sets(profiles, cache->id_sets, have, options.pool);
+  return cache->id_sets;
+}
+
+/// MinHash signatures of every id set. The computation (the expensive
+/// part of both the LSH and K-means backends) fans out over the pool
+/// into disjoint slots. An attached signature cache supplies the
+/// unchanged prefix (items are positional and the streaming caller
+/// only ever appends) and is the backing storage for this pass — new
+/// signatures are computed straight into it, nothing is copied. A
+/// configuration change or a shrunk item list invalidates it.
+const std::vector<std::vector<std::uint64_t>>& minhash_signatures(
+    const std::vector<std::vector<std::uint64_t>>& ids,
+    const BehavioralOptions& options,
+    std::vector<std::vector<std::uint64_t>>& scratch) {
+  const MinHasher hasher{options.lsh_bands * options.lsh_rows, options.seed};
+  SignatureStore* cache = options.signature_cache;
+  const std::uint64_t config =
+      signature_config(options.lsh_bands, options.lsh_rows, options.seed);
+  if (cache != nullptr &&
+      (cache->config != config || cache->signatures.size() > ids.size())) {
+    cache->config = config;
+    cache->signatures.clear();
+  }
+  std::vector<std::vector<std::uint64_t>>& signatures =
+      cache != nullptr ? cache->signatures : scratch;
+  const std::size_t cached = signatures.size();
+  signatures.resize(ids.size());
+  const auto compute = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      signatures[cached + i] = hasher.signature(ids[cached + i]);
+    }
+  };
+  if (options.pool != nullptr) {
+    options.pool->parallel_for(ids.size() - cached, 64, compute);
+  } else {
+    compute(0, ids.size() - cached);
+  }
+  if (cache != nullptr) {
+    cache->reused += cached;
+    cache->computed += ids.size() - cached;
+  }
+  obs::add_counter(options.metrics, "cluster.b.signatures", ids.size());
+  return signatures;
+}
+
+}  // namespace detail
+
 std::size_t BehavioralClusters::singleton_count() const noexcept {
   std::size_t count = 0;
   for (const auto& cluster : members) count += cluster.size() == 1 ? 1 : 0;
@@ -417,12 +431,26 @@ std::size_t BehavioralClusters::singleton_count() const noexcept {
 BehavioralClusters cluster_profiles(
     const std::vector<const sandbox::BehavioralProfile*>& profiles,
     const BehavioralOptions& options) {
+  return cluster_backend(options.backend).partition(profiles, options);
+}
+
+BehavioralClusters lsh_single_linkage(
+    const std::vector<const sandbox::BehavioralProfile*>& profiles,
+    const BehavioralOptions& options) {
   std::vector<std::vector<std::uint64_t>> scratch;
-  const auto& ids = id_sets(profiles, options, scratch);
+  const auto& ids = detail::profile_id_sets(profiles, options, scratch);
   if (ids.empty()) return {};
-  if (!options.use_lsh) return cluster_from_ids(ids, options, nullptr);
   const LshIndex index = build_lsh_index(ids, options);
   return cluster_from_ids(ids, options, &index);
+}
+
+BehavioralClusters exact_single_linkage(
+    const std::vector<const sandbox::BehavioralProfile*>& profiles,
+    const BehavioralOptions& options) {
+  std::vector<std::vector<std::uint64_t>> scratch;
+  const auto& ids = detail::profile_id_sets(profiles, options, scratch);
+  if (ids.empty()) return {};
+  return cluster_from_ids(ids, options, nullptr);
 }
 
 PairStats pair_stats(
@@ -432,7 +460,7 @@ PairStats pair_stats(
   const std::size_t n = profiles.size();
   stats.exact_pairs = n * (n - 1) / 2;
   std::vector<std::vector<std::uint64_t>> scratch;
-  const auto& ids = id_sets(profiles, options, scratch);
+  const auto& ids = detail::profile_id_sets(profiles, options, scratch);
   stats.lsh_candidate_pairs = build_lsh_index(ids, options)
                                   .candidate_pairs()
                                   .size();
@@ -446,13 +474,18 @@ ClusteringRun cluster_profiles_with_stats(
   const std::size_t n = profiles.size();
   run.stats.exact_pairs = n * (n - 1) / 2;
   std::vector<std::vector<std::uint64_t>> scratch;
-  const auto& ids = id_sets(profiles, options, scratch);
+  const auto& ids = detail::profile_id_sets(profiles, options, scratch);
   if (ids.empty()) return run;
   // One signature pass feeds both artifacts.
   const LshIndex index = build_lsh_index(ids, options);
   run.stats.lsh_candidate_pairs = index.candidate_pairs().size();
-  run.clusters =
-      cluster_from_ids(ids, options, options.use_lsh ? &index : nullptr);
+  if (options.backend == BackendKind::kLsh) {
+    run.clusters = cluster_from_ids(ids, options, &index);
+  } else if (options.backend == BackendKind::kExact) {
+    run.clusters = cluster_from_ids(ids, options, nullptr);
+  } else {
+    run.clusters = cluster_profiles(profiles, options);
+  }
   return run;
 }
 

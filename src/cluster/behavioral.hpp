@@ -33,14 +33,38 @@ namespace repro::cluster {
 
 struct SignatureStore;
 
+/// Which clustering algorithm produces the B partition. The enumerator
+/// values are a durable wire tag (checkpoints stamp them) — never
+/// renumber, only append.
+enum class BackendKind : std::uint8_t {
+  /// LSH-accelerated single linkage (Bayer et al.) — the default and
+  /// the paper-faithful path.
+  kLsh = 0,
+  /// Exact O(n^2) single linkage — the oracle the LSH path
+  /// approximates; identical output whenever LSH proposes every
+  /// qualifying pair.
+  kExact = 1,
+  /// K-means over MinHash-signature coordinates (Basole & Stamp
+  /// style hash-derived feature vectors); deterministic seeded init,
+  /// fixed iteration cap.
+  kKmeans = 2,
+};
+
 struct BehavioralOptions {
-  /// Jaccard similarity threshold for merging.
+  /// Jaccard similarity threshold for merging (single-linkage
+  /// backends; K-means ignores it).
   double threshold = 0.70;
-  /// Pair-enumeration strategy.
-  bool use_lsh = true;
+  /// Clustering algorithm; see cluster/backend.hpp for the registry.
+  BackendKind backend = BackendKind::kLsh;
   std::size_t lsh_bands = 20;
   std::size_t lsh_rows = 5;
   std::uint64_t seed = 0x6c5b'0001;
+  /// K-means: cluster count; 0 derives floor(sqrt(n)) from the
+  /// profile count.
+  std::size_t kmeans_k = 0;
+  /// K-means: Lloyd iteration cap (stops earlier when the integer
+  /// assignment reaches a fixed point).
+  std::size_t kmeans_iterations = 16;
   /// Optional worker pool (non-owning). Parallelizes the MinHash
   /// signature pass and the per-bucket Jaccard evaluation; clusters
   /// are identical at any width.
@@ -69,6 +93,11 @@ struct BehavioralOptions {
   /// produced partition is identical to a from-scratch run; callers
   /// that cannot guarantee the prefix/options contract must leave this
   /// null. Ignored when its size exceeds the profile count.
+  ///
+  /// Soundness is a single-linkage property (old/old edges survive
+  /// appends only under connected-component semantics) — attaching a
+  /// prior partition to a non-single-linkage backend (kmeans) throws
+  /// ConfigError instead of silently reusing a stale partition.
   const std::vector<int>* prior_assignment = nullptr;
 };
 
@@ -85,10 +114,39 @@ struct BehavioralClusters {
   [[nodiscard]] std::size_t singleton_count() const noexcept;
 };
 
-/// Clusters the given profiles. Profile order defines index identity.
+/// Clusters the given profiles with the backend selected by
+/// `options.backend` (dispatched through the cluster/backend.hpp
+/// registry). Profile order defines index identity.
 [[nodiscard]] BehavioralClusters cluster_profiles(
     const std::vector<const sandbox::BehavioralProfile*>& profiles,
     const BehavioralOptions& options = {});
+
+/// Direct entry points of the two single-linkage backends —
+/// `cluster_profiles` with `options.backend` forced; exposed so the
+/// oracle comparison in benches/tests does not depend on the registry.
+[[nodiscard]] BehavioralClusters lsh_single_linkage(
+    const std::vector<const sandbox::BehavioralProfile*>& profiles,
+    const BehavioralOptions& options = {});
+[[nodiscard]] BehavioralClusters exact_single_linkage(
+    const std::vector<const sandbox::BehavioralProfile*>& profiles,
+    const BehavioralOptions& options = {});
+
+namespace detail {
+/// Internal seam shared by the backends (cluster/kmeans.cpp reuses the
+/// same cache-honoring passes): the sorted feature-id sets of
+/// `profiles`, and their MinHash signatures. With an attached
+/// signature cache the store is the backing storage and only appended
+/// items are (re)computed; otherwise `scratch` holds the result. Not a
+/// stable API outside src/cluster.
+[[nodiscard]] const std::vector<std::vector<std::uint64_t>>& profile_id_sets(
+    const std::vector<const sandbox::BehavioralProfile*>& profiles,
+    const BehavioralOptions& options,
+    std::vector<std::vector<std::uint64_t>>& scratch);
+[[nodiscard]] const std::vector<std::vector<std::uint64_t>>&
+minhash_signatures(const std::vector<std::vector<std::uint64_t>>& ids,
+                   const BehavioralOptions& options,
+                   std::vector<std::vector<std::uint64_t>>& scratch);
+}  // namespace detail
 
 /// Number of similarity evaluations a run would perform under each
 /// strategy — exposed for the scalability ablation bench.

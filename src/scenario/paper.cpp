@@ -968,7 +968,10 @@ Dataset build_paper_dataset(const ScenarioOptions& options) {
   // behavioral) so a crash can never leave a later checkpoint without
   // its predecessor.
   auto loaded_epm = store.load_epm();
-  auto loaded_behavioral = store.load_behavioral();
+  // A behavioral stage written by a different backend is quarantined as
+  // stale inside load_behavioral — exact/kmeans never silently resume
+  // an LSH checkpoint (or vice versa); the stage is just recomputed.
+  auto loaded_behavioral = store.load_behavioral(options.b_backend);
 
   snapshot::EpmStage epm_stage;
   {
@@ -1003,6 +1006,7 @@ Dataset build_paper_dataset(const ScenarioOptions& options) {
                                               parent};
         cluster::BehavioralOptions behavioral;
         behavioral.threshold = options.b_threshold;
+        behavioral.backend = options.b_backend;
         // The behavioral task additionally parallelizes internally
         // (nested submission): idle workers from the cheaper EPM tasks
         // drain its signature and bucket chunks.
@@ -1027,7 +1031,7 @@ Dataset build_paper_dataset(const ScenarioOptions& options) {
   if (loaded_behavioral) {
     dataset.b = std::move(*loaded_behavioral);
   } else {
-    store.save_behavioral(dataset.b);
+    store.save_behavioral(dataset.b, options.b_backend);
   }
 
   dataset.checkpoint_activity = store.activity();

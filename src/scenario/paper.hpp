@@ -10,6 +10,7 @@
 #include <cstdint>
 
 #include "analysis/bview.hpp"
+#include "cluster/behavioral.hpp"
 #include "cluster/epm.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
@@ -40,6 +41,15 @@ struct ScenarioOptions {
   double scale = 1.0;
   /// Jaccard threshold of the behavioral clustering.
   double b_threshold = 0.70;
+  /// B-clustering backend (cluster/backend.hpp registry). Deliberately
+  /// NOT part of the scenario fingerprint: the landscape, database and
+  /// EPM results are backend-independent, so their snapshots and WAL
+  /// segments are sound to share across backends. Backend-dependent
+  /// artifacts (the behavioral stage, epoch cuts) carry their own
+  /// backend tag instead — a mismatch quarantines the batch stage as
+  /// stale, and the incremental streaming path refuses the switch with
+  /// a typed ConfigError (see DESIGN.md §15).
+  cluster::BackendKind b_backend = cluster::BackendKind::kLsh;
   /// Worker-pool width for the processing pipeline (enrichment and the
   /// four clusterings). 0 = hardware_concurrency, 1 = the bit-exact
   /// legacy serial path. Output is byte-identical at every width, so —
@@ -70,6 +80,9 @@ struct ScenarioOptions {
 /// threshold and the full fault plan — not the checkpoint knobs, and
 /// not `threads`, which never changes the dataset). Embedded in
 /// snapshots so stale checkpoints never leak across configurations.
+/// `b_backend` is also excluded: backend-independent stages share
+/// snapshots and WAL segments across backends, while backend-dependent
+/// ones are guarded by their own backend tag (see ScenarioOptions).
 [[nodiscard]] std::uint64_t scenario_fingerprint(
     const ScenarioOptions& options);
 

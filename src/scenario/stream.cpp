@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/backend.hpp"
 #include "cluster/behavioral.hpp"
 #include "cluster/incremental.hpp"
 #include "cluster/minhash.hpp"
@@ -132,6 +133,17 @@ Dataset build_streaming_dataset(const ScenarioOptions& options,
                                 const StreamOptions& stream) {
   options.faults.validate();
   stream.validate();
+  if ((stream.incremental || stream.verify_incremental) &&
+      !cluster::cluster_backend(options.b_backend).single_linkage()) {
+    // Prefix seeding from the prior epoch's partition is only sound
+    // under connected-component semantics; re-centering backends must
+    // recompute every epoch.
+    throw ConfigError(
+        "incremental epoch clustering requires a single-linkage backend; "
+        "run backend '" +
+        std::string{cluster::backend_name(options.b_backend)} +
+        "' with --full-recluster");
+  }
   const std::uint64_t fingerprint = scenario_fingerprint(options);
   snapshot::CheckpointStore store{options.checkpoint, fingerprint};
 
@@ -196,6 +208,23 @@ Dataset build_streaming_dataset(const ScenarioOptions& options,
   if (restored && restored->wal_records > total) {
     // A matching fingerprint can never produce more records than the
     // regenerated stream; never trust disk anyway.
+    restored.reset();
+  }
+  if (restored && restored->b_backend != options.b_backend) {
+    // The cut's behavioral partition came from another backend. The
+    // incremental path would seed this backend's union-find from it —
+    // a silent stale partition — so it refuses the switch outright;
+    // the full-recompute path just declines the cut and replays the
+    // WAL from the start (everything it recomputes is backend-pure).
+    if (stream.incremental || stream.verify_incremental) {
+      throw ConfigError(
+          "epoch checkpoint was cut by cluster backend '" +
+          std::string{cluster::backend_name(restored->b_backend)} +
+          "' but this run selects '" +
+          std::string{cluster::backend_name(options.b_backend)} +
+          "'; incremental seeding across backends is unsound — use a "
+          "fresh checkpoint directory or --full-recluster");
+    }
     restored.reset();
   }
 
@@ -381,6 +410,7 @@ Dataset build_streaming_dataset(const ScenarioOptions& options,
                                                 parent};
           cluster::BehavioralOptions behavioral;
           behavioral.threshold = options.b_threshold;
+          behavioral.backend = options.b_backend;
           behavioral.pool = &pool;
           behavioral.signature_cache = &signatures;
           behavioral.prior_assignment = &prior_b;
@@ -411,6 +441,7 @@ Dataset build_streaming_dataset(const ScenarioOptions& options,
                                                 parent};
           cluster::BehavioralOptions behavioral;
           behavioral.threshold = options.b_threshold;
+          behavioral.backend = options.b_backend;
           behavioral.pool = &pool;
           bview = analysis::BehavioralView::build(db, behavioral);
         });
@@ -449,6 +480,7 @@ Dataset build_streaming_dataset(const ScenarioOptions& options,
                                                 parent};
           cluster::BehavioralOptions behavioral;
           behavioral.threshold = options.b_threshold;
+          behavioral.backend = options.b_backend;
           behavioral.pool = &pool;
           full_b = analysis::BehavioralView::build(db, behavioral);
         });
@@ -485,6 +517,7 @@ Dataset build_streaming_dataset(const ScenarioOptions& options,
     snapshot::EpochStage cut;
     cut.epoch = k;
     cut.wal_records = target;
+    cut.b_backend = options.b_backend;
     cut.database.db = db;
     cut.database.enrichment = enrich_totals;
     cut.database.fault_report = final_slice;

@@ -166,6 +166,14 @@ Response ServeView::cluster(int id) const {
   }
   const std::vector<std::size_t>& members =
       b_members_[static_cast<std::size_t>(id)];
+  if (members.empty()) {
+    // Every backend emits dense first-member-ordered ids, so a valid
+    // partition never holds an empty cluster; an empty member list can
+    // only come from an id gap in an ill-formed source. Answer
+    // NOT_FOUND instead of rendering a phantom "size 0" cluster.
+    return Response::error(ErrorCode::kNotFound,
+                           "no b-cluster " + std::to_string(id));
+  }
   Response response;
   response.lines.push_back("cluster " + std::to_string(id));
   response.lines.push_back("size " + std::to_string(members.size()));
@@ -178,15 +186,10 @@ Response ServeView::cluster(int id) const {
     first = std::min(first, info.first_event_seconds);
     last = std::max(last, info.last_event_seconds);
   }
-  if (members.empty()) {
-    response.lines.push_back("timeline - - 0");
-  } else {
-    const std::int64_t weeks =
-        week_index(SimTime{last}, SimTime{first}) + 1;
-    response.lines.push_back("timeline " + format_date(SimTime{first}) + ' ' +
-                             format_date(SimTime{last}) + ' ' +
-                             std::to_string(weeks));
-  }
+  const std::int64_t weeks = week_index(SimTime{last}, SimTime{first}) + 1;
+  response.lines.push_back("timeline " + format_date(SimTime{first}) + ' ' +
+                           format_date(SimTime{last}) + ' ' +
+                           std::to_string(weeks));
   return response;
 }
 

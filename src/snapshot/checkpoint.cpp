@@ -10,6 +10,7 @@
 #include <fstream>
 #include <utility>
 
+#include "cluster/backend.hpp"
 #include "snapshot/codec.hpp"
 #include "snapshot/crc32.hpp"
 #include "util/byteio.hpp"
@@ -401,12 +402,16 @@ std::optional<EpmStage> CheckpointStore::load_epm() {
   return std::nullopt;
 }
 
-void CheckpointStore::save_behavioral(const analysis::BehavioralView& view) {
+void CheckpointStore::save_behavioral(const analysis::BehavioralView& view,
+                                      cluster::BackendKind backend) {
   if (!enabled()) return;
+  ByteWriter meta_writer;
+  meta_writer.u8(static_cast<std::uint8_t>(backend));
   ByteWriter writer;
   write_behavioral_view(writer, view);
   save_stage(Stage::kBehavioral,
-             {make_section("behavioral", std::move(writer))});
+             {make_section("behavioral-meta", std::move(meta_writer)),
+              make_section("behavioral", std::move(writer))});
 }
 
 void CheckpointStore::save_epoch(const EpochStage& stage) {
@@ -414,6 +419,7 @@ void CheckpointStore::save_epoch(const EpochStage& stage) {
   ByteWriter meta_writer;
   meta_writer.u64(stage.epoch);
   meta_writer.u64(stage.wal_records);
+  meta_writer.u8(static_cast<std::uint8_t>(stage.b_backend));
   ByteWriter db_writer;
   write_database(db_writer, stage.database.db);
   ByteWriter stats_writer;
@@ -494,6 +500,7 @@ std::optional<EpochStage> CheckpointStore::load_latest_epoch() {
       decode_section(decoded.sections, "epoch-meta", [&](ByteReader& reader) {
         stage.epoch = reader.u64();
         stage.wal_records = reader.u64();
+        stage.b_backend = cluster::backend_kind_from_tag(reader.u8());
         return 0;
       });
       if (stage.epoch != index) {
@@ -528,17 +535,29 @@ std::optional<EpochStage> CheckpointStore::load_latest_epoch() {
   return std::nullopt;
 }
 
-std::optional<analysis::BehavioralView> CheckpointStore::load_behavioral() {
+std::optional<analysis::BehavioralView> CheckpointStore::load_behavioral(
+    cluster::BackendKind expected) {
   const auto sections = load_stage(Stage::kBehavioral);
   if (!sections.has_value()) return std::nullopt;
+  const std::string path =
+      (fs::path{options_.directory} / stage_filename(Stage::kBehavioral))
+          .string();
   try {
+    const cluster::BackendKind backend =
+        decode_section(*sections, "behavioral-meta", [](ByteReader& reader) {
+          return cluster::backend_kind_from_tag(reader.u8());
+        });
+    if (backend != expected) {
+      // Produced by another backend: stale by configuration, exactly
+      // like a fingerprint mismatch — quarantine and recompute.
+      quarantine(path, /*stale=*/true);
+      --activity_.restored;
+      return std::nullopt;
+    }
     return decode_section(*sections, "behavioral", read_behavioral_view);
   } catch (const ParseError&) {
   }
-  quarantine(
-      (fs::path{options_.directory} / stage_filename(Stage::kBehavioral))
-          .string(),
-      /*stale=*/false);
+  quarantine(path, /*stale=*/false);
   --activity_.restored;
   return std::nullopt;
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "analysis/bview.hpp"
+#include "cluster/behavioral.hpp"
 #include "cluster/epm.hpp"
 #include "fault/injector.hpp"
 #include "honeypot/database.hpp"
@@ -46,9 +47,12 @@ inline constexpr std::uint32_t kSnapshotEndMagic = 0x44'4e'45'53;  // "SEND"
 // Version 4: the epoch stage gained the incremental-clustering state
 // sections (per-dimension EPM counting blobs + the MinHash signature
 // store).
+// Version 5: the behavioral stage and the epoch meta stamp the
+// producing cluster backend, so a partition computed by one backend
+// can never silently seed another.
 // Older files are quarantined as unreadable and their stages
 // recomputed — the normal graceful-degradation path, not an error.
-inline constexpr std::uint32_t kSnapshotVersion = 4;
+inline constexpr std::uint32_t kSnapshotVersion = 5;
 
 /// The pipeline's checkpointable stage boundaries, in execution order.
 enum class Stage : std::uint8_t {
@@ -145,6 +149,11 @@ struct EpmStage {
 struct EpochStage {
   std::uint64_t epoch = 0;        // 0-based epoch index that was cut
   std::uint64_t wal_records = 0;  // records covered by this state
+  /// Backend that produced `behavioral`. The scenario fingerprint
+  /// deliberately excludes the backend (everything else in a cut is
+  /// backend-independent), so this tag is what stops an incremental
+  /// resume from seeding one backend with another's partition.
+  cluster::BackendKind b_backend = cluster::BackendKind::kLsh;
   DatabaseStage database;
   EpmStage epm;
   analysis::BehavioralView behavioral;
@@ -180,8 +189,15 @@ class CheckpointStore {
   void save_epm(const EpmStage& stage);
   [[nodiscard]] std::optional<EpmStage> load_epm();
 
-  void save_behavioral(const analysis::BehavioralView& view);
-  [[nodiscard]] std::optional<analysis::BehavioralView> load_behavioral();
+  /// The behavioral stage travels with the backend that produced it.
+  void save_behavioral(const analysis::BehavioralView& view,
+                       cluster::BackendKind backend);
+  /// Loads the behavioral stage iff it was produced by `expected`; a
+  /// tag mismatch quarantines the file as stale (like a fingerprint
+  /// mismatch) so the caller recomputes instead of silently reusing a
+  /// partition from another backend.
+  [[nodiscard]] std::optional<analysis::BehavioralView> load_behavioral(
+      cluster::BackendKind expected);
 
   /// Durably writes one epoch cut to its own "epoch-NNNN.snap" file.
   void save_epoch(const EpochStage& stage);

@@ -577,22 +577,27 @@ struct BehavioralViewAccess {
     analysis::BehavioralView view;
     view.rows_ = std::move(rows);
     view.clusters_.assignment = std::move(assignment);
-    // Cluster ids are dense and every cluster has at least one member,
-    // so the member table is exactly max(assignment)+1 lists.
-    std::size_t cluster_count = 0;
-    for (const int cluster : view.clusters_.assignment) {
-      if (cluster < 0) {
-        throw ParseError("snapshot codec: negative behavioral cluster id");
-      }
-      cluster_count =
-          std::max(cluster_count, static_cast<std::size_t>(cluster) + 1);
-    }
-    view.clusters_.members.assign(cluster_count, {});
     // Cross-check the stored sample map against what rows+assignment
     // imply; any disagreement means the snapshot is corrupt.
     std::vector<int> expected(sample_to_cluster.size(), -1);
     for (std::size_t row = 0; row < view.rows_.size(); ++row) {
       const int cluster = view.clusters_.assignment[row];
+      // Every backend emits dense cluster ids ordered by first member,
+      // so a valid id is either an already-seen cluster or exactly the
+      // next fresh one. Enforcing that here — instead of sizing the
+      // member table from max(assignment) — also keeps a corrupt but
+      // CRC-valid snapshot carrying one huge id from demanding an
+      // unbounded member-table allocation before the check could fire.
+      if (cluster < 0 ||
+          static_cast<std::size_t>(cluster) > view.clusters_.members.size()) {
+        throw ParseError(
+            "snapshot codec: behavioral cluster ids not dense "
+            "first-member-ordered at row " +
+            std::to_string(row));
+      }
+      if (static_cast<std::size_t>(cluster) == view.clusters_.members.size()) {
+        view.clusters_.members.emplace_back();
+      }
       if (view.rows_[row] >= sample_to_cluster.size()) {
         throw ParseError("snapshot codec: behavioral row references sample " +
                          std::to_string(view.rows_[row]) + " of " +

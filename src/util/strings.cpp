@@ -1,6 +1,7 @@
 #include "util/strings.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 
 namespace repro {
@@ -66,6 +67,14 @@ std::string fixed(double value, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
   return buf;
+}
+
+std::string json_double(double value, int decimals) {
+  if (std::isnan(value)) return "\"NaN\"";
+  if (std::isinf(value)) {
+    return value > 0 ? "\"Infinity\"" : "\"-Infinity\"";
+  }
+  return fixed(value, decimals);
 }
 
 std::string escape_bytes(std::string_view raw) {

@@ -19,6 +19,14 @@ namespace repro {
 /// printf-style double with fixed decimals.
 [[nodiscard]] std::string fixed(double value, int decimals);
 
+/// JSON-safe double token with fixed decimals. `fixed` renders
+/// non-finite values as bare `nan`/`inf`, which no JSON parser
+/// accepts; quality metrics divide by zero on degenerate landscapes
+/// (e.g. a single planted cluster), so benches must emit the string
+/// sentinels "NaN"/"Infinity"/"-Infinity" (quoted, like RFC 8259
+/// implementations that round-trip IEEE specials) instead.
+[[nodiscard]] std::string json_double(double value, int decimals);
+
 /// Escape non-printable bytes C-style ("\x00"), used to render section
 /// names the way the paper prints them (".text\x00\x00\x00").
 [[nodiscard]] std::string escape_bytes(std::string_view raw);

@@ -1,0 +1,47 @@
+// Golden corpus: RL003 — unordered iteration in the pluggable-backend
+// layer. This file lives under a directory named cluster/ (mirroring
+// src/cluster), where the backend registry and the K-means centroid
+// bookkeeping both tempt hash-keyed maps: walking them in hash order
+// would make backend listings, centroid tie-breaks and emitted work
+// counters differ across stdlib implementations and thread widths.
+// Never compiled; consumed by tests/lint_test.cpp.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+std::string backend_listing(
+    const std::unordered_map<std::string, std::uint8_t>& registry) {
+  std::string out;
+  for (const auto& [name, tag] : registry) {  // expect(RL003)
+    out += name;
+    out += ',';
+  }
+  return out;
+}
+
+double centroid_shift(
+    const std::unordered_map<std::size_t, double>& shifts) {
+  double total = 0.0;
+  for (const auto& [centroid, shift] : shifts) {  // expect(RL003)
+    total += shift;
+  }
+  return total;
+}
+
+// The sanctioned fix: hoist a sorted copy to its own declaration and
+// walk the copy — order is then pinned regardless of hash seeding.
+std::vector<std::pair<std::string, std::uint8_t>> sorted_items(
+    const std::unordered_map<std::string, std::uint8_t>& registry);
+
+std::string backend_listing_sorted(
+    const std::unordered_map<std::string, std::uint8_t>& registry) {
+  std::string out;
+  const auto items = sorted_items(registry);
+  for (const auto& [name, tag] : items) {
+    out += name;
+    out += ',';
+  }
+  return out;
+}

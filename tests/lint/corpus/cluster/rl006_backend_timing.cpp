@@ -1,0 +1,26 @@
+// Golden corpus: RL006 — <chrono> in backend cost accounting. The
+// backend benchmark compares quality *and* cost, and the temptation is
+// for a backend to time itself; but wall time belongs on the runtime
+// channel through the audited obs seam (obs::Stopwatch /
+// TraceRecorder), never via a private <chrono> include inside
+// src/cluster — a second clock channel there would sit right next to
+// the deterministic counters the ABL-12 gate pins. Never compiled;
+// consumed by tests/lint_test.cpp.
+#include <chrono>  // expect(RL006)
+#include <cstdint>
+
+std::int64_t partition_wall_ns_wrong() {
+  const auto start = std::chrono::steady_clock::now();  // expect(RL002) expect(RL006)
+  const auto stop = std::chrono::steady_clock::now();  // expect(RL002) expect(RL006)
+  return (stop - start).count();
+}
+
+// The sanctioned pattern: the caller (bench harness) wraps the
+// partition call in a TraceRecorder::Scoped span and reads the span's
+// duration; the backend itself emits only deterministic work counters:
+//
+//   const obs::TraceRecorder::Scoped span{&trace, "paper.kmeans"};
+//   const auto clusters = cluster_profiles(profiles, options);
+std::int64_t partition_work_units(std::int64_t items) {
+  return items * 2;  // counters are pure functions of the input
+}

@@ -165,7 +165,8 @@ TEST_P(BehavioralProperty, PartitionInvariantUnderPermutation) {
   Rng rng{static_cast<std::uint64_t>(GetParam()) * 101 + 11};
   auto profiles = random_profiles(rng, 60);
   BehavioralOptions options;
-  options.use_lsh = false;  // exact: permutation invariance must be exact
+  // exact: permutation invariance must be exact
+  options.backend = BackendKind::kExact;
   const auto base = cluster_profiles(views(profiles), options);
 
   std::vector<std::size_t> order(profiles.size());
@@ -186,10 +187,10 @@ TEST_P(BehavioralProperty, HigherThresholdNeverMerges) {
   Rng rng{static_cast<std::uint64_t>(GetParam()) * 211 + 13};
   const auto profiles = random_profiles(rng, 60);
   BehavioralOptions loose;
-  loose.use_lsh = false;
+  loose.backend = BackendKind::kExact;
   loose.threshold = 0.5;
   BehavioralOptions tight;
-  tight.use_lsh = false;
+  tight.backend = BackendKind::kExact;
   tight.threshold = 0.9;
   const auto loose_clusters = cluster_profiles(views(profiles), loose);
   const auto tight_clusters = cluster_profiles(views(profiles), tight);
@@ -222,9 +223,9 @@ TEST_P(BehavioralProperty, LshAgreesWithExactGivenSimilarityGap) {
     profiles.push_back(std::move(profile));
   }
   BehavioralOptions exact;
-  exact.use_lsh = false;
+  exact.backend = BackendKind::kExact;
   BehavioralOptions lsh;
-  lsh.use_lsh = true;
+  lsh.backend = BackendKind::kLsh;
   EXPECT_EQ(canonical(cluster_profiles(views(profiles), exact).assignment),
             canonical(cluster_profiles(views(profiles), lsh).assignment));
 }

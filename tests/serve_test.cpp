@@ -335,6 +335,37 @@ TEST(View, MissesAreTypedNotFound) {
   EXPECT_EQ(cluster.code, ErrorCode::kNotFound);
 }
 
+TEST(View, ClusterIdBoundariesMatchTheDensePartition) {
+  // Regression (cluster-id-gap sweep): every id inside the dense
+  // partition answers with a real member list (never a phantom
+  // "size 0" cluster), and everything outside — including negatives,
+  // which never come from the parser but can come from a buggy
+  // caller — is a typed NOT_FOUND, not a crash.
+  const scenario::Dataset ds = scenario::build_paper_dataset(small_options());
+  const ServeView view = ServeView::build(ds.db, ds.e, ds.p, ds.m, ds.b, 3);
+  const int count = static_cast<int>(ds.b.cluster_count());
+  ASSERT_GT(count, 0);
+  for (const int id : {0, count - 1}) {
+    const Response ok =
+        view.answer(parse_request("cluster " + std::to_string(id)));
+    ASSERT_TRUE(ok.ok()) << "cluster " << id;
+    ASSERT_GE(ok.lines.size(), 3u);
+    EXPECT_EQ(ok.lines[0], "cluster " + std::to_string(id));
+    EXPECT_EQ(ok.lines[1].rfind("size ", 0), 0u);
+    EXPECT_NE(ok.lines[1], "size 0");
+    EXPECT_EQ(ok.lines.back().rfind("timeline ", 0), 0u);
+  }
+  for (const int id : {count, count + 1}) {
+    EXPECT_EQ(view.answer(parse_request("cluster " + std::to_string(id))).code,
+              ErrorCode::kNotFound)
+        << "cluster " << id;
+  }
+  Request negative;
+  negative.kind = RequestKind::kCluster;
+  negative.cluster = -1;
+  EXPECT_EQ(view.answer(negative).code, ErrorCode::kNotFound);
+}
+
 TEST(View, SlowIsNeverAnswerableByAView) {
   EXPECT_EQ(batch_view().answer(parse_request("slow 5")).code,
             ErrorCode::kBadRequest);

@@ -518,5 +518,118 @@ TEST(Resume, QuarantinedStageFallsBackToRecompute) {
   EXPECT_EQ(all_csv(resumed), all_csv(dataset()));
 }
 
+// --- Behavioral cluster-id validation (satellite bugfix) --------------------
+
+/// Hand-crafts the behavioral-view wire payload: rows 0..n-1 mapped to
+/// the given assignment, with a consistent sample map — so the dense
+/// first-member-order check is the only thing that can reject it.
+std::vector<std::uint8_t> behavioral_payload(
+    const std::vector<int>& assignment) {
+  ByteWriter writer;
+  writer.u64(assignment.size());
+  for (std::uint32_t row = 0; row < assignment.size(); ++row) {
+    writer.u32(row);  // row i is sample i
+  }
+  writer.u64(assignment.size());
+  for (const int cluster : assignment) {
+    writer.u32(static_cast<std::uint32_t>(cluster));
+  }
+  writer.u64(assignment.size());  // sample map == assignment here
+  for (const int cluster : assignment) {
+    writer.u32(static_cast<std::uint32_t>(cluster));
+  }
+  return writer.data();
+}
+
+TEST(Codec, BehavioralDenseIdsRoundTrip) {
+  const std::vector<std::uint8_t> bytes = behavioral_payload({0, 0, 1, 2, 1});
+  ByteReader reader{bytes};
+  const analysis::BehavioralView view = read_behavioral_view(reader);
+  EXPECT_EQ(view.cluster_count(), 3u);
+  EXPECT_EQ(view.cluster_of_sample(4), 1);
+}
+
+TEST(Codec, BehavioralGapIdsAreRejected) {
+  // Regression: a CRC-valid snapshot with a gap in the cluster ids
+  // (no cluster 1) used to restore a view with an empty member list —
+  // which every consumer then indexed as if populated. It must be a
+  // typed ParseError instead.
+  const std::vector<std::uint8_t> bytes = behavioral_payload({0, 2, 0});
+  ByteReader reader{bytes};
+  EXPECT_THROW((void)read_behavioral_view(reader), ParseError);
+}
+
+TEST(Codec, BehavioralOutOfOrderIdsAreRejected) {
+  // First-member ordering: cluster 1 may not appear before cluster 0.
+  const std::vector<std::uint8_t> bytes = behavioral_payload({1, 0});
+  ByteReader reader{bytes};
+  EXPECT_THROW((void)read_behavioral_view(reader), ParseError);
+}
+
+TEST(Codec, BehavioralHugeIdIsRejectedNotAllocated) {
+  // Regression: the member table was sized from max(assignment), so a
+  // corrupt-but-CRC-valid snapshot carrying one huge id demanded an
+  // unbounded allocation before any validation ran. The dense-order
+  // check must fire first.
+  const std::vector<std::uint8_t> bytes =
+      behavioral_payload({0, 0x7fff'fff0});
+  ByteReader reader{bytes};
+  EXPECT_THROW((void)read_behavioral_view(reader), ParseError);
+}
+
+// --- Backend tags on checkpoints (tentpole) ---------------------------------
+
+TEST(Store, BehavioralBackendTagRoundTrips) {
+  const fs::path dir = fresh_dir("backend-tag");
+  CheckpointStore writer{CheckpointOptions{dir.string()}, 42};
+  writer.save_behavioral(dataset().b, cluster::BackendKind::kLsh);
+
+  CheckpointStore reader{CheckpointOptions{dir.string()}, 42};
+  const auto loaded = reader.load_behavioral(cluster::BackendKind::kLsh);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->cluster_count(), dataset().b.cluster_count());
+  EXPECT_EQ(reader.activity().restored, 1u);
+}
+
+TEST(Store, BehavioralBackendMismatchIsQuarantinedAsStale) {
+  // A partition produced by one backend must never silently seed a
+  // run that selected another — the tag mismatch is handled exactly
+  // like a stale fingerprint: quarantine and recompute.
+  const fs::path dir = fresh_dir("backend-mismatch");
+  CheckpointStore writer{CheckpointOptions{dir.string()}, 42};
+  writer.save_behavioral(dataset().b, cluster::BackendKind::kLsh);
+
+  CheckpointStore reader{CheckpointOptions{dir.string()}, 42};
+  EXPECT_FALSE(
+      reader.load_behavioral(cluster::BackendKind::kKmeans).has_value());
+  EXPECT_EQ(reader.activity().stale, 1u);
+  EXPECT_EQ(reader.activity().quarantined, 1u);
+  EXPECT_FALSE(fs::exists(dir / stage_filename(Stage::kBehavioral)));
+}
+
+TEST(Store, EpochBackendTagRoundTrips) {
+  const fs::path dir = fresh_dir("epoch-backend-tag");
+  CheckpointStore writer{CheckpointOptions{dir.string()}, 42};
+  EpochStage stage;
+  stage.epoch = 2;
+  stage.wal_records = 123;
+  stage.b_backend = cluster::BackendKind::kKmeans;
+  stage.database.db = dataset().db;
+  stage.database.enrichment = dataset().enrichment;
+  stage.database.fault_report = dataset().fault_report;
+  stage.epm.e = dataset().e;
+  stage.epm.p = dataset().p;
+  stage.epm.m = dataset().m;
+  stage.behavioral = dataset().b;
+  writer.save_epoch(stage);
+
+  CheckpointStore reader{CheckpointOptions{dir.string()}, 42};
+  const auto loaded = reader.load_latest_epoch();
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->epoch, 2u);
+  EXPECT_EQ(loaded->wal_records, 123u);
+  EXPECT_EQ(loaded->b_backend, cluster::BackendKind::kKmeans);
+}
+
 }  // namespace
 }  // namespace repro::snapshot

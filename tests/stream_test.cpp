@@ -442,6 +442,69 @@ TEST(Stream, MixedModeResumeRecountsFromAFullModeCut) {
   EXPECT_EQ(resumed.ingest.epochs_verified, 2u);
 }
 
+// --- Backend switches across epochs (satellite bugfix) ----------------------
+
+TEST(Stream, IncrementalRequiresSingleLinkageBackend) {
+  // prior_assignment seeding is only sound under connected-component
+  // semantics; a kmeans run must refuse the incremental modes up
+  // front (typed ConfigError, before any WAL or checkpoint work).
+  ScenarioOptions options = small_options(false);
+  options.b_backend = cluster::BackendKind::kKmeans;
+  const fs::path root = fresh_dir("kmeans-incremental");
+  StreamOptions stream = stream_under(root, options);
+  EXPECT_THROW((void)build_streaming_dataset(options, stream), ConfigError);
+  stream.incremental = false;
+  stream.verify_incremental = true;
+  EXPECT_THROW((void)build_streaming_dataset(options, stream), ConfigError);
+
+  // Full recompute per epoch is backend-pure, so kmeans streams fine
+  // there — and still matches the batch build with the same backend.
+  stream.verify_incremental = false;
+  const Dataset streamed = build_streaming_dataset(options, stream);
+  ScenarioOptions batch = small_options(false);
+  batch.b_backend = cluster::BackendKind::kKmeans;
+  EXPECT_EQ(all_csv(streamed), all_csv(build_paper_dataset(batch)));
+}
+
+TEST(Stream, EpochCutFromAnotherBackendRefusesIncrementalResume) {
+  // Kill/resume with a backend switch in between: the epoch cut is
+  // tagged with the backend that produced it, and an incremental
+  // resume under a different backend must be a typed refusal — not a
+  // silent resume seeded with the other backend's partition.
+  ScenarioOptions options = small_options(false);
+  const fs::path root = fresh_dir("backend-switch");
+  StreamOptions stream = stream_under(root, options);
+  options.checkpoint.stop_after_epoch = 1;  // cut epoch 1 with lsh
+  EXPECT_THROW((void)build_streaming_dataset(options, stream),
+               snapshot::CheckpointInterrupted);
+  options.checkpoint.stop_after_epoch = 0;
+
+  options.b_backend = cluster::BackendKind::kExact;
+  EXPECT_THROW((void)build_streaming_dataset(options, stream), ConfigError);
+
+  // --full-recluster declines the foreign cut and replays the WAL from
+  // the start instead; the output matches an exact-backend batch build.
+  stream.incremental = false;
+  const Dataset exact_resumed = build_streaming_dataset(options, stream);
+  EXPECT_EQ(exact_resumed.ingest.epochs_restored, 0u);
+  ScenarioOptions batch = small_options(false);
+  batch.b_backend = cluster::BackendKind::kExact;
+  EXPECT_EQ(all_csv(exact_resumed), all_csv(build_paper_dataset(batch)));
+
+  // The exact run wrote its own cuts, so switching back to lsh
+  // incrementally is refused the same way — the newest cut is foreign.
+  options.b_backend = cluster::BackendKind::kLsh;
+  stream.incremental = true;
+  EXPECT_THROW((void)build_streaming_dataset(options, stream), ConfigError);
+
+  // The documented remedy — a fresh checkpoint directory — replays the
+  // same WAL under lsh and converges on the batch output.
+  options.checkpoint.directory = (root / "ckpt-lsh").string();
+  const Dataset lsh_resumed = build_streaming_dataset(options, stream);
+  EXPECT_EQ(lsh_resumed.ingest.epochs_restored, 0u);
+  EXPECT_EQ(all_csv(lsh_resumed), batch_csv(false));
+}
+
 TEST(Stream, IncrementalCountersAreKillInvariant) {
   const auto counter_of = [](const obs::MetricsRegistry& metrics,
                              const std::string& name) -> std::uint64_t {

@@ -395,6 +395,26 @@ TEST(Strings, Fixed) {
   EXPECT_EQ(fixed(2.0, 0), "2");
 }
 
+TEST(Strings, JsonDoubleFiniteMatchesFixed) {
+  EXPECT_EQ(json_double(3.14159, 2), "3.14");
+  EXPECT_EQ(json_double(0.0, 4), "0.0000");
+  EXPECT_EQ(json_double(-1.5, 1), "-1.5");
+}
+
+TEST(Strings, JsonDoubleNonFiniteUsesSentinels) {
+  // Regression: `fixed` renders non-finite doubles as bare nan/inf,
+  // which no JSON parser accepts; quality metrics divide by zero on
+  // degenerate landscapes, so bench emission must use the quoted
+  // sentinels instead.
+  EXPECT_EQ(json_double(std::numeric_limits<double>::quiet_NaN(), 4),
+            "\"NaN\"");
+  EXPECT_EQ(json_double(std::numeric_limits<double>::infinity(), 4),
+            "\"Infinity\"");
+  EXPECT_EQ(json_double(-std::numeric_limits<double>::infinity(), 4),
+            "\"-Infinity\"");
+  EXPECT_EQ(json_double(0.0 / 0.0 * 0.0, 2), "\"NaN\"");
+}
+
 TEST(Strings, EscapeBytes) {
   EXPECT_EQ(escape_bytes(std::string_view{".text\x00\x00\x00", 8}),
             ".text\\x00\\x00\\x00");

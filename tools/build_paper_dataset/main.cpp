@@ -24,6 +24,7 @@
 #include <unistd.h>
 #include <vector>
 
+#include "cluster/backend.hpp"
 #include "fault/plan.hpp"
 #include "io/csv_export.hpp"
 #include "obs/metrics.hpp"
@@ -54,6 +55,8 @@ void usage(std::ostream& os) {
         "  --seed N               scenario seed (default 2008)\n"
         "  --scale X              event-rate scale (default 1.0)\n"
         "  --threads N            pool width, 0 = hardware (default 0)\n"
+        "  --cluster-backend B    B-clustering backend: lsh, exact, or\n"
+        "                         kmeans (default lsh)\n"
         "  --faults none|paper    fault-injection plan (default none)\n"
         "  --checkpoint-dir DIR   crash-safe stage/epoch snapshots\n"
         "  --epochs N             streaming mode: epoch batches (with"
@@ -95,6 +98,9 @@ CliOptions parse_cli(int argc, char** argv) {
     } else if (arg == "--threads") {
       cli.scenario.threads =
           static_cast<std::size_t>(repro::parse_u64(value(), "--threads"));
+    } else if (arg == "--cluster-backend") {
+      cli.scenario.b_backend =
+          repro::cluster::backend_from_name(value()).kind();
     } else if (arg == "--faults") {
       const std::string_view plan = value();
       if (plan == "none") {
